@@ -1,0 +1,39 @@
+// Shared glue for the figure-reproduction benches: consistent headers,
+// option handling, and profile -> report plumbing.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/profiles.hpp"
+#include "analysis/report.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::bench {
+
+/// Every bench prints the same banner so bench_output.txt reads as an
+/// experiment log keyed to the paper's figure/table numbers.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================================\n";
+  std::cout << id << "\n";
+  std::cout << "Paper: Butler & Mercer, DAC 1990. " << claim << "\n";
+  std::cout << "==================================================================\n";
+}
+
+/// Bridging-fault sample size: the paper tuned theta for ~1000 faults.
+/// Override with DP_BENCH_BF_COUNT for quick runs.
+inline analysis::AnalysisOptions default_options() {
+  analysis::AnalysisOptions opt;
+  opt.sampling.target_count = 1000;
+  if (const char* env = std::getenv("DP_BENCH_BF_COUNT")) {
+    opt.sampling.target_count = static_cast<std::size_t>(std::atoll(env));
+  }
+  return opt;
+}
+
+inline void shape_check(bool ok, const std::string& what) {
+  std::cout << (ok ? "[shape OK]   " : "[shape MISS] ") << what << "\n";
+}
+
+}  // namespace dp::bench

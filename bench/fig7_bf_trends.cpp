@@ -1,0 +1,60 @@
+// Figure 7: trends of mean bridging-fault detectability and
+// PO-normalized detectability versus netlist size, both dominance types.
+// BF means sit slightly above the stuck-at means and the normalized trend
+// still decreases with circuit size.
+#include "common.hpp"
+
+using namespace dp;
+
+int main() {
+  bench::banner("Figure 7 -- mean bridging-fault detectability vs size",
+                "Bridging means slightly above stuck-at means; normalized "
+                "detectability still decreasing with netlist size.");
+
+  const analysis::AnalysisOptions opt = bench::default_options();
+  analysis::TextTable table({"circuit", "gates", "AND mean", "OR mean",
+                             "AND mean/#POs", "OR mean/#POs", "SA mean"});
+  std::cout << "csv:circuit,gates,and_mean,or_mean,and_norm,or_norm,sa_mean\n";
+
+  double first_norm = -1, last_norm = -1;
+  std::size_t bf_above_sa = 0, circuits = 0;
+  for (const std::string& name : netlist::benchmark_names()) {
+    const netlist::Circuit c = netlist::make_benchmark(name);
+    const analysis::CircuitProfile pa =
+        analysis::analyze_bridging(c, fault::BridgeType::And, opt);
+    const analysis::CircuitProfile po =
+        analysis::analyze_bridging(c, fault::BridgeType::Or, opt);
+    const analysis::CircuitProfile ps = analysis::analyze_stuck_at(c);
+    const double am = pa.mean_detectability_detectable();
+    const double om = po.mean_detectability_detectable();
+    const double an = pa.mean_detectability_per_po();
+    const double on = po.mean_detectability_per_po();
+    const double sm = ps.mean_detectability_detectable();
+    table.add_row({name, std::to_string(pa.netlist_size),
+                   analysis::TextTable::num(am), analysis::TextTable::num(om),
+                   analysis::TextTable::num(an, 5),
+                   analysis::TextTable::num(on, 5),
+                   analysis::TextTable::num(sm)});
+    analysis::write_csv_row(
+        std::cout,
+        {name, std::to_string(pa.netlist_size), analysis::TextTable::num(am),
+         analysis::TextTable::num(om), analysis::TextTable::num(an, 5),
+         analysis::TextTable::num(on, 5), analysis::TextTable::num(sm)});
+    const double norm = (an + on) / 2;
+    if (first_norm < 0) first_norm = norm;
+    last_norm = norm;
+    ++circuits;
+    if ((am + om) / 2 >= sm) ++bf_above_sa;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  bench::shape_check(last_norm < first_norm,
+                     "PO-normalized BF detectability decreases with size");
+  bench::shape_check(bf_above_sa * 2 >= circuits,
+                     "mean BF detectability >= stuck-at mean on most "
+                     "circuits (" +
+                         std::to_string(bf_above_sa) + "/" +
+                         std::to_string(circuits) + ")");
+  return 0;
+}

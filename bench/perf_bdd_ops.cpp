@@ -1,0 +1,98 @@
+// Microbenchmarks of the OBDD package: apply throughput, negation,
+// counting and GC cost on representative function families.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+using namespace dp::bdd;
+
+namespace {
+
+/// n-variable parity (linear-size BDD).
+Bdd parity(Manager& mgr, std::size_t n) {
+  Bdd f = mgr.zero();
+  for (Var v = 0; v < n; ++v) f = f ^ mgr.var(v);
+  return f;
+}
+
+/// Disjoint AND-pairs OR'd together (achilles-heel family, ~3n/2 nodes
+/// under the good interleaved order used here).
+Bdd and_or(Manager& mgr, std::size_t n) {
+  Bdd f = mgr.zero();
+  for (Var v = 0; v + 1 < n; v += 2) f = f | (mgr.var(v) & mgr.var(v + 1));
+  return f;
+}
+
+void BM_ApplyAndParity(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Manager mgr(2 * n);
+  Bdd a = parity(mgr, n);
+  Bdd b = mgr.zero();
+  for (Var v = 0; v < n; ++v) b = b ^ mgr.var(static_cast<Var>(2 * n - 1 - v));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a & b);
+  }
+  state.SetLabel("parity(" + std::to_string(n) + ") & parity'");
+}
+
+void BM_Negate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Manager mgr(n);
+  Bdd f = and_or(mgr, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(!f);
+  }
+}
+
+void BM_SatCount(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Manager mgr(n);
+  Bdd f = and_or(mgr, n) ^ parity(mgr, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sat_count(n));
+  }
+}
+
+void BM_BuildRandomDnf(benchmark::State& state) {
+  const std::size_t terms = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Manager mgr(16);
+    std::mt19937_64 rng(7);
+    Bdd f = mgr.zero();
+    for (std::size_t t = 0; t < terms; ++t) {
+      Bdd cube = mgr.one();
+      for (int k = 0; k < 4; ++k) {
+        Var v = static_cast<Var>(rng() % 16);
+        cube = cube & ((rng() & 1) ? mgr.var(v) : mgr.nvar(v));
+      }
+      f = f | cube;
+    }
+    benchmark::DoNotOptimize(f.index());
+  }
+}
+
+void BM_GarbageCollection(benchmark::State& state) {
+  const std::size_t n = 20;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Manager mgr(n);
+    Bdd keep = and_or(mgr, n);
+    for (int i = 0; i < 200; ++i) {
+      (void)(parity(mgr, n) ^ mgr.var(static_cast<Var>(i % n)));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.gc());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ApplyAndParity)->Arg(16)->Arg(24)->Arg(32);
+BENCHMARK(BM_Negate)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_SatCount)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(BM_BuildRandomDnf)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GarbageCollection)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

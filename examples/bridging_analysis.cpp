@@ -1,0 +1,70 @@
+// Bridging-fault study of one circuit: enumerates potentially detectable
+// non-feedback bridging faults, samples them with the paper's
+// distance-weighted policy, and reports exact detectabilities, stuck-at
+// equivalence, and the AND/OR comparison.
+//
+//   $ ./bridging_analysis                 # defaults to c95
+//   $ ./bridging_analysis c432 500       # circuit, sample size
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "analysis/profiles.hpp"
+#include "analysis/report.hpp"
+#include "fault/sampling.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generators.hpp"
+
+using namespace dp;
+
+int main(int argc, char** argv) {
+  const std::string arg = argc > 1 ? argv[1] : "c95";
+  const std::size_t count = argc > 2 ? std::stoul(argv[2]) : 1000;
+
+  const auto& names = netlist::benchmark_names();
+  netlist::Circuit circuit =
+      std::find(names.begin(), names.end(), arg) != names.end()
+          ? netlist::make_benchmark(arg)
+          : netlist::read_bench_file(arg);
+  netlist::Structure structure(circuit);
+  netlist::LayoutEstimate layout(circuit, structure);
+
+  std::cout << "Bridging-fault analysis: " << circuit.name() << "\n\n";
+
+  analysis::AnalysisOptions opt;
+  opt.sampling.target_count = count;
+
+  analysis::TextTable table({"type", "enumerated NFBFs", "analyzed",
+                             "detectable", "mean det", "stuck-at-like"});
+  for (fault::BridgeType type :
+       {fault::BridgeType::And, fault::BridgeType::Or}) {
+    const auto all = fault::enumerate_nfbfs(circuit, structure, type);
+    const analysis::CircuitProfile p =
+        analysis::analyze_bridging(circuit, type, opt);
+    table.add_row(
+        {fault::to_string(type), std::to_string(all.size()),
+         std::to_string(p.faults.size()), std::to_string(p.detectable_count()),
+         analysis::TextTable::num(p.mean_detectability_detectable()),
+         analysis::TextTable::num(p.bridge_stuck_at_fraction())});
+
+    if (type == fault::BridgeType::And) {
+      std::cout << "Sampling policy: normalized layout distance z, weight "
+                   "exp(-z/theta), theta = "
+                << opt.sampling.theta << " (paper section 2.2)\n\n";
+    }
+  }
+  table.print(std::cout);
+
+  // Detail: the individual bridges with the highest detection probability.
+  const analysis::CircuitProfile pa =
+      analysis::analyze_bridging(circuit, fault::BridgeType::And, opt);
+  analysis::print_histogram(std::cout, pa.detectability_histogram(20),
+                            "\nAND NFBF detectability profile",
+                            "detection probability");
+
+  std::cout << "\nInterpretation (paper §4.2): low stuck-at-like fractions "
+               "mean single stuck-at test sets do not automatically cover "
+               "bridges; mean bridge detectability slightly exceeds the "
+               "stuck-at mean.\n";
+  return 0;
+}

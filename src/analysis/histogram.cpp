@@ -1,0 +1,39 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+}
+
+void Histogram::add(double value) {
+  if (std::isnan(value)) {
+    throw std::invalid_argument("Histogram::add: NaN value");
+  }
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long long>(std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::proportion(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return (bin_lo(bin) + bin_hi(bin)) / 2.0;
+}
+
+}  // namespace dp::analysis

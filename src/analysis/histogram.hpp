@@ -1,0 +1,40 @@
+// Fixed-range histogram with fault-proportion normalization.
+//
+// The paper's profiles (figures 1, 4, 6) report the *proportion* of the
+// fault set in each detectability/adherence bin rather than raw counts.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace dp::analysis {
+
+class Histogram {
+ public:
+  /// Bins partition [lo, hi]; values outside are clamped to the end bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+
+  /// Fraction of all added values landing in `bin` (0 when empty).
+  double proportion(std::size_t bin) const;
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+  double bin_center(std::size_t bin) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dp::analysis

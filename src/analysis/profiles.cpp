@@ -1,0 +1,188 @@
+#include "analysis/profiles.hpp"
+
+#include <algorithm>
+
+#include "netlist/layout.hpp"
+
+namespace dp::analysis {
+
+using core::DifferencePropagator;
+using core::FaultAnalysis;
+using core::GoodFunctions;
+using netlist::Circuit;
+using netlist::NetId;
+using netlist::Structure;
+
+std::size_t CircuitProfile::detectable_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(faults.begin(), faults.end(),
+                    [](const FaultRecord& f) { return f.detectable; }));
+}
+
+double CircuitProfile::mean_detectability_detectable() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const FaultRecord& f : faults) {
+    if (f.detectable) {
+      sum += f.detectability;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double CircuitProfile::mean_detectability_per_po() const {
+  return num_outputs ? mean_detectability_detectable() /
+                           static_cast<double>(num_outputs)
+                     : 0.0;
+}
+
+Histogram CircuitProfile::detectability_histogram(std::size_t bins) const {
+  Histogram h(0.0, 1.0, bins);
+  for (const FaultRecord& f : faults) {
+    if (f.detectable) h.add(f.detectability);
+  }
+  return h;
+}
+
+Histogram CircuitProfile::adherence_histogram(std::size_t bins) const {
+  Histogram h(0.0, 1.0, bins);
+  for (const FaultRecord& f : faults) {
+    if (f.detectable) h.add(f.adherence);
+  }
+  return h;
+}
+
+namespace {
+
+std::map<int, double> mean_by_key(const std::vector<FaultRecord>& faults,
+                                  int FaultRecord::* key) {
+  std::map<int, std::pair<double, std::size_t>> acc;
+  for (const FaultRecord& f : faults) {
+    if (!f.detectable) continue;
+    auto& [sum, n] = acc[f.*key];
+    sum += f.detectability;
+    ++n;
+  }
+  std::map<int, double> result;
+  for (const auto& [k, v] : acc) {
+    result[k] = v.first / static_cast<double>(v.second);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::map<int, double> CircuitProfile::detectability_by_po_distance() const {
+  return mean_by_key(faults, &FaultRecord::max_levels_to_po);
+}
+
+std::map<int, double> CircuitProfile::detectability_by_pi_distance() const {
+  return mean_by_key(faults, &FaultRecord::level_from_pi);
+}
+
+double CircuitProfile::po_fed_equals_observed_fraction() const {
+  std::size_t eq = 0, n = 0;
+  for (const FaultRecord& f : faults) {
+    if (!f.detectable) continue;
+    ++n;
+    if (f.pos_fed == f.pos_observable) ++eq;
+  }
+  return n ? static_cast<double>(eq) / static_cast<double>(n) : 0.0;
+}
+
+double CircuitProfile::bridge_stuck_at_fraction() const {
+  if (faults.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const FaultRecord& f : faults) n += f.bridge_stuck_at;
+  return static_cast<double>(n) / static_cast<double>(faults.size());
+}
+
+namespace {
+
+FaultRecord to_record(const FaultAnalysis& a, int max_levels_to_po,
+                      int level_from_pi) {
+  FaultRecord r;
+  r.detectable = a.detectable;
+  r.detectability = a.detectability;
+  r.upper_bound = a.upper_bound;
+  r.adherence = a.adherence;
+  r.pos_fed = a.pos_fed;
+  r.pos_observable = a.pos_observable;
+  r.max_levels_to_po = max_levels_to_po;
+  r.level_from_pi = level_from_pi;
+  r.bridge_stuck_at = a.bridge_stuck_at;
+  r.gates_evaluated = a.stats.gates_evaluated;
+  r.gates_skipped = a.stats.gates_skipped;
+  return r;
+}
+
+CircuitProfile make_profile(const Circuit& circuit) {
+  CircuitProfile p;
+  p.circuit = circuit.name();
+  p.netlist_size = circuit.num_gates();
+  p.num_inputs = circuit.num_inputs();
+  p.num_outputs = circuit.num_outputs();
+  return p;
+}
+
+/// Site distances for a stuck-at fault: a branch sits one level before the
+/// gate it enters; a stem sits on its net.
+std::pair<int, int> sa_site_distances(const Structure& s,
+                                      const fault::StuckAtFault& f) {
+  if (f.branch) {
+    const int to_po = s.max_levels_to_po(f.branch->gate);
+    return {to_po < 0 ? -1 : to_po + 1, s.level_from_pi(f.net)};
+  }
+  return {s.max_levels_to_po(f.net), s.level_from_pi(f.net)};
+}
+
+}  // namespace
+
+CircuitProfile analyze_stuck_at(const Circuit& circuit,
+                                const AnalysisOptions& options) {
+  Structure structure(circuit);
+  bdd::Manager manager(0, options.bdd_node_limit);
+  GoodFunctions good(manager, circuit);
+  DifferencePropagator dp(good, structure, options.dp);
+
+  const std::vector<fault::StuckAtFault> faults =
+      options.collapse ? fault::collapse_checkpoint_faults(circuit)
+                       : fault::checkpoint_faults(circuit);
+
+  CircuitProfile profile = make_profile(circuit);
+  profile.faults.reserve(faults.size());
+  for (const fault::StuckAtFault& f : faults) {
+    const FaultAnalysis a = dp.analyze(f);
+    const auto [to_po, from_pi] = sa_site_distances(structure, f);
+    profile.faults.push_back(to_record(a, to_po, from_pi));
+  }
+  return profile;
+}
+
+CircuitProfile analyze_bridging(const Circuit& circuit,
+                                fault::BridgeType type,
+                                const AnalysisOptions& options) {
+  Structure structure(circuit);
+  netlist::LayoutEstimate layout(circuit, structure);
+  bdd::Manager manager(0, options.bdd_node_limit);
+  GoodFunctions good(manager, circuit);
+  DifferencePropagator dp(good, structure, options.dp);
+
+  const std::vector<fault::BridgingFault> faults = fault::nfbf_fault_set(
+      circuit, structure, layout, type, options.sampling);
+
+  CircuitProfile profile = make_profile(circuit);
+  profile.faults.reserve(faults.size());
+  for (const fault::BridgingFault& f : faults) {
+    const FaultAnalysis a = dp.analyze(f);
+    const int to_po = std::max(structure.max_levels_to_po(f.a),
+                               structure.max_levels_to_po(f.b));
+    const int from_pi = std::max(structure.level_from_pi(f.a),
+                                 structure.level_from_pi(f.b));
+    profile.faults.push_back(to_record(a, to_po, from_pi));
+  }
+  return profile;
+}
+
+}  // namespace dp::analysis

@@ -1,0 +1,81 @@
+// Per-circuit fault-population studies: run Difference Propagation over a
+// whole fault set and keep the scalar metrics the paper's figures plot.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "dp/engine.hpp"
+#include "fault/sampling.hpp"
+#include "fault/stuck_at.hpp"
+
+namespace dp::analysis {
+
+/// Scalar per-fault record (the test-set BDD itself is dropped so large
+/// populations do not pin manager nodes).
+struct FaultRecord {
+  bool detectable = false;
+  double detectability = 0.0;
+  double upper_bound = 0.0;
+  double adherence = 0.0;
+  std::size_t pos_fed = 0;
+  std::size_t pos_observable = 0;
+  int max_levels_to_po = -1;  ///< site distance for the bathtub curves
+  int level_from_pi = 0;      ///< site controllability-side distance
+  bool bridge_stuck_at = false;
+  std::uint64_t gates_evaluated = 0;
+  std::uint64_t gates_skipped = 0;
+};
+
+struct CircuitProfile {
+  std::string circuit;
+  std::size_t netlist_size = 0;  ///< gate count (paper's size axis)
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::vector<FaultRecord> faults;
+
+  std::size_t detectable_count() const;
+  /// "Overall mean detectability of detectable faults" (figure 2/7 solid).
+  double mean_detectability_detectable() const;
+  /// The same normalized by PO count (figure 2/7 dotted).
+  double mean_detectability_per_po() const;
+
+  Histogram detectability_histogram(std::size_t bins = 20) const;
+  /// Adherence histogram over detectable faults (figure 4).
+  Histogram adherence_histogram(std::size_t bins = 20) const;
+
+  /// Mean detectability of detectable faults grouped by the site's maximum
+  /// distance to a PO (figures 3 and 8 -- the "bathtub" curves).
+  std::map<int, double> detectability_by_po_distance() const;
+  /// Controllability-side counterpart (paper: "much more random").
+  std::map<int, double> detectability_by_pi_distance() const;
+
+  /// Fraction of faults whose fed and observable PO counts coincide
+  /// ("these numbers are almost always the same", §4.1).
+  double po_fed_equals_observed_fraction() const;
+
+  /// Bridging only: fraction behaving as double stuck-at (figure 5).
+  double bridge_stuck_at_fraction() const;
+};
+
+struct AnalysisOptions {
+  bool collapse = true;          ///< collapse the checkpoint set (paper §2.1)
+  std::size_t bdd_node_limit = 32u * 1024 * 1024;
+  core::DifferencePropagator::Options dp;
+  fault::SamplingOptions sampling;  ///< bridging-fault sampling policy
+};
+
+/// Full stuck-at study of one circuit (checkpoint faults, collapsed).
+CircuitProfile analyze_stuck_at(const netlist::Circuit& circuit,
+                                const AnalysisOptions& options = {});
+
+/// Full bridging study of one circuit: enumerate potentially detectable
+/// NFBFs, sample per the paper's distance-weighted policy when the set
+/// exceeds the target, analyze each.
+CircuitProfile analyze_bridging(const netlist::Circuit& circuit,
+                                fault::BridgeType type,
+                                const AnalysisOptions& options = {});
+
+}  // namespace dp::analysis

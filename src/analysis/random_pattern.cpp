@@ -1,0 +1,46 @@
+#include "analysis/random_pattern.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dp::analysis {
+
+double expected_random_coverage(const CircuitProfile& profile,
+                                std::size_t num_patterns) {
+  double escape_sum = 0.0;
+  std::size_t detectable = 0;
+  for (const FaultRecord& f : profile.faults) {
+    if (!f.detectable) continue;
+    ++detectable;
+    // (1-d)^N via expm1/log1p for numerical stability at small d.
+    escape_sum += std::exp(static_cast<double>(num_patterns) *
+                           std::log1p(-f.detectability));
+  }
+  if (detectable == 0) return 0.0;
+  return 1.0 - escape_sum / static_cast<double>(detectable);
+}
+
+std::size_t patterns_for_coverage(const CircuitProfile& profile,
+                                  double target, std::size_t limit) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument("patterns_for_coverage: target in (0,1)");
+  }
+  // Exponential search then bisection on the monotone coverage curve.
+  std::size_t hi = 1;
+  while (hi < limit && expected_random_coverage(profile, hi) < target) {
+    hi *= 2;
+  }
+  if (hi >= limit) return limit;
+  std::size_t lo = hi / 2;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (expected_random_coverage(profile, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dp::analysis

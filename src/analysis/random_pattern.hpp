@@ -1,0 +1,31 @@
+// Random-pattern test economics from exact detectabilities.
+//
+// The detection-probability profiles (paper figures 1 and 6) determine
+// random-pattern behavior exactly: a fault with detectability d escapes N
+// independent uniform patterns with probability (1-d)^N, so
+//   expected coverage(N)   = 1 - mean over detectable faults of (1-d)^N
+//   patterns for coverage C = smallest N with expected coverage >= C.
+// This is the quantitative link between the paper's exact profiles and
+// test length (cf. its PPM quality-level motivation and the
+// probabilistically-guided generation it cites [19]).
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/profiles.hpp"
+
+namespace dp::analysis {
+
+/// Expected fraction of the profile's detectable faults covered by
+/// `num_patterns` independent uniform random patterns.
+double expected_random_coverage(const CircuitProfile& profile,
+                                std::size_t num_patterns);
+
+/// Smallest pattern count whose expected coverage reaches `target`
+/// (0 < target < 1). Returns `limit` if not reached by then (e.g. when
+/// redundant-adjacent faults have tiny detectabilities).
+std::size_t patterns_for_coverage(const CircuitProfile& profile,
+                                  double target,
+                                  std::size_t limit = 1u << 24);
+
+}  // namespace dp::analysis

@@ -1,0 +1,104 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace dp::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_histogram(std::ostream& os, const Histogram& h,
+                     const std::string& title, const std::string& x_label,
+                     int width) {
+  os << title << "  (n = " << h.total() << ")\n";
+  double max_prop = 0.0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    max_prop = std::max(max_prop, h.proportion(b));
+  }
+  if (max_prop == 0.0) max_prop = 1.0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    const double p = h.proportion(b);
+    const int bar = static_cast<int>(std::lround(p / max_prop * width));
+    os << "  " << std::fixed << std::setprecision(2) << std::setw(5)
+       << h.bin_lo(b) << "-" << std::setw(4) << h.bin_hi(b) << " |"
+       << std::string(static_cast<std::size_t>(bar), '#') << " "
+       << std::setprecision(4) << p << "\n";
+  }
+  os << "  (" << x_label << " on rows, fault proportion on bars)\n";
+}
+
+void print_series(std::ostream& os, const std::map<int, double>& series,
+                  const std::string& title, const std::string& x_label,
+                  const std::string& y_label, int width) {
+  os << title << "\n";
+  double max_v = 0.0;
+  for (const auto& [k, v] : series) max_v = std::max(max_v, v);
+  if (max_v == 0.0) max_v = 1.0;
+  for (const auto& [k, v] : series) {
+    const int bar = static_cast<int>(std::lround(v / max_v * width));
+    os << "  " << std::setw(4) << k << " |"
+       << std::string(static_cast<std::size_t>(bar), '#') << " " << std::fixed
+       << std::setprecision(4) << v << "\n";
+  }
+  os << "  (" << x_label << " on rows, " << y_label << " on bars)\n";
+}
+
+namespace {
+
+void write_csv_line(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ",";
+    os << cells[i];
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void write_csv_header(std::ostream& os, const std::vector<std::string>& cols) {
+  write_csv_line(os, cols);
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  write_csv_line(os, cells);
+}
+
+}  // namespace dp::analysis

@@ -1,0 +1,43 @@
+// Text reporting shared by the benches and examples: aligned tables,
+// ASCII bar charts / XY plots, and CSV emission.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+
+namespace dp::analysis {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart of bin proportions (one row per bin).
+void print_histogram(std::ostream& os, const Histogram& h,
+                     const std::string& title, const std::string& x_label,
+                     int width = 50);
+
+/// Simple XY series plot: keys ascending, bars proportional to value.
+void print_series(std::ostream& os, const std::map<int, double>& series,
+                  const std::string& title, const std::string& x_label,
+                  const std::string& y_label, int width = 50);
+
+/// CSV helpers (series land next to the ASCII plots so results can be
+/// re-plotted outside).
+void write_csv_header(std::ostream& os, const std::vector<std::string>& cols);
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+}  // namespace dp::analysis

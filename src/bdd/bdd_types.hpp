@@ -1,0 +1,80 @@
+// Basic types and constants shared by the OBDD package.
+//
+// The package implements reduced ordered binary decision diagrams (ROBDDs)
+// after Bryant, "Graph-based algorithms for Boolean function manipulation",
+// IEEE Trans. Comput. C-35(8), 1986 -- the representation used by
+// Difference Propagation (Butler & Mercer, DAC 1990).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace dp::bdd {
+
+/// Index of a node inside a Manager's node pool.
+using NodeIndex = std::uint32_t;
+
+/// Variable identifier. Variables are ordered by their numeric value:
+/// smaller ids appear closer to the root of every BDD in the manager.
+using Var = std::uint32_t;
+
+/// The two terminal nodes occupy fixed slots in every manager.
+inline constexpr NodeIndex kFalseNode = 0;
+inline constexpr NodeIndex kTrueNode = 1;
+
+/// Sentinel for "no node".
+inline constexpr NodeIndex kInvalidNode = std::numeric_limits<NodeIndex>::max();
+
+/// Variable id used for terminal nodes; orders after every real variable.
+inline constexpr Var kTerminalVar = std::numeric_limits<Var>::max();
+
+/// Sentinel for "no variable".
+inline constexpr Var kInvalidVar = std::numeric_limits<Var>::max();
+
+/// Thrown when an operation would exceed the manager's node budget.
+class OutOfNodes : public std::runtime_error {
+ public:
+  explicit OutOfNodes(std::size_t limit)
+      : std::runtime_error("BDD node budget exceeded (limit = " +
+                           std::to_string(limit) + " nodes)") {}
+};
+
+/// Thrown on API misuse (mixing managers, invalid variable ids, ...).
+class BddError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// One decision node. `lo` is the cofactor for var=0, `hi` for var=1.
+/// `next` threads the node into its unique-table hash chain.
+struct Node {
+  Var var = kTerminalVar;
+  NodeIndex lo = kInvalidNode;
+  NodeIndex hi = kInvalidNode;
+  NodeIndex next = kInvalidNode;
+};
+
+/// Operation codes for the binary apply cache.
+enum class Op : std::uint8_t {
+  And = 0,
+  Or = 1,
+  Xor = 2,
+  Not = 3,      // unary; second operand slot unused
+  Exists = 4,   // f, var-cube index
+  Restrict = 5  // f, packed (var, value)
+};
+
+/// Counters exposed for benchmarking and regression tests.
+struct ManagerStats {
+  std::uint64_t apply_calls = 0;      ///< recursive apply/negate invocations
+  std::uint64_t cache_hits = 0;       ///< computed-cache hits
+  std::uint64_t unique_lookups = 0;   ///< unique-table probes
+  std::uint64_t nodes_created = 0;    ///< total nodes ever allocated
+  std::uint64_t gc_runs = 0;          ///< mark-sweep executions
+  std::uint64_t gc_reclaimed = 0;     ///< nodes reclaimed across all GCs
+  std::size_t peak_live_nodes = 0;    ///< high-water mark of live nodes
+};
+
+}  // namespace dp::bdd

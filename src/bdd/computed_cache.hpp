@@ -1,0 +1,62 @@
+// Direct-mapped computed table for BDD operations (CUDD-style).
+//
+// Collisions silently evict: the cache is an accelerator, never a source of
+// truth, so a lost entry only costs recomputation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd_types.hpp"
+
+namespace dp::bdd {
+
+class ComputedCache {
+ public:
+  /// `slots` is rounded up to a power of two.
+  explicit ComputedCache(std::size_t slots = 1u << 20) { resize(slots); }
+
+  void resize(std::size_t slots) {
+    std::size_t n = 1;
+    while (n < slots) n <<= 1;
+    mask_ = n - 1;
+    entries_.assign(n, Entry{});
+  }
+
+  /// Returns kInvalidNode on miss.
+  NodeIndex lookup(Op op, NodeIndex a, NodeIndex b) const {
+    const Entry& e = entries_[slot(op, a, b)];
+    if (e.op == op && e.a == a && e.b == b) return e.result;
+    return kInvalidNode;
+  }
+
+  void insert(Op op, NodeIndex a, NodeIndex b, NodeIndex result) {
+    entries_[slot(op, a, b)] = Entry{a, b, result, op};
+  }
+
+  void clear() { entries_.assign(entries_.size(), Entry{}); }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    NodeIndex a = kInvalidNode;
+    NodeIndex b = kInvalidNode;
+    NodeIndex result = kInvalidNode;
+    Op op = Op::And;
+  };
+
+  std::size_t slot(Op op, NodeIndex a, NodeIndex b) const {
+    // Fibonacci hashing over the packed triple.
+    std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) ^
+                        (static_cast<std::uint64_t>(b) << 8) ^
+                        static_cast<std::uint64_t>(op);
+    key *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(key >> 40) & mask_;
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dp::bdd

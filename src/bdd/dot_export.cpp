@@ -1,0 +1,38 @@
+#include "bdd/dot_export.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dp::bdd {
+
+void write_dot(std::ostream& os, const Bdd& f,
+               const std::function<std::string(Var)>& var_name) {
+  const Manager* mgr = f.manager();
+  if (!mgr) throw BddError("write_dot(): empty handle");
+
+  auto name = [&](Var v) {
+    return var_name ? var_name(v) : "x" + std::to_string(v);
+  };
+
+  os << "digraph bdd {\n";
+  os << "  rankdir=TB;\n";
+  os << "  n0 [shape=box,label=\"0\"];\n";
+  os << "  n1 [shape=box,label=\"1\"];\n";
+
+  std::unordered_set<NodeIndex> visited{kFalseNode, kTrueNode};
+  std::vector<NodeIndex> stack{f.index()};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    const Node& nd = mgr->node(n);
+    os << "  n" << n << " [label=\"" << name(nd.var) << "\"];\n";
+    os << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << nd.hi << ";\n";
+    stack.push_back(nd.lo);
+    stack.push_back(nd.hi);
+  }
+  os << "}\n";
+}
+
+}  // namespace dp::bdd

@@ -1,0 +1,18 @@
+// Graphviz export for BDDs -- debugging and documentation aid.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "bdd/bdd.hpp"
+
+namespace dp::bdd {
+
+/// Writes the DAG rooted at `f` in Graphviz dot syntax. `var_name` maps a
+/// variable id to a label; defaults to "x<id>". Dashed edges are the
+/// lo (var = 0) branches, solid edges the hi branches.
+void write_dot(std::ostream& os, const Bdd& f,
+               const std::function<std::string(Var)>& var_name = {});
+
+}  // namespace dp::bdd

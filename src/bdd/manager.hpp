@@ -1,0 +1,164 @@
+// ROBDD manager: node pool, unique table, computed cache, mark-sweep GC.
+//
+// All BDDs live inside one Manager and are identified by NodeIndex; the
+// strong-reduction invariant (no node with lo == hi, no duplicate
+// (var, lo, hi) triples) makes function equality a pointer comparison.
+// User code should hold nodes through the RAII `Bdd` handle (bdd.hpp),
+// which keeps them alive across garbage collections.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd_types.hpp"
+#include "bdd/computed_cache.hpp"
+
+namespace dp::bdd {
+
+class Bdd;
+
+class Manager {
+ public:
+  /// `max_nodes` bounds the pool; exceeding it throws OutOfNodes so callers
+  /// (e.g. cut-point decomposition in the DP engine) can react.
+  explicit Manager(std::size_t num_vars = 0,
+                   std::size_t max_nodes = 32u * 1024 * 1024);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // ---- variables -----------------------------------------------------
+
+  /// Appends a new variable at the end of the order; returns its id.
+  Var new_var();
+  std::size_t num_vars() const { return num_vars_; }
+
+  // ---- variable order (dynamic reordering) -----------------------------
+  // Variable ids are stable names; their placement in the decision order
+  // is a permutation that sifting rearranges in place. Node indices --
+  // and therefore all live Bdd handles -- survive reordering.
+
+  std::size_t level_of(Var v) const { return level_of_var_.at(v); }
+  Var var_at_level(std::size_t level) const { return var_at_level_.at(level); }
+  /// order[level] = variable id.
+  const std::vector<Var>& variable_order() const { return var_at_level_; }
+
+  /// Exchanges the variables at `level` and `level + 1` in place
+  /// (Rudell's adjacent-swap). All node indices remain valid.
+  void swap_adjacent_levels(std::size_t level);
+
+  /// Rudell sifting: moves every variable through all positions and pins
+  /// it where the live node count is smallest. `max_growth` aborts a
+  /// direction when the graph exceeds best * max_growth. Returns the live
+  /// node count after reordering.
+  std::size_t sift_reorder(double max_growth = 2.0);
+
+  /// Nodes reachable from externally referenced roots (terminals incl.).
+  std::size_t count_live_from_roots() const;
+
+  // ---- handle factories ----------------------------------------------
+
+  Bdd zero();
+  Bdd one();
+  Bdd var(Var v);   ///< the function "v"
+  Bdd nvar(Var v);  ///< the function "not v"
+  Bdd make(NodeIndex idx);  ///< wrap an existing node in a handle
+
+  // ---- raw node-level operations (top-level entry points) -------------
+  // These may trigger garbage collection before doing any work; operands
+  // must be protected by external references (automatic via Bdd handles).
+
+  NodeIndex apply(Op op, NodeIndex a, NodeIndex b);
+  NodeIndex negate(NodeIndex f);
+  NodeIndex ite(NodeIndex f, NodeIndex g, NodeIndex h);
+  NodeIndex restrict_var(NodeIndex f, Var v, bool value);
+  NodeIndex exists_var(NodeIndex f, Var v);
+  NodeIndex compose(NodeIndex f, Var v, NodeIndex g);
+
+  // ---- queries (never allocate nodes) ---------------------------------
+
+  /// Number of satisfying assignments over variables [0, nvars).
+  /// Exact for nvars <= 52 (double holds the integer exactly).
+  double sat_count(NodeIndex f, std::size_t nvars) const;
+
+  /// Variables the function actually depends on, ascending.
+  std::vector<Var> support(NodeIndex f) const;
+
+  /// Nodes in the DAG rooted at f, terminals included.
+  std::size_t dag_size(NodeIndex f) const;
+
+  /// Evaluate under a complete assignment (indexed by Var).
+  bool eval(NodeIndex f, const std::vector<bool>& assignment) const;
+
+  /// One satisfying cube, or empty vector if f == false.
+  /// Entry v is 0, 1, or -1 (don't-care). Size == num_vars().
+  std::vector<signed char> sat_one(NodeIndex f) const;
+
+  // ---- memory management ----------------------------------------------
+
+  void inc_ref(NodeIndex idx);
+  void dec_ref(NodeIndex idx);
+
+  /// Mark-sweep collection from externally referenced roots.
+  /// Returns the number of nodes reclaimed.
+  std::size_t gc();
+
+  std::size_t live_nodes() const { return live_nodes_; }
+  std::size_t pool_size() const { return nodes_.size(); }
+  const ManagerStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ManagerStats{}; }
+
+  // ---- node accessors --------------------------------------------------
+
+  const Node& node(NodeIndex idx) const { return nodes_[idx]; }
+  Var var_of(NodeIndex idx) const { return nodes_[idx].var; }
+  NodeIndex lo(NodeIndex idx) const { return nodes_[idx].lo; }
+  NodeIndex hi(NodeIndex idx) const { return nodes_[idx].hi; }
+  bool is_terminal(NodeIndex idx) const { return idx <= kTrueNode; }
+
+ private:
+  friend class Bdd;
+
+  /// Find-or-insert the reduced node (v, lo_child, hi_child).
+  NodeIndex mk(Var v, NodeIndex lo_child, NodeIndex hi_child);
+
+  NodeIndex allocate_node();
+  void rehash_unique(std::size_t bucket_count);
+  std::size_t unique_bucket(Var v, NodeIndex lo_child, NodeIndex hi_child) const;
+  void maybe_gc();
+
+  // Recursive workers (no GC inside).
+  std::size_t level_of_node(NodeIndex idx) const {
+    const Var v = nodes_[idx].var;
+    return v == kTerminalVar ? num_vars_ : level_of_var_[v];
+  }
+  void mark_from_roots(std::vector<bool>& marked) const;
+  void sift_one_var(Var v, double max_growth);
+
+  NodeIndex apply_rec(Op op, NodeIndex a, NodeIndex b);
+  NodeIndex negate_rec(NodeIndex f);
+  NodeIndex restrict_rec(NodeIndex f, Var v, bool value);
+  NodeIndex exists_rec(NodeIndex f, Var v);
+
+  std::size_t num_vars_ = 0;
+  std::size_t max_nodes_ = 0;
+  std::size_t live_nodes_ = 0;
+  std::size_t gc_threshold_ = 0;
+  std::size_t gc_threshold_floor_ = 0;
+
+  std::vector<Var> var_at_level_;        ///< level -> variable id
+  std::vector<std::size_t> level_of_var_;  ///< variable id -> level
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> ext_refs_;  ///< external refcount per node
+  std::vector<NodeIndex> unique_;        ///< unique-table bucket heads
+  std::size_t unique_mask_ = 0;
+  NodeIndex free_list_ = kInvalidNode;
+
+  ComputedCache cache_;
+
+  ManagerStats stats_;
+};
+
+}  // namespace dp::bdd

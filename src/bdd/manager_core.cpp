@@ -1,0 +1,225 @@
+// Manager construction, unique table, allocation, references, garbage
+// collection. The Boolean operations live in manager_ops.cpp; read-only
+// queries live in manager_query.cpp.
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bdd/bdd.hpp"
+
+namespace dp::bdd {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Manager::Manager(std::size_t num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(max_nodes) {
+  var_at_level_.resize(num_vars_);
+  level_of_var_.resize(num_vars_);
+  for (std::size_t i = 0; i < num_vars_; ++i) {
+    var_at_level_[i] = static_cast<Var>(i);
+    level_of_var_[i] = i;
+  }
+  if (max_nodes_ < 16) max_nodes_ = 16;
+  nodes_.reserve(1024);
+  ext_refs_.reserve(1024);
+
+  // Terminal nodes occupy slots 0 (false) and 1 (true). They are labelled
+  // with kTerminalVar so every real variable tests before them, and they
+  // are never entered in the unique table nor swept by GC.
+  nodes_.push_back(Node{kTerminalVar, kFalseNode, kFalseNode, kInvalidNode});
+  nodes_.push_back(Node{kTerminalVar, kTrueNode, kTrueNode, kInvalidNode});
+  ext_refs_.assign(2, 0);
+  live_nodes_ = 2;
+  gc_threshold_floor_ = 1u << 22;
+  gc_threshold_ = gc_threshold_floor_;
+
+  rehash_unique(1u << 12);
+}
+
+Var Manager::new_var() {
+  const Var v = static_cast<Var>(num_vars_++);
+  var_at_level_.push_back(v);
+  level_of_var_.push_back(level_of_var_.size());
+  return v;
+}
+
+Bdd Manager::var(Var v) {
+  if (v >= num_vars_) throw BddError("var(): variable id out of range");
+  return make(mk(v, kFalseNode, kTrueNode));
+}
+
+Bdd Manager::nvar(Var v) {
+  if (v >= num_vars_) throw BddError("nvar(): variable id out of range");
+  return make(mk(v, kTrueNode, kFalseNode));
+}
+
+std::size_t Manager::unique_bucket(Var v, NodeIndex lo_child,
+                                   NodeIndex hi_child) const {
+  std::uint64_t key = static_cast<std::uint64_t>(v);
+  key = key * 0x100000001b3ull ^ lo_child;
+  key = key * 0x100000001b3ull ^ hi_child;
+  key *= 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(key >> 32) & unique_mask_;
+}
+
+void Manager::rehash_unique(std::size_t bucket_count) {
+  bucket_count = next_pow2(std::max<std::size_t>(bucket_count, 16));
+  unique_.assign(bucket_count, kInvalidNode);
+  unique_mask_ = bucket_count - 1;
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kTerminalVar) continue;  // free-list entry
+    std::size_t b = unique_bucket(n.var, n.lo, n.hi);
+    n.next = unique_[b];
+    unique_[b] = i;
+  }
+}
+
+NodeIndex Manager::allocate_node() {
+  if (free_list_ != kInvalidNode) {
+    NodeIndex idx = free_list_;
+    free_list_ = nodes_[idx].next;
+    ++live_nodes_;
+    return idx;
+  }
+  if (nodes_.size() >= max_nodes_) throw OutOfNodes(max_nodes_);
+  nodes_.push_back(Node{});
+  ext_refs_.push_back(0);
+  ++live_nodes_;
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+NodeIndex Manager::mk(Var v, NodeIndex lo_child, NodeIndex hi_child) {
+  if (lo_child == hi_child) return lo_child;  // reduction rule
+
+  ++stats_.unique_lookups;
+  std::size_t b = unique_bucket(v, lo_child, hi_child);
+  for (NodeIndex i = unique_[b]; i != kInvalidNode; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.var == v && n.lo == lo_child && n.hi == hi_child) return i;
+  }
+
+  NodeIndex idx = allocate_node();
+  Node& n = nodes_[idx];
+  n.var = v;
+  n.lo = lo_child;
+  n.hi = hi_child;
+  n.next = unique_[b];
+  unique_[b] = idx;
+  ++stats_.nodes_created;
+  stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, live_nodes_);
+
+  if (live_nodes_ > unique_.size()) {
+    rehash_unique(unique_.size() * 2);
+  }
+  return idx;
+}
+
+void Manager::inc_ref(NodeIndex idx) {
+  if (idx >= nodes_.size()) throw BddError("inc_ref(): bad node index");
+  ++ext_refs_[idx];
+}
+
+void Manager::dec_ref(NodeIndex idx) {
+  assert(idx < nodes_.size() && ext_refs_[idx] > 0);
+  --ext_refs_[idx];
+}
+
+void Manager::mark_from_roots(std::vector<bool>& marked) const {
+  marked.assign(nodes_.size(), false);
+  marked[kFalseNode] = marked[kTrueNode] = true;
+  std::vector<NodeIndex> stack;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (ext_refs_[i] > 0 && !marked[i]) {
+      stack.push_back(i);
+      marked[i] = true;
+    }
+  }
+  while (!stack.empty()) {
+    NodeIndex i = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[i];
+    if (n.var == kTerminalVar) continue;
+    if (!marked[n.lo]) {
+      marked[n.lo] = true;
+      stack.push_back(n.lo);
+    }
+    if (!marked[n.hi]) {
+      marked[n.hi] = true;
+      stack.push_back(n.hi);
+    }
+  }
+}
+
+std::size_t Manager::count_live_from_roots() const {
+  std::vector<bool> marked;
+  mark_from_roots(marked);
+  std::size_t count = 0;
+  for (bool m : marked) count += m;
+  return count;
+}
+
+std::size_t Manager::gc() {
+  ++stats_.gc_runs;
+
+  // Mark phase: every node reachable from an externally referenced root.
+  std::vector<bool> marked;
+  mark_from_roots(marked);
+
+  // Sweep phase: unmarked decision nodes go to the free list.
+  std::size_t reclaimed = 0;
+  free_list_ = kInvalidNode;
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    if (marked[i] || nodes_[i].var == kTerminalVar) {
+      // Still live, or already on the (old) free list.
+      if (!marked[i] && nodes_[i].var == kTerminalVar) {
+        nodes_[i].next = free_list_;
+        free_list_ = i;
+      }
+      continue;
+    }
+    nodes_[i].var = kTerminalVar;  // tombstone marks free-list membership
+    nodes_[i].lo = nodes_[i].hi = kInvalidNode;
+    nodes_[i].next = free_list_;
+    free_list_ = i;
+    ++reclaimed;
+  }
+  live_nodes_ -= reclaimed;
+  stats_.gc_reclaimed += reclaimed;
+
+  // Caches may reference dead nodes; the unique table must drop them.
+  // Scale the computed cache with the surviving working set (capped) --
+  // a cache much smaller than the pool thrashes on collisions.
+  std::size_t want_cache = next_pow2(live_nodes_);
+  want_cache = std::min<std::size_t>(want_cache, 1u << 22);
+  if (want_cache > cache_.size()) {
+    cache_.resize(want_cache);
+  } else {
+    cache_.clear();
+  }
+  rehash_unique(unique_.size());
+
+  // Re-arm the trigger well above the live baseline so collections happen
+  // when a real fraction of the pool is garbage, not every few operations.
+  gc_threshold_ = std::max(gc_threshold_floor_, live_nodes_ * 2);
+  return reclaimed;
+}
+
+void Manager::maybe_gc() {
+  // Collect when the adaptive trigger fires, or when the pool approaches
+  // the hard budget (so OutOfNodes is only thrown once garbage is gone).
+  const bool near_budget = live_nodes_ + (max_nodes_ >> 3) >= max_nodes_;
+  if (live_nodes_ < gc_threshold_ && !near_budget) return;
+  gc();
+}
+
+}  // namespace dp::bdd

@@ -1,0 +1,196 @@
+// Boolean operations: apply (AND/OR/XOR), negation, ITE, restriction,
+// existential quantification, and composition.
+#include <unordered_map>
+#include <utility>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+
+namespace dp::bdd {
+
+namespace {
+
+/// Terminal-case evaluation for the binary apply. Returns kInvalidNode when
+/// the pair is not a terminal case. `negate_needed` is set when the result
+/// is the negation of the node stored in the return slot (XOR against one).
+struct TerminalHit {
+  NodeIndex result = kInvalidNode;
+  NodeIndex to_negate = kInvalidNode;
+};
+
+TerminalHit apply_terminal(Op op, NodeIndex a, NodeIndex b) {
+  TerminalHit hit;
+  switch (op) {
+    case Op::And:
+      if (a == kFalseNode || b == kFalseNode) hit.result = kFalseNode;
+      else if (a == kTrueNode) hit.result = b;
+      else if (b == kTrueNode) hit.result = a;
+      else if (a == b) hit.result = a;
+      break;
+    case Op::Or:
+      if (a == kTrueNode || b == kTrueNode) hit.result = kTrueNode;
+      else if (a == kFalseNode) hit.result = b;
+      else if (b == kFalseNode) hit.result = a;
+      else if (a == b) hit.result = a;
+      break;
+    case Op::Xor:
+      if (a == b) hit.result = kFalseNode;
+      else if (a == kFalseNode) hit.result = b;
+      else if (b == kFalseNode) hit.result = a;
+      else if (a == kTrueNode) hit.to_negate = b;
+      else if (b == kTrueNode) hit.to_negate = a;
+      break;
+    default:
+      throw BddError("apply(): not a binary Boolean op");
+  }
+  return hit;
+}
+
+}  // namespace
+
+NodeIndex Manager::apply(Op op, NodeIndex a, NodeIndex b) {
+  maybe_gc();
+  return apply_rec(op, a, b);
+}
+
+NodeIndex Manager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
+  ++stats_.apply_calls;
+
+  TerminalHit hit = apply_terminal(op, a, b);
+  if (hit.result != kInvalidNode) return hit.result;
+  if (hit.to_negate != kInvalidNode) return negate_rec(hit.to_negate);
+
+  // All three ops are commutative; canonicalize for better cache reuse.
+  if (a > b) std::swap(a, b);
+
+  NodeIndex cached = cache_.lookup(op, a, b);
+  if (cached != kInvalidNode) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  // The top variable is the one earlier in the (possibly sifted) order.
+  const std::size_t la = level_of_node(a);
+  const std::size_t lb = level_of_node(b);
+  const Var v = la <= lb ? nodes_[a].var : nodes_[b].var;
+
+  const NodeIndex a0 = la <= lb ? nodes_[a].lo : a;
+  const NodeIndex a1 = la <= lb ? nodes_[a].hi : a;
+  const NodeIndex b0 = lb <= la ? nodes_[b].lo : b;
+  const NodeIndex b1 = lb <= la ? nodes_[b].hi : b;
+
+  const NodeIndex lo_res = apply_rec(op, a0, b0);
+  const NodeIndex hi_res = apply_rec(op, a1, b1);
+  const NodeIndex result = mk(v, lo_res, hi_res);
+
+  cache_.insert(op, a, b, result);
+  return result;
+}
+
+NodeIndex Manager::negate(NodeIndex f) {
+  maybe_gc();
+  return negate_rec(f);
+}
+
+NodeIndex Manager::negate_rec(NodeIndex f) {
+  ++stats_.apply_calls;
+  if (f == kFalseNode) return kTrueNode;
+  if (f == kTrueNode) return kFalseNode;
+
+  NodeIndex cached = cache_.lookup(Op::Not, f, 0);
+  if (cached != kInvalidNode) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  // Copy: recursive calls can reallocate the node pool.
+  const Node n = nodes_[f];
+  const NodeIndex neg_lo = negate_rec(n.lo);
+  const NodeIndex neg_hi = negate_rec(n.hi);
+  const NodeIndex result = mk(n.var, neg_lo, neg_hi);
+  cache_.insert(Op::Not, f, 0, result);
+  // Negation is an involution; prime the cache in the other direction too.
+  cache_.insert(Op::Not, result, 0, f);
+  return result;
+}
+
+NodeIndex Manager::ite(NodeIndex f, NodeIndex g, NodeIndex h) {
+  maybe_gc();
+  if (f == kTrueNode) return g;
+  if (f == kFalseNode) return h;
+  if (g == h) return g;
+  // (f & g) | (!f & h). Intermediates are pinned with handles so a GC
+  // triggered between the applies cannot reclaim them.
+  Bdd fg = make(apply_rec(Op::And, f, g));
+  Bdd nf = make(negate_rec(f));
+  Bdd nfh = make(apply_rec(Op::And, nf.index(), h));
+  return apply_rec(Op::Or, fg.index(), nfh.index());
+}
+
+NodeIndex Manager::restrict_var(NodeIndex f, Var v, bool value) {
+  if (v >= num_vars_) throw BddError("restrict_var(): variable out of range");
+  maybe_gc();
+  return restrict_rec(f, v, value);
+}
+
+NodeIndex Manager::restrict_rec(NodeIndex f, Var v, bool value) {
+  // Copy: recursive calls can reallocate the node pool.
+  const Node n = nodes_[f];
+  if (level_of_node(f) > level_of_var_[v]) return f;  // v cannot occur below
+  if (n.var == v) return value ? n.hi : n.lo;
+
+  const NodeIndex key_b = static_cast<NodeIndex>(v * 2 + (value ? 1 : 0));
+  NodeIndex cached = cache_.lookup(Op::Restrict, f, key_b);
+  if (cached != kInvalidNode) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  const NodeIndex lo_res = restrict_rec(n.lo, v, value);
+  const NodeIndex hi_res = restrict_rec(n.hi, v, value);
+  const NodeIndex result = mk(n.var, lo_res, hi_res);
+  cache_.insert(Op::Restrict, f, key_b, result);
+  return result;
+}
+
+NodeIndex Manager::exists_var(NodeIndex f, Var v) {
+  if (v >= num_vars_) throw BddError("exists_var(): variable out of range");
+  maybe_gc();
+  return exists_rec(f, v);
+}
+
+NodeIndex Manager::exists_rec(NodeIndex f, Var v) {
+  // Copy: recursive calls can reallocate the node pool.
+  const Node n = nodes_[f];
+  if (level_of_node(f) > level_of_var_[v]) return f;
+  if (n.var == v) return apply_rec(Op::Or, n.lo, n.hi);
+
+  NodeIndex cached = cache_.lookup(Op::Exists, f, static_cast<NodeIndex>(v));
+  if (cached != kInvalidNode) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  const NodeIndex lo_res = exists_rec(n.lo, v);
+  const NodeIndex hi_res = exists_rec(n.hi, v);
+  const NodeIndex result = mk(n.var, lo_res, hi_res);
+  cache_.insert(Op::Exists, f, static_cast<NodeIndex>(v), result);
+  return result;
+}
+
+NodeIndex Manager::compose(NodeIndex f, Var v, NodeIndex g) {
+  if (v >= num_vars_) throw BddError("compose(): variable out of range");
+  maybe_gc();
+
+  // Shannon expansion on v: f[v <- g] = (g & f|v=1) | (!g & f|v=0).
+  // The cofactors never mention v, so plain apply calls finish the job.
+  Bdd f1 = make(restrict_rec(f, v, true));
+  Bdd f0 = make(restrict_rec(f, v, false));
+  Bdd gh = make(g);
+  Bdd t1 = make(apply_rec(Op::And, gh.index(), f1.index()));
+  Bdd ng = make(negate_rec(g));
+  Bdd t0 = make(apply_rec(Op::And, ng.index(), f0.index()));
+  return apply_rec(Op::Or, t1.index(), t0.index());
+}
+
+}  // namespace dp::bdd

@@ -1,0 +1,137 @@
+// Read-only queries: satisfying-assignment counting, support, DAG size,
+// evaluation, and cube extraction. None of these allocate BDD nodes.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/manager.hpp"
+
+namespace dp::bdd {
+
+namespace {
+
+double pow2(std::uint64_t e) {
+  double r = 1.0;
+  while (e--) r *= 2.0;
+  return r;
+}
+
+}  // namespace
+
+double Manager::sat_count(NodeIndex f, std::size_t nvars) const {
+  // c(n) = number of solutions over the variables strictly below n's level,
+  // with terminals sitting at level `nvars`.
+  std::unordered_map<NodeIndex, double> memo;
+  memo.reserve(256);
+
+  // Levels follow the current (possibly sifted) order; counting over
+  // levels is equivalent to counting over variables since the order is a
+  // permutation of [0, nvars).
+  auto level_of = [&](NodeIndex n) -> std::uint64_t {
+    Var v = nodes_[n].var;
+    return v == kTerminalVar ? nvars : level_of_var_[v];
+  };
+
+  // Iterative post-order to avoid deep recursion on path-shaped BDDs.
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    if (memo.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    if (n == kFalseNode) {
+      memo[n] = 0.0;
+      stack.pop_back();
+      continue;
+    }
+    if (n == kTrueNode) {
+      memo[n] = 1.0;
+      stack.pop_back();
+      continue;
+    }
+    const Node& nd = nodes_[n];
+    if (nd.var >= nvars) {
+      throw BddError("sat_count(): function depends on a variable >= nvars");
+    }
+    auto it_lo = memo.find(nd.lo);
+    auto it_hi = memo.find(nd.hi);
+    if (it_lo != memo.end() && it_hi != memo.end()) {
+      const std::uint64_t lvl = level_of(n);
+      double lo_c = it_lo->second * pow2(level_of(nd.lo) - lvl - 1);
+      double hi_c = it_hi->second * pow2(level_of(nd.hi) - lvl - 1);
+      memo[n] = lo_c + hi_c;
+      stack.pop_back();
+    } else {
+      if (it_lo == memo.end()) stack.push_back(nd.lo);
+      if (it_hi == memo.end()) stack.push_back(nd.hi);
+    }
+  }
+  return memo[f] * pow2(level_of(f));
+}
+
+std::vector<Var> Manager::support(NodeIndex f) const {
+  std::vector<bool> present(num_vars_, false);
+  std::unordered_set<NodeIndex> visited;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrueNode || !visited.insert(n).second) continue;
+    const Node& nd = nodes_[n];
+    present[nd.var] = true;
+    stack.push_back(nd.lo);
+    stack.push_back(nd.hi);
+  }
+  std::vector<Var> result;
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (present[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::size_t Manager::dag_size(NodeIndex f) const {
+  std::unordered_set<NodeIndex> visited;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    if (n <= kTrueNode) continue;
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return visited.size();
+}
+
+bool Manager::eval(NodeIndex f, const std::vector<bool>& assignment) const {
+  NodeIndex n = f;
+  while (n > kTrueNode) {
+    const Node& nd = nodes_[n];
+    if (nd.var >= assignment.size()) {
+      throw BddError("eval(): assignment shorter than function support");
+    }
+    n = assignment[nd.var] ? nd.hi : nd.lo;
+  }
+  return n == kTrueNode;
+}
+
+std::vector<signed char> Manager::sat_one(NodeIndex f) const {
+  if (f == kFalseNode) return {};
+  std::vector<signed char> cube(num_vars_, -1);
+  NodeIndex n = f;
+  while (n > kTrueNode) {
+    const Node& nd = nodes_[n];
+    // In a reduced BDD every node distinct from the false terminal has a
+    // path to true, so any non-false child works.
+    if (nd.hi != kFalseNode) {
+      cube[nd.var] = 1;
+      n = nd.hi;
+    } else {
+      cube[nd.var] = 0;
+      n = nd.lo;
+    }
+  }
+  return cube;
+}
+
+}  // namespace dp::bdd

@@ -1,0 +1,113 @@
+#include "dp/difference.hpp"
+
+namespace dp::core {
+
+using netlist::GateType;
+
+bdd::Bdd gate_difference2(GateType base, const bdd::Bdd& fa,
+                          const bdd::Bdd& fb, const bdd::Bdd& da,
+                          const bdd::Bdd& db) {
+  switch (base) {
+    case GateType::And:
+      // fA.DfB ^ fB.DfA ^ DfA.DfB  (terms with a zero Df vanish)
+      if (da.is_zero()) return fa & db;
+      if (db.is_zero()) return fb & da;
+      return (fa & db) ^ (fb & da) ^ (da & db);
+    case GateType::Or:
+      if (da.is_zero()) return (!fa) & db;
+      if (db.is_zero()) return (!fb) & da;
+      return ((!fa) & db) ^ ((!fb) & da) ^ (da & db);
+    case GateType::Xor:
+      return da ^ db;
+    case GateType::Buf:
+      return da;
+    default:
+      throw bdd::BddError("gate_difference2: pass a base gate type");
+  }
+}
+
+bdd::Bdd gate_difference(bdd::Manager& manager, GateType type,
+                         const std::vector<bdd::Bdd>& goods,
+                         const std::vector<bdd::Bdd>& diffs) {
+  if (goods.empty() || goods.size() != diffs.size()) {
+    throw bdd::BddError("gate_difference: fanin vectors empty or mismatched");
+  }
+  auto diff_at = [&](std::size_t i) {
+    return diffs[i].valid() ? diffs[i] : manager.zero();
+  };
+
+  const GateType base = netlist::base_of(type);
+  if (base == GateType::Buf) return diff_at(0);
+
+  // Fold as n-1 two-input gates of the base type; the output inversion
+  // (NAND/NOR/XNOR) does not alter the difference.
+  bdd::Bdd acc_good = goods[0];
+  bdd::Bdd acc_diff = diff_at(0);
+  for (std::size_t i = 1; i < goods.size(); ++i) {
+    const bdd::Bdd di = diff_at(i);
+    if (acc_diff.is_zero() && di.is_zero()) {
+      acc_diff = manager.zero();  // both clean: difference stays 0
+    } else {
+      acc_diff = gate_difference2(base, acc_good, goods[i], acc_diff, di);
+    }
+    if (i + 1 < goods.size()) {
+      switch (base) {
+        case GateType::And: acc_good = acc_good & goods[i]; break;
+        case GateType::Or: acc_good = acc_good | goods[i]; break;
+        case GateType::Xor: acc_good = acc_good ^ goods[i]; break;
+        default: break;
+      }
+    }
+  }
+  return acc_diff;
+}
+
+bdd::Bdd gate_difference_general(bdd::Manager& manager,
+                                 netlist::GateType type,
+                                 const std::vector<bdd::Bdd>& goods,
+                                 const std::vector<bdd::Bdd>& diffs,
+                                 std::uint64_t* ops) {
+  if (goods.empty() || goods.size() != diffs.size()) {
+    throw bdd::BddError(
+        "gate_difference_general: fanin vectors empty or mismatched");
+  }
+  const std::size_t n = goods.size();
+  if (n > 20) {
+    throw bdd::BddError(
+        "gate_difference_general: refusing 2^n explosion beyond n = 20");
+  }
+  auto diff_at = [&](std::size_t i) {
+    return diffs[i].valid() ? diffs[i] : manager.zero();
+  };
+
+  const GateType base = netlist::base_of(type);
+  if (base == GateType::Buf) return diff_at(0);
+  if (base == GateType::Xor) {
+    // Parity: the general form collapses to the ring sum of differences.
+    bdd::Bdd acc = diff_at(0);
+    for (std::size_t i = 1; i < n; ++i) acc = acc ^ diff_at(i);
+    if (ops) *ops += n;
+    return acc;
+  }
+  if (base != GateType::And && base != GateType::Or) {
+    throw bdd::BddError("gate_difference_general: unexpected gate type");
+  }
+
+  // XOR over all 2^n - 1 nonempty subsets of product terms.
+  bdd::Bdd result = manager.zero();
+  for (std::uint64_t subset = 1; subset < (1ull << n); ++subset) {
+    bdd::Bdd term = manager.one();
+    for (std::size_t i = 0; i < n && !term.is_zero(); ++i) {
+      if ((subset >> i) & 1) {
+        term = term & diff_at(i);
+      } else {
+        term = term & (base == GateType::And ? goods[i] : !goods[i]);
+      }
+    }
+    result = result ^ term;
+    if (ops) ++*ops;
+  }
+  return result;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,56 @@
+// The Difference Propagation gate algebra (paper §3, Table 1).
+//
+// For a node i, f_i is the good function, F_i the faulty function, and the
+// difference function is Delta f_i = f_i XOR F_i (ring sum over GF(2)).
+// For a two-input gate C = g(A, B) the output difference depends only on
+// the input good functions and input differences:
+//
+//     AND / NAND :  Delta fC = fA.DfB  ^  fB.DfA  ^  DfA.DfB
+//     OR  / NOR  :  Delta fC = ~fA.DfB ^  ~fB.DfA ^  DfA.DfB
+//     XOR / XNOR :  Delta fC = DfA ^ DfB
+//     NOT / BUF  :  Delta fC = DfA
+//
+// An output inversion never changes the difference. Gates with more than
+// two inputs are folded as n-1 two-input gates (paper §3's device for
+// avoiding the exponential pair/triple enumeration).
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/gate.hpp"
+
+namespace dp::core {
+
+/// Table 1, binary form. `base` must be And, Or, Xor or Buf (apply
+/// netlist::base_of first); fa/fb are the input good functions, da/db the
+/// input differences.
+bdd::Bdd gate_difference2(netlist::GateType base, const bdd::Bdd& fa,
+                          const bdd::Bdd& fb, const bdd::Bdd& da,
+                          const bdd::Bdd& db);
+
+/// n-ary fold: computes the output difference of an n-input gate of `type`
+/// given the fanin good functions and fanin differences (same order).
+/// A default-constructed (invalid) Bdd in `diffs` means "identically 0";
+/// the fold exploits that to skip work, mirroring the paper's observation
+/// that terms with zero difference functions vanish from the calculation.
+bdd::Bdd gate_difference(bdd::Manager& manager, netlist::GateType type,
+                         const std::vector<bdd::Bdd>& goods,
+                         const std::vector<bdd::Bdd>& diffs);
+
+/// The GENERAL n-ary form from §3: for an n-input AND,
+///   Delta fC = XOR over nonempty subsets S of { prod_{i in S} Dfi .
+///                                               prod_{i not in S} fi }
+/// (for OR, the good factors complement; for XOR it degenerates to the
+/// ring sum of the differences). The number of product terms is 2^n - 1 --
+/// "operations whose number grows exponentially with the number of gate
+/// inputs" -- which is why the engine folds n-1 two-input gates instead.
+/// Provided for validation and for the ablation bench that demonstrates
+/// the blow-up. `ops` (optional) accumulates the number of product terms.
+bdd::Bdd gate_difference_general(bdd::Manager& manager,
+                                 netlist::GateType type,
+                                 const std::vector<bdd::Bdd>& goods,
+                                 const std::vector<bdd::Bdd>& diffs,
+                                 std::uint64_t* ops = nullptr);
+
+}  // namespace dp::core

@@ -1,0 +1,108 @@
+// The Difference Propagation engine (paper §3).
+//
+// Given the good functions of a circuit, the engine injects a fault's
+// initial difference function(s) at the fault site and propagates
+// differences toward the POs in topological order, evaluating a gate only
+// while difference information exists ("selective trace"). The OR of the
+// PO differences IS the complete test set of the fault; from it and the
+// line syndromes come the exact detectability, the excitation upper bound,
+// and the adherence (paper §4.1, eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "dp/good_functions.hpp"
+#include "fault/bridging.hpp"
+#include "fault/multiple.hpp"
+#include "fault/stuck_at.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::core {
+
+struct PropagationStats {
+  std::uint64_t gates_evaluated = 0;  ///< gates whose difference was computed
+  std::uint64_t gates_skipped = 0;    ///< gates skipped (no input difference)
+};
+
+/// Everything the paper derives per fault.
+struct FaultAnalysis {
+  bdd::Bdd test_set;          ///< complete test set over the PI variables
+  bool detectable = false;
+  double detectability = 0.0; ///< |test set| / 2^n (exact)
+  double upper_bound = 0.0;   ///< excitation bound u_i (syndrome-derived)
+  double adherence = 0.0;     ///< a_i = detectability / u_i; 0 when u_i = 0
+
+  std::vector<bool> po_observable;  ///< per PO: difference not identically 0
+  /// Per-PO difference functions (invalid handle == identically zero);
+  /// the fault dictionary machinery evaluates these per test vector.
+  std::vector<bdd::Bdd> po_differences;
+  std::size_t pos_observable = 0;
+  std::size_t pos_fed = 0;          ///< POs structurally fed by the site
+
+  /// Bridging only: the wired (faulty) site function is constant, i.e. the
+  /// bridge is functionally a double stuck-at fault (paper §4.2).
+  bool bridge_stuck_at = false;
+
+  PropagationStats stats;
+};
+
+class DifferencePropagator {
+ public:
+  struct Options {
+    /// When false, every gate in the circuit is evaluated for every fault
+    /// (the ablation baseline for the selective-trace optimization).
+    bool selective_trace = true;
+  };
+
+  DifferencePropagator(const GoodFunctions& good,
+                       const netlist::Structure& structure)
+      : DifferencePropagator(good, structure, Options{}) {}
+  DifferencePropagator(const GoodFunctions& good,
+                       const netlist::Structure& structure, Options options);
+
+  FaultAnalysis analyze(const fault::StuckAtFault& fault) const;
+  FaultAnalysis analyze(const fault::BridgingFault& fault) const;
+  /// Multiple stuck-at faults: every component forces its line at once.
+  /// A forced line clips any difference arriving from upstream components
+  /// (the line's value is pinned, so its difference is always f XOR v).
+  FaultAnalysis analyze(const fault::MultipleStuckAtFault& fault) const;
+
+  const GoodFunctions& good() const { return good_; }
+
+ private:
+  /// One per-gate pin-difference override (branch-fault seeding).
+  struct PinSeed {
+    netlist::NetId gate = netlist::kInvalidNet;
+    std::uint32_t pin = 0;
+    bdd::Bdd diff;
+  };
+  /// One forced stem difference (the line's difference is pinned to
+  /// `diff` no matter what arrives from upstream).
+  struct NetSeed {
+    netlist::NetId net = netlist::kInvalidNet;
+    bdd::Bdd diff;
+  };
+
+  /// Core sweep: seeds are net-level differences (`diff` indexed by net,
+  /// invalid == zero) plus an optional pin override; returns stats.
+  PropagationStats propagate(std::vector<bdd::Bdd>& diff,
+                             const PinSeed* pin_seed) const;
+
+  /// Generalized sweep for multiple faults: any number of pin and stem
+  /// overrides applied simultaneously.
+  PropagationStats propagate_multi(std::vector<bdd::Bdd>& diff,
+                                   const std::vector<PinSeed>& pins,
+                                   const std::vector<NetSeed>& nets) const;
+
+  FaultAnalysis finish(std::vector<bdd::Bdd>& diff,
+                       const std::vector<netlist::NetId>& site_nets,
+                       double upper_bound, PropagationStats stats) const;
+
+  const GoodFunctions& good_;
+  const netlist::Structure& structure_;
+  Options options_;
+};
+
+}  // namespace dp::core

@@ -1,0 +1,66 @@
+#include "dp/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace dp::core {
+
+using netlist::Circuit;
+using netlist::NetId;
+
+std::vector<std::size_t> compute_variable_order(const Circuit& circuit,
+                                                VarOrderKind kind,
+                                                std::uint64_t seed) {
+  const std::size_t n = circuit.num_inputs();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (kind) {
+    case VarOrderKind::PiOrder:
+      return order;
+    case VarOrderKind::Reverse:
+      std::reverse(order.begin(), order.end());
+      return order;
+    case VarOrderKind::Random: {
+      std::mt19937_64 rng(seed);
+      std::shuffle(order.begin(), order.end(), rng);
+      return order;
+    }
+    case VarOrderKind::FaninDfs:
+      break;
+  }
+
+  // Fanin DFS: walk each PO cone depth-first; a PI gets the next variable
+  // id the first time it is reached. PIs never reached keep their relative
+  // stated order at the tail.
+  std::vector<bool> visited(circuit.num_nets(), false);
+  std::size_t next_var = 0;
+  std::vector<std::size_t> assigned(n, SIZE_MAX);
+  std::vector<NetId> stack;
+  for (NetId po : circuit.outputs()) {
+    stack.push_back(po);
+    while (!stack.empty()) {
+      const NetId id = stack.back();
+      stack.pop_back();
+      if (visited[id]) continue;
+      visited[id] = true;
+      if (circuit.type(id) == netlist::GateType::Input) {
+        const std::size_t pi = *circuit.input_index(id);
+        assigned[pi] = next_var++;
+        continue;
+      }
+      const auto& fi = circuit.fanins(id);
+      // Push in reverse so the first-listed fanin is explored first.
+      for (auto it = fi.rbegin(); it != fi.rend(); ++it) {
+        if (!visited[*it]) stack.push_back(*it);
+      }
+    }
+  }
+  for (std::size_t pi = 0; pi < n; ++pi) {
+    if (assigned[pi] == SIZE_MAX) assigned[pi] = next_var++;
+  }
+  return assigned;
+}
+
+}  // namespace dp::core

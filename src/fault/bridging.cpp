@@ -1,0 +1,47 @@
+#include "fault/bridging.hpp"
+
+namespace dp::fault {
+
+using netlist::GateType;
+
+std::string describe(const BridgingFault& fault, const Circuit& circuit) {
+  return std::string(to_string(fault.type)) + "(" +
+         circuit.net_name(fault.a) + ", " + circuit.net_name(fault.b) + ")";
+}
+
+bool is_feedback_bridge(const Structure& structure, NetId a, NetId b) {
+  // reaches() is reflexive, but a bridge of a net with itself is not a
+  // fault at all; callers never pass a == b.
+  return structure.reaches(a, b) || structure.reaches(b, a);
+}
+
+bool is_trivially_undetectable(const Circuit& circuit,
+                               const BridgingFault& fault) {
+  const auto& fa = circuit.fanouts(fault.a);
+  const auto& fb = circuit.fanouts(fault.b);
+  if (fa.size() != 1 || fb.size() != 1) return false;
+  if (fa.front().gate != fb.front().gate) return false;
+  const GateType base = netlist::base_of(circuit.type(fa.front().gate));
+  if (fault.type == BridgeType::And) return base == GateType::And;
+  return base == GateType::Or;
+}
+
+std::vector<BridgingFault> enumerate_nfbfs(const Circuit& circuit,
+                                           const Structure& structure,
+                                           BridgeType type) {
+  std::vector<BridgingFault> faults;
+  const NetId n = static_cast<NetId>(circuit.num_nets());
+  for (NetId a = 0; a < n; ++a) {
+    if (netlist::is_constant(circuit.type(a))) continue;
+    for (NetId b = a + 1; b < n; ++b) {
+      if (netlist::is_constant(circuit.type(b))) continue;
+      if (is_feedback_bridge(structure, a, b)) continue;
+      BridgingFault f{a, b, type};
+      if (is_trivially_undetectable(circuit, f)) continue;
+      faults.push_back(f);
+    }
+  }
+  return faults;
+}
+
+}  // namespace dp::fault

@@ -1,0 +1,55 @@
+// Two-wire bridging fault model (paper §2.2).
+//
+// AND bridges drive both wires to a & b (zero-dominant / wired-AND logic);
+// OR bridges drive both to a | b (one-dominant / wired-OR). Only
+// non-feedback bridges (no structural path between the two wires) are
+// modeled, and trivially undetectable bridges -- e.g. an AND bridge between
+// two inputs whose only fanout is one common AND gate -- are screened out
+// during enumeration, exactly as in the paper's fault-set generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::fault {
+
+using netlist::Circuit;
+using netlist::NetId;
+using netlist::Structure;
+
+enum class BridgeType : std::uint8_t { And, Or };
+
+inline const char* to_string(BridgeType t) {
+  return t == BridgeType::And ? "AND" : "OR";
+}
+
+struct BridgingFault {
+  NetId a = netlist::kInvalidNet;
+  NetId b = netlist::kInvalidNet;
+  BridgeType type = BridgeType::And;
+
+  friend bool operator==(const BridgingFault&, const BridgingFault&) = default;
+};
+
+std::string describe(const BridgingFault& fault, const Circuit& circuit);
+
+/// True if bridging `a` and `b` would close a structural loop.
+bool is_feedback_bridge(const Structure& structure, NetId a, NetId b);
+
+/// True for the screened "trivially undetectable" pattern: both wires feed
+/// exactly one pin, of the same gate, and the gate's base type absorbs the
+/// bridge (AND/NAND for AND bridges, OR/NOR for OR bridges).
+bool is_trivially_undetectable(const Circuit& circuit,
+                               const BridgingFault& fault);
+
+/// All potentially detectable non-feedback bridging faults of one type:
+/// distinct non-constant net pairs (a < b), non-feedback, not trivially
+/// undetectable.
+std::vector<BridgingFault> enumerate_nfbfs(const Circuit& circuit,
+                                           const Structure& structure,
+                                           BridgeType type);
+
+}  // namespace dp::fault

@@ -1,0 +1,69 @@
+#include "fault/multiple.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace dp::fault {
+
+std::string describe(const MultipleStuckAtFault& fault,
+                     const Circuit& circuit) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < fault.components.size(); ++i) {
+    if (i) s += ", ";
+    s += describe(fault.components[i], circuit);
+  }
+  return s + "}";
+}
+
+bool same_line(const StuckAtFault& a, const StuckAtFault& b) {
+  return a.net == b.net && a.branch == b.branch;
+}
+
+std::vector<MultipleStuckAtFault> sample_multiple_faults(
+    const Circuit& circuit, std::size_t multiplicity, std::size_t count,
+    std::uint64_t seed) {
+  if (multiplicity < 2) {
+    throw netlist::NetlistError(
+        "sample_multiple_faults: multiplicity must be >= 2");
+  }
+  const std::vector<StuckAtFault> universe = checkpoint_faults(circuit);
+  if (universe.size() < multiplicity) {
+    throw netlist::NetlistError(
+        "sample_multiple_faults: circuit has too few checkpoint lines");
+  }
+
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, universe.size() - 1);
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<MultipleStuckAtFault> result;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 200 + 1000;
+
+  while (result.size() < count && ++attempts < max_attempts) {
+    std::vector<std::size_t> indices;
+    MultipleStuckAtFault mf;
+    bool ok = true;
+    while (mf.components.size() < multiplicity) {
+      const std::size_t idx = pick(rng);
+      const StuckAtFault& cand = universe[idx];
+      bool clash = false;
+      for (const StuckAtFault& existing : mf.components) {
+        if (same_line(existing, cand)) clash = true;
+      }
+      if (clash) {
+        ok = false;
+        break;
+      }
+      indices.push_back(idx);
+      mf.components.push_back(cand);
+    }
+    if (!ok) continue;
+    std::sort(indices.begin(), indices.end());
+    if (!seen.insert(indices).second) continue;  // duplicate combination
+    result.push_back(std::move(mf));
+  }
+  return result;
+}
+
+}  // namespace dp::fault

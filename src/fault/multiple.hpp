@@ -1,0 +1,43 @@
+// Multiple stuck-at faults (paper §3: "since the relationships above are
+// derived independently of the fault type, ANY fault whose effects are
+// restricted to the logical domain can be addressed by Difference
+// Propagation"). This module supplies the fault type and the sampled
+// populations used to revisit Hughes & McCluskey's question [2] -- how
+// well single-stuck-at test sets cover multiple stuck-at faults -- with
+// exact functional analysis instead of simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/stuck_at.hpp"
+
+namespace dp::fault {
+
+struct MultipleStuckAtFault {
+  /// Simultaneous components; sites must be pairwise distinct lines
+  /// (a stem and one of its branches are distinct lines).
+  std::vector<StuckAtFault> components;
+
+  friend bool operator==(const MultipleStuckAtFault&,
+                         const MultipleStuckAtFault&) = default;
+};
+
+std::string describe(const MultipleStuckAtFault& fault,
+                     const Circuit& circuit);
+
+/// True if two single faults occupy the same line (same stem, or same
+/// branch pin) -- such pairs are not a well-formed multiple fault.
+bool same_line(const StuckAtFault& a, const StuckAtFault& b);
+
+/// Uniformly samples up to `count` distinct multiple faults of the given
+/// `multiplicity` from the circuit's checkpoint-fault universe.
+/// Deterministic in `seed`. May return fewer than `count` when the
+/// universe is too small to yield that many distinct line-disjoint
+/// combinations (callers should use the returned size, not `count`).
+std::vector<MultipleStuckAtFault> sample_multiple_faults(
+    const Circuit& circuit, std::size_t multiplicity, std::size_t count,
+    std::uint64_t seed);
+
+}  // namespace dp::fault

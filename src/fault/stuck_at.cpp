@@ -1,0 +1,102 @@
+#include "fault/stuck_at.hpp"
+
+#include <map>
+
+namespace dp::fault {
+
+using netlist::GateType;
+
+std::string describe(const StuckAtFault& fault, const Circuit& circuit) {
+  std::string s = circuit.net_name(fault.net);
+  if (fault.branch) {
+    s += "->" + circuit.net_name(fault.branch->gate) + "[" +
+         std::to_string(fault.branch->pin) + "]";
+  }
+  s += fault.stuck_value ? " sa1" : " sa0";
+  return s;
+}
+
+std::vector<StuckAtFault> checkpoint_faults(const Circuit& circuit) {
+  std::vector<StuckAtFault> faults;
+  auto add_both = [&](NetId net, std::optional<PinRef> branch) {
+    faults.push_back({net, branch, false});
+    faults.push_back({net, branch, true});
+  };
+
+  for (NetId pi : circuit.inputs()) {
+    add_both(pi, std::nullopt);
+  }
+  for (NetId net = 0; net < circuit.num_nets(); ++net) {
+    if (netlist::is_constant(circuit.type(net))) continue;
+    const auto& fo = circuit.fanouts(net);
+    if (fo.size() <= 1) continue;
+    for (const PinRef& pin : fo) {
+      add_both(net, pin);
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// The pin a checkpoint fault sits on, if it is unambiguously on one pin:
+/// branch faults are on their pin; a stem fault whose net drives exactly
+/// one pin is effectively on that pin. Multi-fanout stems return nullopt.
+std::optional<PinRef> effective_pin(const Circuit& circuit,
+                                    const StuckAtFault& fault) {
+  if (fault.branch) return fault.branch;
+  const auto& fo = circuit.fanouts(fault.net);
+  if (fo.size() == 1) return fo.front();
+  return std::nullopt;
+}
+
+/// Controlling value of a gate type, if any: 0 for AND/NAND, 1 for OR/NOR.
+std::optional<bool> controlling_value(GateType t) {
+  switch (netlist::base_of(t)) {
+    case GateType::And: return false;
+    case GateType::Or: return true;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<EquivalenceClass> checkpoint_equivalence_classes(
+    const Circuit& circuit) {
+  // Group checkpoint faults by (gate fed, stuck value) when the value is
+  // the controlling value of that gate; each group is one equivalence
+  // class. Everything else is a singleton class.
+  std::vector<StuckAtFault> all = checkpoint_faults(circuit);
+  std::map<std::pair<NetId, bool>, std::vector<StuckAtFault>> groups;
+  std::vector<EquivalenceClass> classes;
+
+  for (const StuckAtFault& f : all) {
+    std::optional<PinRef> pin = effective_pin(circuit, f);
+    if (pin) {
+      auto cv = controlling_value(circuit.type(pin->gate));
+      if (cv && *cv == f.stuck_value) {
+        groups[{pin->gate, f.stuck_value}].push_back(f);
+        continue;
+      }
+    }
+    classes.push_back({f, {}});
+  }
+
+  for (auto& [key, members] : groups) {
+    EquivalenceClass cls;
+    cls.representative = members.front();
+    cls.collapsed.assign(members.begin() + 1, members.end());
+    classes.push_back(std::move(cls));
+  }
+  return classes;
+}
+
+std::vector<StuckAtFault> collapse_checkpoint_faults(const Circuit& circuit) {
+  std::vector<StuckAtFault> result;
+  for (const EquivalenceClass& cls : checkpoint_equivalence_classes(circuit)) {
+    result.push_back(cls.representative);
+  }
+  return result;
+}
+
+}  // namespace dp::fault

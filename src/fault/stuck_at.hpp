@@ -1,0 +1,54 @@
+// Single stuck-at fault model: checkpoint faults and equivalence collapsing.
+//
+// Paper §2.1: the stuck-at fault sets are checkpoint faults (primary inputs
+// plus fanout branches, Bossen & Hong 1971), further reduced by fault
+// equivalence at gate inputs (McCluskey & Clegg 1971) so each equivalence
+// class contributes one representative.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::fault {
+
+using netlist::Circuit;
+using netlist::NetId;
+using netlist::PinRef;
+
+struct StuckAtFault {
+  /// The faulted line: the stem of `net`, or -- when `branch` is set -- the
+  /// fanout branch of `net` entering gate `branch->gate` at `branch->pin`.
+  NetId net = netlist::kInvalidNet;
+  std::optional<PinRef> branch;
+  bool stuck_value = false;
+
+  bool is_branch() const { return branch.has_value(); }
+
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+std::string describe(const StuckAtFault& fault, const Circuit& circuit);
+
+/// Both polarities on every PI stem and on every fanout branch (branches
+/// exist where the source net drives more than one pin).
+std::vector<StuckAtFault> checkpoint_faults(const Circuit& circuit);
+
+/// Checkpoint set reduced by gate-input equivalence: all inputs of an
+/// AND/NAND stuck at 0 are one class, all inputs of an OR/NOR stuck at 1
+/// are one class (the lowest-numbered pin represents the class). Faults on
+/// XOR/XNOR inputs and non-controlling values collapse nothing.
+std::vector<StuckAtFault> collapse_checkpoint_faults(const Circuit& circuit);
+
+/// Convenience: every class removed by collapsing, keyed by representative
+/// (used by tests to verify detection-equivalence of collapsed faults).
+struct EquivalenceClass {
+  StuckAtFault representative;
+  std::vector<StuckAtFault> collapsed;  ///< removed members (not the rep)
+};
+std::vector<EquivalenceClass> checkpoint_equivalence_classes(
+    const Circuit& circuit);
+
+}  // namespace dp::fault

@@ -1,0 +1,165 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace dp::netlist {
+
+namespace {
+
+std::string strip(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Parses "KEYWORD(arg1, arg2, ...)"; returns {keyword, args} or throws.
+struct Call {
+  std::string keyword;
+  std::vector<std::string> args;
+};
+
+Call parse_call(const std::string& text, std::size_t line) {
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw BenchParseError(line, "expected KEYWORD(args): '" + text + "'");
+  }
+  Call call;
+  call.keyword = strip(text.substr(0, open));
+  const std::string args = text.substr(open + 1, close - open - 1);
+  // Manual split so dangling separators ("AND(a,)") are caught.
+  if (!strip(args).empty()) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = args.find(',', start);
+      std::string a = strip(args.substr(start, comma - start));
+      if (a.empty()) {
+        throw BenchParseError(line, "empty argument in '" + text + "'");
+      }
+      call.args.push_back(std::move(a));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (call.keyword.empty()) {
+    throw BenchParseError(line, "missing keyword in '" + text + "'");
+  }
+  return call;
+}
+
+}  // namespace
+
+Circuit read_bench(std::istream& is, const std::string& name) {
+  Circuit circuit(name);
+  std::vector<NetId> output_ids;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      Call call = parse_call(line, line_no);
+      if (call.args.size() != 1) {
+        throw BenchParseError(line_no, call.keyword + " takes one net name");
+      }
+      if (call.keyword == "INPUT") {
+        NetId id = circuit.declare(call.args[0]);
+        circuit.define_input(id);
+      } else if (call.keyword == "OUTPUT") {
+        output_ids.push_back(circuit.declare(call.args[0]));
+      } else {
+        throw BenchParseError(line_no, "unknown directive '" + call.keyword + "'");
+      }
+      continue;
+    }
+
+    const std::string target = strip(line.substr(0, eq));
+    if (target.empty()) throw BenchParseError(line_no, "missing target net");
+    Call call = parse_call(line.substr(eq + 1), line_no);
+    auto type = gate_type_from_string(call.keyword);
+    if (!type) {
+      throw BenchParseError(line_no, "unknown gate type '" + call.keyword + "'");
+    }
+    NetId id = circuit.declare(target);
+    std::vector<NetId> fanins;
+    fanins.reserve(call.args.size());
+    for (const std::string& a : call.args) {
+      fanins.push_back(circuit.declare(a));
+    }
+    try {
+      if (is_constant(*type)) {
+        circuit.define_const(id, *type == GateType::Const1);
+      } else {
+        circuit.define_gate(id, *type, std::move(fanins));
+      }
+    } catch (const NetlistError& e) {
+      throw BenchParseError(line_no, e.what());
+    }
+  }
+
+  for (NetId id : output_ids) circuit.mark_output(id);
+  circuit.finalize();  // throws NetlistError on undefined nets / loops
+  return circuit;
+}
+
+Circuit read_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return read_bench(is, name);
+}
+
+Circuit read_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NetlistError("cannot open bench file: " + path);
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const auto dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.erase(dot);
+  return read_bench(is, name);
+}
+
+void write_bench(std::ostream& os, const Circuit& circuit) {
+  os << "# " << circuit.name() << "\n";
+  os << "# " << circuit.num_inputs() << " inputs, " << circuit.num_outputs()
+     << " outputs, " << circuit.num_gates() << " gates\n";
+  for (NetId id : circuit.inputs()) {
+    os << "INPUT(" << circuit.net_name(id) << ")\n";
+  }
+  for (NetId id : circuit.outputs()) {
+    os << "OUTPUT(" << circuit.net_name(id) << ")\n";
+  }
+  os << "\n";
+  // Emit in id order (construction order), skipping PIs.
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    const GateType t = circuit.type(id);
+    if (t == GateType::Input) continue;
+    os << circuit.net_name(id) << " = " << to_string(t) << "(";
+    const auto& fi = circuit.fanins(id);
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      if (i) os << ", ";
+      os << circuit.net_name(fi[i]);
+    }
+    os << ")\n";
+  }
+}
+
+std::string write_bench_string(const Circuit& circuit) {
+  std::ostringstream os;
+  write_bench(os, circuit);
+  return os.str();
+}
+
+}  // namespace dp::netlist

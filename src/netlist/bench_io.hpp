@@ -1,0 +1,36 @@
+// Reader/writer for the ISCAS-85 ".bench" netlist format
+// (Brglez & Fujiwara, ISCAS 1985):
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//
+// PI order in the file is preserved; it becomes the OBDD variable order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::netlist {
+
+class BenchParseError : public NetlistError {
+ public:
+  BenchParseError(std::size_t line, const std::string& what)
+      : NetlistError("bench parse error at line " + std::to_string(line) +
+                     ": " + what) {}
+};
+
+/// Parses a circuit from .bench text. The returned circuit is finalized.
+Circuit read_bench(std::istream& is, const std::string& name = "bench");
+Circuit read_bench_string(const std::string& text,
+                          const std::string& name = "bench");
+Circuit read_bench_file(const std::string& path);
+
+/// Writes .bench text; read_bench(write_bench(c)) reproduces the netlist.
+void write_bench(std::ostream& os, const Circuit& circuit);
+std::string write_bench_string(const Circuit& circuit);
+
+}  // namespace dp::netlist

@@ -1,0 +1,191 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+
+namespace dp::netlist {
+
+NetId Circuit::declare_or_new(const std::string& net_name) {
+  if (finalized_) throw NetlistError("circuit already finalized");
+  std::string n = net_name;
+  if (n.empty()) n = "n" + std::to_string(types_.size());
+  auto [it, inserted] = by_name_.emplace(n, static_cast<NetId>(types_.size()));
+  if (!inserted) return it->second;
+
+  types_.push_back(GateType::Buf);  // placeholder until defined
+  fanins_.emplace_back();
+  names_.push_back(std::move(n));
+  states_.push_back(DefState::Declared);
+  is_output_.push_back(false);
+  return it->second;
+}
+
+NetId Circuit::declare(const std::string& net_name) {
+  return declare_or_new(net_name);
+}
+
+NetId Circuit::add_input(const std::string& net_name) {
+  NetId id = declare_or_new(net_name);
+  define_input(id);
+  return id;
+}
+
+NetId Circuit::add_const(bool value, const std::string& net_name) {
+  NetId id = declare_or_new(net_name);
+  define_const(id, value);
+  return id;
+}
+
+NetId Circuit::add_gate(GateType type, std::vector<NetId> gate_fanins,
+                        const std::string& net_name) {
+  NetId id = declare_or_new(net_name);
+  define_gate(id, type, std::move(gate_fanins));
+  return id;
+}
+
+void Circuit::define_input(NetId id) {
+  if (states_.at(id) == DefState::Defined) {
+    throw NetlistError("net '" + names_[id] + "' defined twice");
+  }
+  types_[id] = GateType::Input;
+  states_[id] = DefState::Defined;
+  inputs_.push_back(id);
+}
+
+void Circuit::define_const(NetId id, bool value) {
+  if (states_.at(id) == DefState::Defined) {
+    throw NetlistError("net '" + names_[id] + "' defined twice");
+  }
+  types_[id] = value ? GateType::Const1 : GateType::Const0;
+  states_[id] = DefState::Defined;
+}
+
+void Circuit::define_gate(NetId id, GateType type,
+                          std::vector<NetId> gate_fanins) {
+  if (states_.at(id) == DefState::Defined) {
+    throw NetlistError("net '" + names_[id] + "' defined twice");
+  }
+  if (type == GateType::Input || is_constant(type)) {
+    throw NetlistError("define_gate(): use define_input/define_const");
+  }
+  const int arity = fixed_arity(type);
+  if (arity == -1 && !gate_fanins.empty()) {
+    throw NetlistError("gate '" + names_[id] + "': type takes no fanins");
+  }
+  if (arity == 1 && gate_fanins.size() != 1) {
+    throw NetlistError("gate '" + names_[id] + "': needs exactly one fanin");
+  }
+  if (arity == 0 && gate_fanins.empty()) {
+    throw NetlistError("gate '" + names_[id] + "': needs at least one fanin");
+  }
+  for (NetId f : gate_fanins) {
+    if (f >= types_.size()) {
+      throw NetlistError("gate '" + names_[id] + "': fanin id out of range");
+    }
+  }
+  types_[id] = type;
+  fanins_[id] = std::move(gate_fanins);
+  states_[id] = DefState::Defined;
+}
+
+void Circuit::mark_output(NetId id) {
+  if (id >= types_.size()) throw NetlistError("mark_output(): bad net id");
+  if (is_output_[id]) return;
+  is_output_[id] = true;
+  outputs_.push_back(id);
+}
+
+std::optional<NetId> Circuit::find_net(const std::string& net_name) const {
+  auto it = by_name_.find(net_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> Circuit::input_index(NetId id) const {
+  auto it = std::find(inputs_.begin(), inputs_.end(), id);
+  if (it == inputs_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - inputs_.begin());
+}
+
+std::size_t Circuit::num_gates() const {
+  std::size_t n = 0;
+  for (GateType t : types_) {
+    if (t != GateType::Input && !is_constant(t)) ++n;
+  }
+  return n;
+}
+
+void Circuit::check_defined_all() const {
+  for (NetId i = 0; i < types_.size(); ++i) {
+    if (states_[i] != DefState::Defined) {
+      throw NetlistError("net '" + names_[i] + "' referenced but never defined");
+    }
+  }
+}
+
+void Circuit::compute_topo_order() {
+  // Iterative DFS with colors; detects combinational loops.
+  enum : std::uint8_t { White, Grey, Black };
+  std::vector<std::uint8_t> color(types_.size(), White);
+  topo_order_.clear();
+  topo_order_.reserve(types_.size());
+
+  struct Frame {
+    NetId net;
+    std::size_t child;
+  };
+  std::vector<Frame> stack;
+  for (NetId root = 0; root < types_.size(); ++root) {
+    if (color[root] != White) continue;
+    stack.push_back({root, 0});
+    color[root] = Grey;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      const auto& fi = fanins_[fr.net];
+      if (fr.child < fi.size()) {
+        NetId next = fi[fr.child++];
+        if (color[next] == Grey) {
+          throw NetlistError("combinational loop through net '" +
+                             names_[next] + "'");
+        }
+        if (color[next] == White) {
+          color[next] = Grey;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[fr.net] = Black;
+        topo_order_.push_back(fr.net);
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+void Circuit::finalize() {
+  if (finalized_) return;
+  check_defined_all();
+  if (outputs_.empty()) throw NetlistError("circuit has no primary outputs");
+  if (inputs_.empty()) throw NetlistError("circuit has no primary inputs");
+
+  compute_topo_order();
+
+  fanouts_.assign(types_.size(), {});
+  for (NetId g = 0; g < types_.size(); ++g) {
+    const auto& fi = fanins_[g];
+    for (std::uint32_t pin = 0; pin < fi.size(); ++pin) {
+      fanouts_[fi[pin]].push_back(PinRef{g, pin});
+    }
+  }
+  finalized_ = true;
+}
+
+const std::vector<PinRef>& Circuit::fanouts(NetId id) const {
+  if (!finalized_) throw NetlistError("fanouts(): call finalize() first");
+  return fanouts_.at(id);
+}
+
+const std::vector<NetId>& Circuit::topo_order() const {
+  if (!finalized_) throw NetlistError("topo_order(): call finalize() first");
+  return topo_order_;
+}
+
+}  // namespace dp::netlist

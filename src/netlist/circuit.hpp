@@ -1,0 +1,111 @@
+// Combinational gate-level netlist.
+//
+// One node per net, ISCAS-85 style: a node is a primary input, a constant,
+// or a gate driving the net. Primary-output-ness is a flag on a net, and PI
+// order is preserved because it doubles as the OBDD variable order (the
+// paper relies on the benchmark's stated PI order being "meaningful").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace dp::netlist {
+
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A gate input pin, identified by the gate (net it drives) and the fanin
+/// position. Fault sites and fanout lists both use this addressing.
+struct PinRef {
+  NetId gate = kInvalidNet;
+  std::uint32_t pin = 0;
+
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ----------------------------------------------------
+
+  /// Registers a name without defining its driver (two-pass parsing).
+  NetId declare(const std::string& net_name);
+
+  NetId add_input(const std::string& net_name);
+  NetId add_const(bool value, const std::string& net_name);
+  NetId add_gate(GateType type, std::vector<NetId> fanins,
+                 const std::string& net_name = "");
+
+  void define_input(NetId id);
+  void define_const(NetId id, bool value);
+  void define_gate(NetId id, GateType type, std::vector<NetId> fanins);
+
+  void mark_output(NetId id);
+
+  /// Validates (all nets defined, arities legal, acyclic, >= 1 PO),
+  /// computes fanouts and a topological order. Must be called once after
+  /// construction; structural accessors below require it.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- basic accessors ----------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  std::size_t num_nets() const { return types_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  /// Paper's "netlist size" axis: gate count (constants and PIs excluded).
+  std::size_t num_gates() const;
+
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+
+  GateType type(NetId id) const { return types_.at(id); }
+  const std::vector<NetId>& fanins(NetId id) const { return fanins_.at(id); }
+  const std::string& net_name(NetId id) const { return names_.at(id); }
+  bool is_output(NetId id) const { return is_output_.at(id); }
+
+  std::optional<NetId> find_net(const std::string& net_name) const;
+
+  /// Position of a PI in the input list (== its OBDD variable id).
+  std::optional<std::size_t> input_index(NetId id) const;
+
+  // ---- structure (after finalize) ------------------------------------------
+
+  const std::vector<PinRef>& fanouts(NetId id) const;
+  std::size_t fanout_count(NetId id) const { return fanouts(id).size(); }
+  /// Nets in topological order (fanins before fanouts).
+  const std::vector<NetId>& topo_order() const;
+
+ private:
+  enum class DefState : std::uint8_t { Declared, Defined };
+
+  NetId declare_or_new(const std::string& net_name);
+  void check_defined_all() const;
+  void compute_topo_order();
+
+  std::string name_;
+  std::vector<GateType> types_;
+  std::vector<std::vector<NetId>> fanins_;
+  std::vector<std::string> names_;
+  std::vector<DefState> states_;
+  std::vector<bool> is_output_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::unordered_map<std::string, NetId> by_name_;
+
+  bool finalized_ = false;
+  std::vector<std::vector<PinRef>> fanouts_;
+  std::vector<NetId> topo_order_;
+};
+
+}  // namespace dp::netlist

@@ -1,0 +1,55 @@
+#include "netlist/gate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace dp::netlist {
+
+std::string_view to_string(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_string(std::string_view s) {
+  std::string up(s.size(), '\0');
+  std::transform(s.begin(), s.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  struct Pair {
+    std::string_view name;
+    GateType type;
+  };
+  static constexpr std::array<Pair, 13> table{{
+      {"INPUT", GateType::Input},
+      {"BUF", GateType::Buf},
+      {"BUFF", GateType::Buf},
+      {"NOT", GateType::Not},
+      {"INV", GateType::Not},
+      {"AND", GateType::And},
+      {"NAND", GateType::Nand},
+      {"OR", GateType::Or},
+      {"NOR", GateType::Nor},
+      {"XOR", GateType::Xor},
+      {"XNOR", GateType::Xnor},
+      {"CONST0", GateType::Const0},
+      {"CONST1", GateType::Const1},
+  }};
+  for (const auto& p : table) {
+    if (p.name == up) return p.type;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,75 @@
+// Benchmark-circuit generators.
+//
+// The paper's suite is: C17, a full adder, C95, the 74LS181 ALU, C432,
+// C499, C1355 and C1908. C17 and the full adder are reproduced exactly.
+// The remaining ISCAS-85 netlists are not redistributable here, so we
+// generate functional analogs of matching size class and structure (see
+// DESIGN.md §2); real `.bench` files drop in via read_bench_file() when
+// available. Crucially, the C499 <-> C1355 relationship is preserved in
+// kind: c1355_analog is c499_analog with every XOR expanded into its
+// four-NAND equivalent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::netlist {
+
+/// Exact ISCAS-85 C17 (5 PI, 2 PO, 6 NAND gates).
+Circuit make_c17();
+
+/// Exact textbook full adder (3 PI, 2 PO; XOR/AND/OR form).
+Circuit make_full_adder();
+
+/// "C95" stand-in: 4x4 array multiplier (8 PI, 8 PO, ~90 gates).
+Circuit make_c95_analog();
+
+/// 74LS181-class 4-bit ALU: A[4], B[4], S[4], M, Cn -> F[4], Cout, P, G,
+/// EQ (14 PI, 8 PO, ~90 gates). Carry-lookahead arithmetic core with an
+/// S-selected logic unit; same interface, size and role as the 74181.
+Circuit make_alu181();
+
+/// C432-class: 27-line, 3-channel priority/interrupt controller with
+/// 9 enables (36 PI, 7 PO, ~220 gates).
+Circuit make_c432_analog();
+
+/// C499-class: 32-data/8-check single-error-correcting code circuit with a
+/// correction-enable input (41 PI, 32 PO, XOR-rich, ~250 gates).
+Circuit make_c499_analog();
+
+/// C1355-class: identical function to c499_analog, XORs expanded to NANDs.
+Circuit make_c1355_analog();
+
+/// C1908-class: 24-data/8-check SEC-DED corrector, chain-shaped parity
+/// (deep), fully NAND-expanded (33 PI, 25 PO, ~900 gates).
+Circuit make_c1908_analog();
+
+// ---- generic generators (tests, examples, extra workloads) --------------
+
+Circuit make_ripple_adder(int bits);
+Circuit make_parity_tree(int bits, bool balanced);
+
+/// n x n unsigned array multiplier (2n PI, 2n PO). make_multiplier(4) is
+/// the "C95" stand-in; make_multiplier(16) is a C6288-class stress
+/// workload whose product-output BDDs blow up -- the classic case for the
+/// node budget and cut-point decomposition.
+Circuit make_multiplier(int bits);
+
+/// Seeded random combinational DAG with mixed gate types; every net is
+/// reachable from some PI, and all sink nets become POs.
+Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
+                            int num_outputs);
+
+// ---- suite ---------------------------------------------------------------
+
+/// Names accepted by make_benchmark(), in increasing netlist size:
+/// c17, fulladder, c95, alu181, c432, c499, c1355, c1908.
+const std::vector<std::string>& benchmark_names();
+Circuit make_benchmark(std::string_view name);
+std::vector<Circuit> benchmark_suite();
+
+}  // namespace dp::netlist

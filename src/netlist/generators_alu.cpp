@@ -1,0 +1,84 @@
+// 74LS181-class 4-bit ALU (see DESIGN.md for the substitution note).
+//
+// Two-stage structure mirroring the 74181: an S-programmed input stage
+// produces per-bit active-low terms
+//     e_i = NOR(A_i, B_i & S0, ~B_i & S1)
+//     d_i = NOR(A_i & B_i & S3, A_i & ~B_i & S2)
+// from which half-sums x_i = e_i ^ d_i, propagates p_i = ~e_i and
+// generates g_i = ~d_i feed a full carry-lookahead network gated by ~M.
+// With S = 1001, M = 0 this computes F = A plus B plus Cn exactly as the
+// 74181's arithmetic personality; M = 1 suppresses carries and yields the
+// 16 S-indexed bitwise personalities. Outputs: F0..F3, Cout, P (carry
+// propagate), G (carry generate), EQ (all-ones comparator, like A=B).
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+
+Circuit make_alu181() {
+  Circuit c("alu181");
+  std::vector<NetId> a(4), b(4), s(4);
+  for (int i = 0; i < 4; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) s[i] = c.add_input("s" + std::to_string(i));
+  NetId m = c.add_input("m");
+  NetId cn = c.add_input("cn");
+
+  NetId km = c.add_gate(GateType::Not, {m}, "km");  // arithmetic enable
+
+  std::vector<NetId> x(4), p(4), g(4);
+  for (int i = 0; i < 4; ++i) {
+    const std::string t = std::to_string(i);
+    NetId bn = c.add_gate(GateType::Not, {b[i]}, "bn" + t);
+    NetId t0 = c.add_gate(GateType::And, {b[i], s[0]}, "e0_" + t);
+    NetId t1 = c.add_gate(GateType::And, {bn, s[1]}, "e1_" + t);
+    NetId e = c.add_gate(GateType::Nor, {a[i], t0, t1}, "e" + t);
+    NetId t2 = c.add_gate(GateType::And, {a[i], b[i], s[3]}, "d3_" + t);
+    NetId t3 = c.add_gate(GateType::And, {a[i], bn, s[2]}, "d2_" + t);
+    NetId d = c.add_gate(GateType::Nor, {t2, t3}, "d" + t);
+    x[i] = c.add_gate(GateType::Xor, {e, d}, "x" + t);
+    p[i] = c.add_gate(GateType::Not, {e}, "p" + t);
+    g[i] = c.add_gate(GateType::Not, {d}, "g" + t);
+  }
+
+  // Carry lookahead: c_{i+1} = g_i + p_i g_{i-1} + ... + p_i..p_0 Cn,
+  // gated by ~M so logic mode sees no carries.
+  NetId c0 = c.add_gate(GateType::And, {cn, km}, "c0");
+  NetId c1t = c.add_gate(GateType::And, {p[0], cn}, "c1t");
+  NetId c1u = c.add_gate(GateType::Or, {g[0], c1t}, "c1u");
+  NetId c1 = c.add_gate(GateType::And, {c1u, km}, "c1");
+  NetId c2a = c.add_gate(GateType::And, {p[1], g[0]}, "c2a");
+  NetId c2b = c.add_gate(GateType::And, {p[1], p[0], cn}, "c2b");
+  NetId c2u = c.add_gate(GateType::Or, {g[1], c2a, c2b}, "c2u");
+  NetId c2 = c.add_gate(GateType::And, {c2u, km}, "c2");
+  NetId c3a = c.add_gate(GateType::And, {p[2], g[1]}, "c3a");
+  NetId c3b = c.add_gate(GateType::And, {p[2], p[1], g[0]}, "c3b");
+  NetId c3c = c.add_gate(GateType::And, {p[2], p[1], p[0], cn}, "c3c");
+  NetId c3u = c.add_gate(GateType::Or, {g[2], c3a, c3b, c3c}, "c3u");
+  NetId c3 = c.add_gate(GateType::And, {c3u, km}, "c3");
+
+  // Group propagate / generate and carry-out (ungated, as on the 74181).
+  NetId pp = c.add_gate(GateType::And, {p[3], p[2], p[1], p[0]}, "pgrp");
+  NetId ga = c.add_gate(GateType::And, {p[3], g[2]}, "ga");
+  NetId gb = c.add_gate(GateType::And, {p[3], p[2], g[1]}, "gb");
+  NetId gc = c.add_gate(GateType::And, {p[3], p[2], p[1], g[0]}, "gc");
+  NetId gg = c.add_gate(GateType::Or, {g[3], ga, gb, gc}, "ggrp");
+  NetId cot = c.add_gate(GateType::And, {pp, cn}, "cot");
+  NetId cout = c.add_gate(GateType::Or, {gg, cot}, "cout");
+
+  std::vector<NetId> f(4);
+  const NetId carries[4] = {c0, c1, c2, c3};
+  for (int i = 0; i < 4; ++i) {
+    f[i] = c.add_gate(GateType::Xor, {x[i], carries[i]},
+                      "f" + std::to_string(i));
+    c.mark_output(f[i]);
+  }
+  NetId eq = c.add_gate(GateType::And, {f[0], f[1], f[2], f[3]}, "eq");
+  c.mark_output(cout);
+  c.mark_output(pp);
+  c.mark_output(gg);
+  c.mark_output(eq);
+  c.finalize();
+  return c;
+}
+
+}  // namespace dp::netlist

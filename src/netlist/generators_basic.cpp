@@ -1,0 +1,164 @@
+// Small exact circuits and generic generators.
+#include <algorithm>
+#include <random>
+
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+
+Circuit make_c17() {
+  // The classic ISCAS-85 C17 netlist, verbatim.
+  Circuit c("c17");
+  NetId g1 = c.add_input("1");
+  NetId g2 = c.add_input("2");
+  NetId g3 = c.add_input("3");
+  NetId g6 = c.add_input("6");
+  NetId g7 = c.add_input("7");
+  NetId g10 = c.add_gate(GateType::Nand, {g1, g3}, "10");
+  NetId g11 = c.add_gate(GateType::Nand, {g3, g6}, "11");
+  NetId g16 = c.add_gate(GateType::Nand, {g2, g11}, "16");
+  NetId g19 = c.add_gate(GateType::Nand, {g11, g7}, "19");
+  NetId g22 = c.add_gate(GateType::Nand, {g10, g16}, "22");
+  NetId g23 = c.add_gate(GateType::Nand, {g16, g19}, "23");
+  c.mark_output(g22);
+  c.mark_output(g23);
+  c.finalize();
+  return c;
+}
+
+Circuit make_full_adder() {
+  Circuit c("fulladder");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId cin = c.add_input("cin");
+  NetId axb = c.add_gate(GateType::Xor, {a, b}, "axb");
+  NetId sum = c.add_gate(GateType::Xor, {axb, cin}, "sum");
+  NetId ab = c.add_gate(GateType::And, {a, b}, "ab");
+  NetId pc = c.add_gate(GateType::And, {axb, cin}, "pc");
+  NetId cout = c.add_gate(GateType::Or, {ab, pc}, "cout");
+  c.mark_output(sum);
+  c.mark_output(cout);
+  c.finalize();
+  return c;
+}
+
+Circuit make_ripple_adder(int bits) {
+  if (bits < 1) throw NetlistError("make_ripple_adder: bits must be >= 1");
+  Circuit c("ripple" + std::to_string(bits));
+  std::vector<NetId> a(bits), b(bits);
+  for (int i = 0; i < bits; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  NetId carry = c.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const std::string s = std::to_string(i);
+    NetId axb = c.add_gate(GateType::Xor, {a[i], b[i]}, "p" + s);
+    NetId sum = c.add_gate(GateType::Xor, {axb, carry}, "s" + s);
+    NetId g = c.add_gate(GateType::And, {a[i], b[i]}, "g" + s);
+    NetId pc = c.add_gate(GateType::And, {axb, carry}, "pc" + s);
+    carry = c.add_gate(GateType::Or, {g, pc}, "c" + std::to_string(i + 1));
+    c.mark_output(sum);
+  }
+  c.mark_output(carry);
+  c.finalize();
+  return c;
+}
+
+Circuit make_parity_tree(int bits, bool balanced) {
+  if (bits < 2) throw NetlistError("make_parity_tree: bits must be >= 2");
+  Circuit c(std::string("parity") + (balanced ? "bal" : "chain") +
+            std::to_string(bits));
+  std::vector<NetId> leaves(bits);
+  for (int i = 0; i < bits; ++i) {
+    leaves[i] = c.add_input("d" + std::to_string(i));
+  }
+  int counter = 0;
+  auto fresh = [&] { return "x" + std::to_string(counter++); };
+  if (balanced) {
+    while (leaves.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+        next.push_back(
+            c.add_gate(GateType::Xor, {leaves[i], leaves[i + 1]}, fresh()));
+      }
+      if (leaves.size() % 2) next.push_back(leaves.back());
+      leaves = std::move(next);
+    }
+  } else {
+    NetId acc = leaves[0];
+    for (std::size_t i = 1; i < leaves.size(); ++i) {
+      acc = c.add_gate(GateType::Xor, {acc, leaves[i]}, fresh());
+    }
+    leaves = {acc};
+  }
+  c.mark_output(leaves[0]);
+  c.finalize();
+  return c;
+}
+
+Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
+                            int num_outputs) {
+  if (num_inputs < 1 || num_gates < 1 || num_outputs < 1) {
+    throw NetlistError("make_random_circuit: all counts must be >= 1");
+  }
+  std::mt19937_64 rng(seed);
+  Circuit c("rand" + std::to_string(seed));
+
+  std::vector<NetId> nets;
+  for (int i = 0; i < num_inputs; ++i) {
+    nets.push_back(c.add_input("i" + std::to_string(i)));
+  }
+
+  static constexpr GateType kTypes[] = {
+      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+      GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf};
+  std::uniform_int_distribution<int> type_dist(0, 7);
+
+  for (int g = 0; g < num_gates; ++g) {
+    GateType t = kTypes[type_dist(rng)];
+    // Bias fanins toward recent nets so depth grows with gate count.
+    auto pick = [&]() -> NetId {
+      std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
+      std::size_t a = d(rng), b = d(rng);
+      return nets[std::max(a, b)];
+    };
+    std::vector<NetId> fi;
+    if (fixed_arity(t) == 1) {
+      fi = {pick()};
+    } else {
+      std::uniform_int_distribution<int> nfi(2, 3);
+      int k = nfi(rng);
+      for (int i = 0; i < k; ++i) fi.push_back(pick());
+      // Same net twice in an XOR cancels to a constant; keep fanins distinct.
+      std::sort(fi.begin(), fi.end());
+      fi.erase(std::unique(fi.begin(), fi.end()), fi.end());
+      if (fi.size() < 2) fi.push_back(nets[rng() % nets.size()]);
+      if (fi.size() < 2 || fi[fi.size() - 1] == fi[fi.size() - 2]) {
+        fi.resize(1);
+        t = GateType::Not;
+      }
+    }
+    nets.push_back(c.add_gate(t, fi, "g" + std::to_string(g)));
+  }
+
+  // Sinks (nets with no fanout yet) become POs first; top up from the back.
+  std::vector<bool> used(c.num_nets(), false);
+  for (NetId id = 0; id < c.num_nets(); ++id) {
+    for (NetId f : c.fanins(id)) used[f] = true;
+  }
+  std::vector<NetId> pos;
+  for (NetId id = c.num_nets(); id-- > 0;) {
+    if (!used[id] && c.type(id) != GateType::Input) pos.push_back(id);
+  }
+  for (NetId id = c.num_nets();
+       id-- > 0 && pos.size() < static_cast<std::size_t>(num_outputs);) {
+    if (c.type(id) != GateType::Input &&
+        std::find(pos.begin(), pos.end(), id) == pos.end()) {
+      pos.push_back(id);
+    }
+  }
+  for (NetId id : pos) c.mark_output(id);
+  c.finalize();
+  return c;
+}
+
+}  // namespace dp::netlist

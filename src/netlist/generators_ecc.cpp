@@ -1,0 +1,163 @@
+// C499/C1355/C1908-class analogs: error-correcting-code circuits.
+//
+// c499_analog : 32 data + 8 received check bits + a correction-enable input
+//               (41 PI); recomputes the 8 syndrome bits with balanced XOR
+//               trees, matches them against each data bit's code pattern
+//               and emits the 32 corrected data bits (32 PO). XOR-rich,
+//               exactly the shape of the ISCAS-85 C499 SEC circuit.
+// c1355_analog: c499_analog with every XOR expanded into four NANDs --
+//               literally the paper's C499 <-> C1355 relationship.
+// c1908_analog: 24 data + 8 check + enable (33 PI); chain-shaped (deep)
+//               parity, a 25th "uncorrectable error" PO, and a full
+//               XOR->NAND expansion (25 PO, ~900 gates, deep).
+#include "netlist/generators.hpp"
+#include "netlist/transforms.hpp"
+
+namespace dp::netlist {
+
+namespace {
+
+/// Nonzero 8-bit code pattern for data bit i; patterns are pairwise
+/// distinct and distinct from the unit vectors (a single-bit syndrome
+/// means "check bit i itself is wrong" and must not correct data).
+unsigned pattern_for(int i, int base) {
+  unsigned p = static_cast<unsigned>(i + base);
+  if ((p & (p - 1)) == 0) p |= 0x80;  // move power-of-two codes out of range
+  return p;
+}
+
+NetId xor_tree(Circuit& c, std::vector<NetId> leaves, const std::string& tag,
+               bool balanced) {
+  int counter = 0;
+  auto fresh = [&] { return tag + "$x" + std::to_string(counter++); };
+  if (balanced) {
+    while (leaves.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+        next.push_back(
+            c.add_gate(GateType::Xor, {leaves[i], leaves[i + 1]}, fresh()));
+      }
+      if (leaves.size() % 2) next.push_back(leaves.back());
+      leaves = std::move(next);
+    }
+    return leaves.front();
+  }
+  NetId acc = leaves[0];
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    acc = c.add_gate(GateType::Xor, {acc, leaves[i]}, fresh());
+  }
+  return acc;
+}
+
+Circuit make_sec_circuit(const std::string& name, int data_bits,
+                         int pattern_base, bool balanced_parity,
+                         bool add_error_output) {
+  constexpr int kCheck = 8;
+  Circuit c(name);
+  std::vector<NetId> d(data_bits), r(kCheck);
+  for (int i = 0; i < data_bits; ++i) {
+    d[i] = c.add_input("d" + std::to_string(i));
+  }
+  for (int j = 0; j < kCheck; ++j) {
+    r[j] = c.add_input("r" + std::to_string(j));
+  }
+  NetId enable = c.add_input("t");
+
+  // Syndrome bit j: received check bit XOR parity of the covered data bits.
+  std::vector<NetId> s(kCheck), sn(kCheck);
+  for (int j = 0; j < kCheck; ++j) {
+    std::vector<NetId> leaves{r[j]};
+    for (int i = 0; i < data_bits; ++i) {
+      if ((pattern_for(i, pattern_base) >> j) & 1) leaves.push_back(d[i]);
+    }
+    s[j] = xor_tree(c, std::move(leaves), "s" + std::to_string(j),
+                    balanced_parity);
+    sn[j] = c.add_gate(GateType::Not, {s[j]}, "sn" + std::to_string(j));
+  }
+
+  // Per-bit pattern matchers and corrected outputs.
+  std::vector<NetId> matches(data_bits), corrected(data_bits);
+  for (int i = 0; i < data_bits; ++i) {
+    const unsigned pat = pattern_for(i, pattern_base);
+    std::vector<NetId> literals;
+    for (int j = 0; j < kCheck; ++j) {
+      literals.push_back(((pat >> j) & 1) ? s[j] : sn[j]);
+    }
+    literals.push_back(enable);
+    matches[i] =
+        c.add_gate(GateType::And, literals, "m" + std::to_string(i));
+    corrected[i] = c.add_gate(GateType::Xor, {d[i], matches[i]},
+                              "f" + std::to_string(i));
+    c.mark_output(corrected[i]);
+  }
+
+  if (add_error_output) {
+    // Uncorrectable-error flag. Two detection legs feed it:
+    //  * some syndrome bit set but no data pattern matched;
+    //  * the corrected word, re-encoded, disagrees with the received
+    //    check bits (a verification chain, like C1908's second stage).
+    std::vector<NetId> svec(s.begin(), s.end());
+    NetId any_s = svec[0];
+    for (std::size_t k = 1; k < svec.size(); ++k) {
+      any_s = c.add_gate(GateType::Or, {any_s, svec[k]},
+                         "as" + std::to_string(k));
+    }
+    NetId any_m = matches[0];
+    for (std::size_t k = 1; k < matches.size(); ++k) {
+      any_m = c.add_gate(GateType::Or, {any_m, matches[k]},
+                         "am" + std::to_string(k));
+    }
+    NetId no_m = c.add_gate(GateType::Not, {any_m}, "nom");
+
+    // Verification chain: an independent, structurally distinct recompute
+    // of each parity from the raw data (reversed chain shape). It is
+    // functionally redundant with s_j -- deliberate: real correctors carry
+    // redundant checking logic, and the redundancy contributes realistic
+    // undetectable faults to the population.
+    std::vector<NetId> residual(kCheck);
+    for (int j = 0; j < kCheck; ++j) {
+      std::vector<NetId> leaves;
+      for (int i = data_bits - 1; i >= 0; --i) {
+        if ((pattern_for(i, pattern_base) >> j) & 1) {
+          leaves.push_back(d[i]);
+        }
+      }
+      leaves.push_back(r[j]);
+      residual[j] = xor_tree(c, std::move(leaves), "v" + std::to_string(j),
+                             balanced_parity);
+    }
+    NetId any_res = residual[0];
+    for (std::size_t k = 1; k < residual.size(); ++k) {
+      any_res = c.add_gate(GateType::Or, {any_res, residual[k]},
+                           "ar" + std::to_string(k));
+    }
+    NetId raw = c.add_gate(GateType::Or, {any_s, any_res}, "rawerr");
+    NetId err = c.add_gate(GateType::And, {raw, no_m}, "err");
+    c.mark_output(err);
+  }
+
+  c.finalize();
+  return c;
+}
+
+}  // namespace
+
+Circuit make_c499_analog() {
+  return make_sec_circuit("c499", /*data_bits=*/32, /*pattern_base=*/9,
+                          /*balanced_parity=*/true,
+                          /*add_error_output=*/false);
+}
+
+Circuit make_c1355_analog() {
+  return expand_xor_to_nand(make_c499_analog(), "c1355");
+}
+
+Circuit make_c1908_analog() {
+  Circuit sec = make_sec_circuit("c1908pre", /*data_bits=*/24,
+                                 /*pattern_base=*/11,
+                                 /*balanced_parity=*/false,
+                                 /*add_error_output=*/true);
+  return expand_xor_to_nand(sec, "c1908");
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,87 @@
+// "C95" stand-in: a 4x4 unsigned array multiplier.
+//
+// 16 partial-product ANDs reduced by a carry-save array of half/full
+// adders; ~90 gates, 8 PIs, 8 POs -- the same size class as the paper's
+// C95 benchmark.
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+
+namespace {
+
+struct AdderOut {
+  NetId sum;
+  NetId carry;
+};
+
+AdderOut half_adder(Circuit& c, NetId a, NetId b, const std::string& tag) {
+  return {c.add_gate(GateType::Xor, {a, b}, "hs" + tag),
+          c.add_gate(GateType::And, {a, b}, "hc" + tag)};
+}
+
+AdderOut full_adder(Circuit& c, NetId a, NetId b, NetId cin,
+                    const std::string& tag) {
+  NetId axb = c.add_gate(GateType::Xor, {a, b}, "fp" + tag);
+  NetId sum = c.add_gate(GateType::Xor, {axb, cin}, "fs" + tag);
+  NetId g = c.add_gate(GateType::And, {a, b}, "fg" + tag);
+  NetId pc = c.add_gate(GateType::And, {axb, cin}, "fq" + tag);
+  NetId carry = c.add_gate(GateType::Or, {g, pc}, "fc" + tag);
+  return {sum, carry};
+}
+
+}  // namespace
+
+Circuit make_multiplier(int bits) {
+  if (bits < 2) throw NetlistError("make_multiplier: bits must be >= 2");
+  const int kBits = bits;
+  Circuit c(bits == 4 ? "c95" : "mult" + std::to_string(bits));
+  std::vector<NetId> a(static_cast<std::size_t>(kBits)), b(static_cast<std::size_t>(kBits));
+  for (int i = 0; i < kBits; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < kBits; ++i) b[i] = c.add_input("b" + std::to_string(i));
+
+  // Partial products pp[i][j] = a[i] & b[j], weight i + j.
+  std::vector<std::vector<NetId>> columns(static_cast<std::size_t>(2 * kBits));
+  for (int i = 0; i < kBits; ++i) {
+    for (int j = 0; j < kBits; ++j) {
+      NetId pp = c.add_gate(GateType::And, {a[i], b[j]},
+                            "pp" + std::to_string(i) + "_" + std::to_string(j));
+      columns[i + j].push_back(pp);
+    }
+  }
+
+  // Ripple carry-save reduction column by column.
+  int tag = 0;
+  std::vector<NetId> product;
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    auto& column = columns[col];
+    while (column.size() > 1) {
+      if (column.size() == 2) {
+        AdderOut out =
+            half_adder(c, column[0], column[1], std::to_string(tag++));
+        column = {out.sum};
+        if (col + 1 < columns.size()) columns[col + 1].push_back(out.carry);
+        break;
+      }
+      AdderOut out = full_adder(c, column[0], column[1], column[2],
+                                std::to_string(tag++));
+      column.erase(column.begin(), column.begin() + 3);
+      column.push_back(out.sum);
+      if (col + 1 < columns.size()) columns[col + 1].push_back(out.carry);
+    }
+    // Empty high column (no carries arrived): emit a constant 0.
+    NetId out_bit = column.empty()
+                        ? c.add_const(false, "z" + std::to_string(col))
+                        : column[0];
+    product.push_back(out_bit);
+  }
+
+  for (std::size_t k = 0; k < product.size(); ++k) {
+    c.mark_output(product[k]);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit make_c95_analog() { return make_multiplier(4); }
+
+}  // namespace dp::netlist

@@ -1,0 +1,94 @@
+// C432-class analog: a 27-line, three-channel priority / interrupt
+// controller with 9 per-line enables (36 PI, 7 PO), mirroring the size and
+// the priority-decoding role of ISCAS-85 C432.
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+
+namespace {
+
+NetId or_tree(Circuit& c, std::vector<NetId> leaves, const std::string& tag) {
+  int counter = 0;
+  while (leaves.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(c.add_gate(GateType::Or, {leaves[i], leaves[i + 1]},
+                                tag + "$o" + std::to_string(counter++)));
+    }
+    if (leaves.size() % 2) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  return leaves.front();
+}
+
+}  // namespace
+
+Circuit make_c432_analog() {
+  constexpr int kLines = 9;
+  Circuit c("c432");
+  std::vector<NetId> e(kLines), a(kLines), b(kLines), d(kLines);
+  for (int i = 0; i < kLines; ++i) e[i] = c.add_input("e" + std::to_string(i));
+  for (int i = 0; i < kLines; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < kLines; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  for (int i = 0; i < kLines; ++i) d[i] = c.add_input("c" + std::to_string(i));
+
+  // Gated requests per channel.
+  std::vector<NetId> ra(kLines), rb(kLines), rc(kLines);
+  for (int i = 0; i < kLines; ++i) {
+    const std::string t = std::to_string(i);
+    ra[i] = c.add_gate(GateType::And, {a[i], e[i]}, "ra" + t);
+    rb[i] = c.add_gate(GateType::And, {b[i], e[i]}, "rb" + t);
+    rc[i] = c.add_gate(GateType::And, {d[i], e[i]}, "rc" + t);
+  }
+
+  // Channel arbitration: A beats B beats C.
+  NetId any_a = or_tree(c, ra, "anya");
+  NetId any_b = or_tree(c, rb, "anyb");
+  NetId any_c = or_tree(c, rc, "anyc");
+  NetId no_a = c.add_gate(GateType::Not, {any_a}, "noa");
+  NetId no_b = c.add_gate(GateType::Not, {any_b}, "nob");
+  NetId grant_b = c.add_gate(GateType::And, {any_b, no_a}, "grantb");
+  NetId gc_en = c.add_gate(GateType::And, {no_a, no_b}, "gcen");
+  NetId grant_c = c.add_gate(GateType::And, {any_c, gc_en}, "grantc");
+
+  // Winning request per line: the granted channel's request.
+  std::vector<NetId> w(kLines);
+  for (int i = 0; i < kLines; ++i) {
+    const std::string t = std::to_string(i);
+    NetId wb = c.add_gate(GateType::And, {rb[i], no_a}, "wb" + t);
+    NetId wc = c.add_gate(GateType::And, {rc[i], gc_en}, "wc" + t);
+    w[i] = c.add_gate(GateType::Or, {ra[i], wb, wc}, "w" + t);
+  }
+
+  // Priority encode (line 0 highest): sel_i = w_i & none of w_0..w_{i-1}.
+  std::vector<NetId> sel(kLines);
+  sel[0] = w[0];
+  NetId none_above = c.add_gate(GateType::Not, {w[0]}, "n0");
+  for (int i = 1; i < kLines; ++i) {
+    const std::string t = std::to_string(i);
+    sel[i] = c.add_gate(GateType::And, {w[i], none_above}, "sel" + t);
+    if (i + 1 < kLines) {
+      NetId nw = c.add_gate(GateType::Not, {w[i]}, "nw" + t);
+      none_above = c.add_gate(GateType::And, {none_above, nw}, "n" + t);
+    }
+  }
+
+  // 4-bit binary index of the selected line.
+  std::vector<NetId> enc;
+  for (int bit = 0; bit < 4; ++bit) {
+    std::vector<NetId> terms;
+    for (int i = 0; i < kLines; ++i) {
+      if ((i >> bit) & 1) terms.push_back(sel[i]);
+    }
+    enc.push_back(or_tree(c, terms, "enc" + std::to_string(bit)));
+  }
+
+  c.mark_output(any_a);   // grant to channel A
+  c.mark_output(grant_b);
+  c.mark_output(grant_c);
+  for (NetId n : enc) c.mark_output(n);
+  c.finalize();
+  return c;
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,54 @@
+// Benchmark-suite registry: the paper's circuit set, in increasing size.
+#include <functional>
+
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+
+namespace {
+
+struct Entry {
+  std::string name;
+  std::function<Circuit()> make;
+};
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> entries = {
+      {"fulladder", make_full_adder},
+      {"c17", make_c17},
+      {"c95", make_c95_analog},
+      {"alu181", make_alu181},
+      {"c432", make_c432_analog},
+      {"c499", make_c499_analog},
+      {"c1355", make_c1355_analog},
+      {"c1908", make_c1908_analog},
+  };
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const auto& e : registry()) n.push_back(e.name);
+    return n;
+  }();
+  return names;
+}
+
+Circuit make_benchmark(std::string_view name) {
+  for (const auto& e : registry()) {
+    if (e.name == name) return e.make();
+  }
+  throw NetlistError("unknown benchmark circuit: " + std::string(name));
+}
+
+std::vector<Circuit> benchmark_suite() {
+  std::vector<Circuit> suite;
+  suite.reserve(registry().size());
+  for (const auto& e : registry()) suite.push_back(e.make());
+  return suite;
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,39 @@
+#include "netlist/layout.hpp"
+
+#include <cmath>
+
+namespace dp::netlist {
+
+LayoutEstimate::LayoutEstimate(const Circuit& circuit,
+                               const Structure& structure) {
+  const std::size_t n = circuit.num_nets();
+  x_.assign(n, 0.0);
+  y_.assign(n, 0.0);
+
+  for (NetId id = 0; id < n; ++id) {
+    x_[id] = static_cast<double>(structure.level_from_pi(id));
+  }
+
+  // PIs: Y = position in the stated input order.
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i) {
+    y_[circuit.inputs()[i]] = static_cast<double>(i);
+  }
+
+  // Gates, in topological order (== level by level for this recurrence):
+  // Y = mean of the Y coordinates of the feeding gates.
+  for (NetId id : circuit.topo_order()) {
+    const auto& fi = circuit.fanins(id);
+    if (fi.empty()) continue;  // PI or constant
+    double sum = 0.0;
+    for (NetId f : fi) sum += y_[f];
+    y_[id] = sum / static_cast<double>(fi.size());
+  }
+}
+
+double LayoutEstimate::distance(NetId a, NetId b) const {
+  const double dx = x_.at(a) - x_.at(b);
+  const double dy = y_.at(a) - y_.at(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dp::netlist

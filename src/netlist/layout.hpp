@@ -1,0 +1,34 @@
+// Approximate layout coordinates (paper §2.2).
+//
+// Without real layouts for the benchmarks, the paper estimates wire
+// positions: each gate's X coordinate is its distance in levels from the
+// primary inputs; the n PIs get Y coordinates 0..n-1 in their stated order,
+// and every gate's Y coordinate is the average of the Y coordinates of the
+// gates feeding it -- "the aggregate of all possible layouts for that PI
+// ordering". Euclidean distance between two nets then weights the bridging-
+// fault sampling distribution.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::netlist {
+
+class LayoutEstimate {
+ public:
+  LayoutEstimate(const Circuit& circuit, const Structure& structure);
+
+  double x(NetId id) const { return x_.at(id); }
+  double y(NetId id) const { return y_.at(id); }
+
+  /// Euclidean distance between the (estimated) positions of two nets.
+  double distance(NetId a, NetId b) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace dp::netlist

@@ -1,0 +1,83 @@
+#include "netlist/testpoints.hpp"
+
+#include <algorithm>
+
+namespace dp::netlist {
+
+namespace {
+
+void check_taps(const Circuit& circuit, const std::vector<NetId>& taps) {
+  for (NetId tap : taps) {
+    if (tap >= circuit.num_nets()) {
+      throw NetlistError("test point: net id out of range");
+    }
+    if (is_constant(circuit.type(tap))) {
+      throw NetlistError("test point on a constant net is useless");
+    }
+  }
+}
+
+}  // namespace
+
+Circuit add_observation_points(const Circuit& circuit,
+                               const std::vector<NetId>& taps) {
+  check_taps(circuit, taps);
+  Circuit out(circuit.name() + "+obs");
+  std::vector<NetId> map(circuit.num_nets(), kInvalidNet);
+  for (NetId pi : circuit.inputs()) map[pi] = out.add_input(circuit.net_name(pi));
+  for (NetId id : circuit.topo_order()) {
+    const GateType t = circuit.type(id);
+    if (t == GateType::Input) continue;
+    if (is_constant(t)) {
+      map[id] = out.add_const(t == GateType::Const1, circuit.net_name(id));
+      continue;
+    }
+    std::vector<NetId> fi;
+    fi.reserve(circuit.fanins(id).size());
+    for (NetId f : circuit.fanins(id)) fi.push_back(map[f]);
+    map[id] = out.add_gate(t, std::move(fi), circuit.net_name(id));
+  }
+  for (NetId po : circuit.outputs()) out.mark_output(map[po]);
+  for (NetId tap : taps) out.mark_output(map[tap]);
+  out.finalize();
+  return out;
+}
+
+Circuit add_control_points(const Circuit& circuit,
+                           const std::vector<NetId>& taps) {
+  check_taps(circuit, taps);
+  Circuit out(circuit.name() + "+ctl");
+  std::vector<NetId> map(circuit.num_nets(), kInvalidNet);
+  for (NetId pi : circuit.inputs()) map[pi] = out.add_input(circuit.net_name(pi));
+  std::vector<NetId> ctl;
+  ctl.reserve(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    ctl.push_back(out.add_input("cp" + std::to_string(i)));
+  }
+  for (NetId id : circuit.topo_order()) {
+    const GateType t = circuit.type(id);
+    NetId built;
+    if (t == GateType::Input) {
+      built = map[id];
+    } else if (is_constant(t)) {
+      built = out.add_const(t == GateType::Const1, circuit.net_name(id));
+    } else {
+      std::vector<NetId> fi;
+      fi.reserve(circuit.fanins(id).size());
+      for (NetId f : circuit.fanins(id)) fi.push_back(map[f]);
+      built = out.add_gate(t, std::move(fi), circuit.net_name(id));
+    }
+    const auto it = std::find(taps.begin(), taps.end(), id);
+    if (it != taps.end()) {
+      const std::size_t k = static_cast<std::size_t>(it - taps.begin());
+      built = out.add_gate(GateType::Xor, {built, ctl[k]},
+                           circuit.net_name(id) + "$cp");
+    }
+    map[id] = built;
+  }
+  for (NetId po : circuit.outputs()) out.mark_output(map[po]);
+  out.finalize();
+  return out;
+}
+
+}  // namespace dp::netlist

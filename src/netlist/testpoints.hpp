@@ -1,0 +1,27 @@
+// Design-for-testability edits (paper §4.1: "how to best modify circuits
+// when adding design for testability hardware -- should the emphasis be
+// placed on additional control lines or observation points?").
+//
+// Both edits preserve the original PO functions; control points add fresh
+// PIs (drive them 0 for normal operation).
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::netlist {
+
+/// Copy of `circuit` with each net in `taps` additionally marked as a
+/// primary output (an observation point). PI and PO order are preserved;
+/// the new POs append in `taps` order.
+Circuit add_observation_points(const Circuit& circuit,
+                               const std::vector<NetId>& taps);
+
+/// Copy of `circuit` where each net in `taps` is XOR-ed with a fresh
+/// control input "cp<i>" before reaching its consumers (and the PO list,
+/// if tapped net was a PO). Control PIs append after the functional PIs.
+Circuit add_control_points(const Circuit& circuit,
+                           const std::vector<NetId>& taps);
+
+}  // namespace dp::netlist

@@ -1,0 +1,107 @@
+#include "netlist/transforms.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace dp::netlist {
+
+namespace {
+
+/// Builds a balanced 2-input tree of `type` over `leaves` in `out`,
+/// returning the root net. `fresh` mints unique intermediate names.
+NetId build_tree(Circuit& out, GateType type, std::vector<NetId> leaves,
+                 const std::function<std::string()>& fresh) {
+  while (leaves.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((leaves.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(out.add_gate(type, {leaves[i], leaves[i + 1]}, fresh()));
+    }
+    if (leaves.size() % 2) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  return leaves.front();
+}
+
+/// Copies PIs/constants and rewrites each gate through `rewrite`, which maps
+/// (old net id, mapped fanins, target name) -> new net id.
+Circuit rebuild(
+    const Circuit& in, const std::string& name,
+    const std::function<NetId(Circuit&, NetId, const std::vector<NetId>&,
+                              const std::string&)>& rewrite) {
+  Circuit out(name);
+  std::vector<NetId> map(in.num_nets(), kInvalidNet);
+  for (NetId id : in.topo_order()) {
+    const GateType t = in.type(id);
+    if (t == GateType::Input) {
+      map[id] = out.add_input(in.net_name(id));
+      continue;
+    }
+    if (is_constant(t)) {
+      map[id] = out.add_const(t == GateType::Const1, in.net_name(id));
+      continue;
+    }
+    std::vector<NetId> fi;
+    fi.reserve(in.fanins(id).size());
+    for (NetId f : in.fanins(id)) fi.push_back(map[f]);
+    map[id] = rewrite(out, id, fi, in.net_name(id));
+  }
+  for (NetId po : in.outputs()) out.mark_output(map[po]);
+  out.finalize();
+  return out;
+}
+
+}  // namespace
+
+Circuit decompose_to_two_input(const Circuit& circuit,
+                               const std::string& name) {
+  std::size_t counter = 0;
+  auto rewrite = [&](Circuit& out, NetId id, const std::vector<NetId>& fi,
+                     const std::string& target) -> NetId {
+    const GateType t = circuit.type(id);
+    if (fi.size() <= 2) return out.add_gate(t, fi, target);
+    auto fresh = [&] { return target + "$t" + std::to_string(counter++); };
+    // Reduce all but the last pair with the non-inverting base type, then
+    // apply the original (possibly inverting) type at the root.
+    std::vector<NetId> leaves(fi.begin(), fi.end() - 1);
+    NetId left = build_tree(out, base_of(t), std::move(leaves), fresh);
+    return out.add_gate(t, {left, fi.back()}, target);
+  };
+  return rebuild(circuit, name, rewrite);
+}
+
+Circuit expand_xor_to_nand(const Circuit& circuit, const std::string& name) {
+  std::size_t counter = 0;
+  auto rewrite = [&](Circuit& out, NetId id, const std::vector<NetId>& fi,
+                     const std::string& target) -> NetId {
+    const GateType t = circuit.type(id);
+    if (t != GateType::Xor && t != GateType::Xnor) {
+      return out.add_gate(t, fi, target);
+    }
+    auto fresh = [&] { return target + "$x" + std::to_string(counter++); };
+    auto xor_nand = [&](NetId a, NetId b, const std::string& root) {
+      NetId nab = out.add_gate(GateType::Nand, {a, b}, fresh());
+      NetId na = out.add_gate(GateType::Nand, {a, nab}, fresh());
+      NetId nb = out.add_gate(GateType::Nand, {b, nab}, fresh());
+      return out.add_gate(GateType::Nand, {na, nb}, root);
+    };
+    // Left-fold multi-input parity; the last stage gets the target name.
+    NetId acc = fi[0];
+    const bool invert = (t == GateType::Xnor);
+    for (std::size_t i = 1; i < fi.size(); ++i) {
+      const bool last = (i + 1 == fi.size());
+      const std::string root = (last && !invert) ? target : fresh();
+      acc = xor_nand(acc, fi[i], root);
+    }
+    if (fi.size() == 1) {
+      // Degenerate 1-input parity: XOR == BUF, XNOR == NOT.
+      return out.add_gate(invert ? GateType::Not : GateType::Buf, {acc},
+                          target);
+    }
+    if (invert) acc = out.add_gate(GateType::Not, {acc}, target);
+    return acc;
+  };
+  return rebuild(circuit, name, rewrite);
+}
+
+}  // namespace dp::netlist

@@ -1,0 +1,27 @@
+// Function-preserving netlist transforms.
+//
+// expand_xor_to_nand reproduces exactly the relationship between the ISCAS
+// circuits C499 and C1355: "C1355 is identical to C499 except with
+// Exclusive-ORs expanded into their four-NAND equivalents" (paper, §4.1).
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::netlist {
+
+/// Rewrites every XOR/XNOR into 2-input NAND logic:
+///   a XOR b  ->  NAND(NAND(a, NAND(a,b)), NAND(b, NAND(a,b)))
+/// XNOR adds an inverter on top. Gates with more than two inputs are first
+/// decomposed into a balanced 2-input tree. The result computes the same
+/// functions at the same-named POs. Returns a finalized circuit.
+Circuit expand_xor_to_nand(const Circuit& circuit, const std::string& name);
+
+/// Decomposes every gate with more than two inputs into a balanced tree of
+/// 2-input gates of the base type, keeping any output inversion on the root
+/// (NAND3 -> AND2 + NAND2, ...). DP's Table-1 equations are binary, so this
+/// is the "model an n-input gate as n-1 two-input gates" device from §3.
+Circuit decompose_to_two_input(const Circuit& circuit, const std::string& name);
+
+}  // namespace dp::netlist

@@ -1,0 +1,327 @@
+#include "sim/fault_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+namespace dp::sim {
+
+using netlist::GateType;
+
+FaultSimulator::FaultSimulator(const Circuit& circuit,
+                               std::size_t max_exhaustive_inputs)
+    : sim_(circuit), max_exhaustive_inputs_(max_exhaustive_inputs) {}
+
+void FaultSimulator::faulty_values(std::vector<Word>& values,
+                                   const StuckAtFault& f) const {
+  const Circuit& c = circuit();
+  const Word forced = f.stuck_value ? ~Word{0} : 0;
+
+  for (NetId id : c.topo_order()) {
+    if (c.type(id) != GateType::Input) {
+      if (f.branch && f.branch->gate == id) {
+        // Branch fault: the gate sees the forced value on one pin only.
+        const auto& fi = c.fanins(id);
+        std::vector<Word> pins(fi.size());
+        for (std::size_t i = 0; i < fi.size(); ++i) pins[i] = values[fi[i]];
+        pins[f.branch->pin] = forced;
+        const GateType t = c.type(id);
+        Word acc = pins[0];
+        for (std::size_t i = 1; i < pins.size(); ++i) {
+          acc = netlist::eval_word2(netlist::base_of(t), acc, pins[i]);
+        }
+        if (netlist::is_inverting(t)) acc = ~acc;
+        values[id] = acc;
+        continue;
+      }
+      values[id] = sim_.eval_gate(id, values);
+    }
+    if (!f.branch && id == f.net) values[id] = forced;  // stem fault
+  }
+}
+
+void FaultSimulator::faulty_values(
+    std::vector<Word>& values, const fault::MultipleStuckAtFault& f) const {
+  const Circuit& c = circuit();
+
+  std::vector<const fault::StuckAtFault*> stem(c.num_nets(), nullptr);
+  std::vector<std::vector<const fault::StuckAtFault*>> pins(c.num_nets());
+  for (const fault::StuckAtFault& comp : f.components) {
+    if (comp.branch) {
+      pins[comp.branch->gate].push_back(&comp);
+    } else {
+      stem[comp.net] = &comp;
+    }
+  }
+
+  for (NetId id : c.topo_order()) {
+    if (c.type(id) != GateType::Input) {
+      if (!pins[id].empty()) {
+        const auto& fi = c.fanins(id);
+        std::vector<Word> in(fi.size());
+        for (std::size_t i = 0; i < fi.size(); ++i) in[i] = values[fi[i]];
+        for (const fault::StuckAtFault* p : pins[id]) {
+          in[p->branch->pin] = p->stuck_value ? ~Word{0} : 0;
+        }
+        const GateType t = c.type(id);
+        Word acc = in[0];
+        for (std::size_t i = 1; i < in.size(); ++i) {
+          acc = netlist::eval_word2(netlist::base_of(t), acc, in[i]);
+        }
+        if (netlist::is_inverting(t)) acc = ~acc;
+        values[id] = acc;
+      } else {
+        values[id] = sim_.eval_gate(id, values);
+      }
+    }
+    if (stem[id]) values[id] = stem[id]->stuck_value ? ~Word{0} : 0;
+  }
+}
+
+std::vector<NetId> FaultSimulator::bridge_order(const BridgingFault& f) const {
+  // Kahn's algorithm over the original dependencies plus the wired node's
+  // cross edges: every consumer of a depends on b and vice versa. The
+  // non-feedback screen guarantees this stays acyclic.
+  const Circuit& c = circuit();
+  const std::size_t n = c.num_nets();
+  std::vector<std::vector<NetId>> extra_succ(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+
+  for (NetId id = 0; id < n; ++id) {
+    indeg[id] = static_cast<std::uint32_t>(c.fanins(id).size());
+  }
+  auto cross = [&](NetId wire, NetId other) {
+    for (const netlist::PinRef& pin : c.fanouts(wire)) {
+      extra_succ[other].push_back(pin.gate);
+      ++indeg[pin.gate];
+    }
+  };
+  cross(f.a, f.b);
+  cross(f.b, f.a);
+
+  std::vector<NetId> ready, order;
+  order.reserve(n);
+  for (NetId id = 0; id < n; ++id) {
+    if (indeg[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    NetId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    auto release = [&](NetId succ) {
+      if (--indeg[succ] == 0) ready.push_back(succ);
+    };
+    for (const netlist::PinRef& pin : c.fanouts(id)) release(pin.gate);
+    for (NetId succ : extra_succ[id]) release(succ);
+  }
+  if (order.size() != n) {
+    throw std::logic_error(
+        "bridge_order(): feedback bridge passed to the simulator");
+  }
+  return order;
+}
+
+void FaultSimulator::faulty_values(std::vector<Word>& values,
+                                   const BridgingFault& f) const {
+  const Circuit& c = circuit();
+  const std::vector<NetId> order = bridge_order(f);
+
+  Word driven_a = 0, driven_b = 0;
+  bool have_a = false, have_b = false;
+  auto fuse = [&]() {
+    const Word wired = f.type == fault::BridgeType::And ? (driven_a & driven_b)
+                                                        : (driven_a | driven_b);
+    values[f.a] = wired;
+    values[f.b] = wired;
+  };
+
+  for (NetId id : order) {
+    if (c.type(id) != GateType::Input) {
+      values[id] = sim_.eval_gate(id, values);
+    }
+    if (id == f.a) {
+      driven_a = values[id];
+      have_a = true;
+      if (have_b) fuse();
+    } else if (id == f.b) {
+      driven_b = values[id];
+      have_b = true;
+      if (have_a) fuse();
+    }
+  }
+}
+
+Word FaultSimulator::detect_lanes(const std::vector<Word>& good,
+                                  const std::vector<Word>& faulty) const {
+  Word lanes = 0;
+  for (NetId po : circuit().outputs()) {
+    lanes |= good[po] ^ faulty[po];
+  }
+  return lanes;
+}
+
+void FaultSimulator::check_exhaustive(std::size_t limit) const {
+  if (circuit().num_inputs() > limit) {
+    throw std::invalid_argument(
+        "exhaustive analysis limited to " + std::to_string(limit) +
+        " inputs; circuit '" + circuit().name() + "' has " +
+        std::to_string(circuit().num_inputs()));
+  }
+}
+
+void FaultSimulator::load_exhaustive_inputs(std::vector<Word>& values,
+                                            std::uint64_t block) const {
+  const auto& pis = circuit().inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    values[pis[i]] = PatternSimulator::exhaustive_input_word(i, block);
+  }
+}
+
+template <typename Fault>
+double FaultSimulator::exhaustive_detectability_impl(const Fault& f) const {
+  check_exhaustive(max_exhaustive_inputs_);
+  const std::size_t n = circuit().num_inputs();
+  const std::uint64_t blocks = n > 6 ? (1ull << (n - 6)) : 1;
+
+  std::vector<Word> good(circuit().num_nets());
+  std::vector<Word> faulty(circuit().num_nets());
+  std::uint64_t detected = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    load_exhaustive_inputs(good, b);
+    load_exhaustive_inputs(faulty, b);
+    good_values(good);
+    faulty_values(faulty, f);
+    detected += std::popcount(detect_lanes(good, faulty) &
+                              PatternSimulator::block_mask(b, n));
+  }
+  return static_cast<double>(detected) / static_cast<double>(1ull << n);
+}
+
+double FaultSimulator::exhaustive_detectability(const StuckAtFault& f) const {
+  return exhaustive_detectability_impl(f);
+}
+double FaultSimulator::exhaustive_detectability(const BridgingFault& f) const {
+  return exhaustive_detectability_impl(f);
+}
+double FaultSimulator::exhaustive_detectability(
+    const fault::MultipleStuckAtFault& f) const {
+  return exhaustive_detectability_impl(f);
+}
+
+double FaultSimulator::exhaustive_syndrome(NetId net) const {
+  check_exhaustive(max_exhaustive_inputs_);
+  const std::size_t n = circuit().num_inputs();
+  const std::uint64_t blocks = n > 6 ? (1ull << (n - 6)) : 1;
+  std::vector<Word> values(circuit().num_nets());
+  std::uint64_t ones = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    load_exhaustive_inputs(values, b);
+    good_values(values);
+    ones += std::popcount(values[net] & PatternSimulator::block_mask(b, n));
+  }
+  return static_cast<double>(ones) / static_cast<double>(1ull << n);
+}
+
+template <typename Fault>
+std::vector<bool> FaultSimulator::exhaustive_test_set_impl(
+    const Fault& f) const {
+  check_exhaustive(std::min<std::size_t>(max_exhaustive_inputs_, 24));
+  const std::size_t n = circuit().num_inputs();
+  const std::uint64_t blocks = n > 6 ? (1ull << (n - 6)) : 1;
+
+  std::vector<bool> tests(1ull << n, false);
+  std::vector<Word> good(circuit().num_nets());
+  std::vector<Word> faulty(circuit().num_nets());
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    load_exhaustive_inputs(good, b);
+    load_exhaustive_inputs(faulty, b);
+    good_values(good);
+    faulty_values(faulty, f);
+    Word lanes =
+        detect_lanes(good, faulty) & PatternSimulator::block_mask(b, n);
+    while (lanes) {
+      const int lane = std::countr_zero(lanes);
+      lanes &= lanes - 1;
+      tests[b * 64 + static_cast<std::uint64_t>(lane)] = true;
+    }
+  }
+  return tests;
+}
+
+std::vector<bool> FaultSimulator::exhaustive_test_set(
+    const StuckAtFault& f) const {
+  return exhaustive_test_set_impl(f);
+}
+std::vector<bool> FaultSimulator::exhaustive_test_set(
+    const BridgingFault& f) const {
+  return exhaustive_test_set_impl(f);
+}
+
+FaultSimulator::Coverage FaultSimulator::grade_random(
+    const std::vector<StuckAtFault>& faults, std::size_t num_patterns,
+    std::uint64_t seed) const {
+  std::mt19937_64 rng(seed);
+  const auto& pis = circuit().inputs();
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<Word> good(circuit().num_nets());
+  std::vector<Word> faulty(circuit().num_nets());
+
+  for (std::size_t done = 0; done < num_patterns; done += 64) {
+    std::vector<Word> in(pis.size());
+    for (auto& w : in) w = rng();
+    const Word mask = num_patterns - done >= 64
+                          ? ~Word{0}
+                          : ((Word{1} << (num_patterns - done)) - 1);
+    for (std::size_t i = 0; i < pis.size(); ++i) good[pis[i]] = in[i];
+    good_values(good);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;  // fault dropping
+      for (std::size_t i = 0; i < pis.size(); ++i) faulty[pis[i]] = in[i];
+      faulty_values(faulty, faults[fi]);
+      if (detect_lanes(good, faulty) & mask) detected[fi] = true;
+    }
+  }
+  Coverage cov;
+  cov.total = faults.size();
+  for (bool d : detected) cov.detected += d;
+  return cov;
+}
+
+FaultSimulator::Coverage FaultSimulator::grade_vectors(
+    const std::vector<StuckAtFault>& faults,
+    const std::vector<std::vector<bool>>& vectors) const {
+  const auto& pis = circuit().inputs();
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<Word> good(circuit().num_nets());
+  std::vector<Word> faulty(circuit().num_nets());
+
+  for (std::size_t base = 0; base < vectors.size(); base += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, vectors.size() - base);
+    std::vector<Word> in(pis.size(), 0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const auto& vec = vectors[base + l];
+      if (vec.size() != pis.size()) {
+        throw std::invalid_argument("grade_vectors: vector width != #PIs");
+      }
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        if (vec[i]) in[i] |= Word{1} << l;
+      }
+    }
+    const Word mask = lanes == 64 ? ~Word{0} : ((Word{1} << lanes) - 1);
+    for (std::size_t i = 0; i < pis.size(); ++i) good[pis[i]] = in[i];
+    good_values(good);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;
+      for (std::size_t i = 0; i < pis.size(); ++i) faulty[pis[i]] = in[i];
+      faulty_values(faulty, faults[fi]);
+      if (detect_lanes(good, faulty) & mask) detected[fi] = true;
+    }
+  }
+  Coverage cov;
+  cov.total = faults.size();
+  for (bool d : detected) cov.detected += d;
+  return cov;
+}
+
+}  // namespace dp::sim

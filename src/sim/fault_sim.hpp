@@ -1,0 +1,90 @@
+// Fault simulation: stuck-at and bridging injection on top of the
+// parallel-pattern simulator, exhaustive exact analysis (ground truth for
+// Difference Propagation in the tests and the paper's "exhaustive
+// simulation" baseline in the benchmarks), and random-pattern grading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/bridging.hpp"
+#include "fault/multiple.hpp"
+#include "fault/stuck_at.hpp"
+#include "sim/pattern_sim.hpp"
+
+namespace dp::sim {
+
+using fault::BridgingFault;
+using fault::StuckAtFault;
+
+class FaultSimulator {
+ public:
+  /// `max_exhaustive_inputs` guards the 2^n sweeps (memory/time).
+  explicit FaultSimulator(const Circuit& circuit,
+                          std::size_t max_exhaustive_inputs = 26);
+
+  const Circuit& circuit() const { return sim_.circuit(); }
+
+  // ---- one 64-pattern block -------------------------------------------
+  // `values` carries PI words in the input slots on entry.
+
+  void good_values(std::vector<Word>& values) const { sim_.eval(values); }
+  void faulty_values(std::vector<Word>& values, const StuckAtFault& f) const;
+  void faulty_values(std::vector<Word>& values, const BridgingFault& f) const;
+  void faulty_values(std::vector<Word>& values,
+                     const fault::MultipleStuckAtFault& f) const;
+
+  /// Lanes in which at least one PO differs.
+  Word detect_lanes(const std::vector<Word>& good,
+                    const std::vector<Word>& faulty) const;
+
+  // ---- exhaustive analysis (exact, 2^n sweep) ----------------------------
+
+  double exhaustive_detectability(const StuckAtFault& f) const;
+  double exhaustive_detectability(const BridgingFault& f) const;
+  double exhaustive_detectability(const fault::MultipleStuckAtFault& f) const;
+
+  /// Exact signal probability of a net: fraction of inputs setting it to 1.
+  double exhaustive_syndrome(NetId net) const;
+
+  /// Complete test set as a bitmap over input vectors (index = packed PI
+  /// assignment, PI 0 = LSB). Requires <= 24 inputs.
+  std::vector<bool> exhaustive_test_set(const StuckAtFault& f) const;
+  std::vector<bool> exhaustive_test_set(const BridgingFault& f) const;
+
+  // ---- test-set grading ------------------------------------------------
+
+  struct Coverage {
+    std::size_t detected = 0;
+    std::size_t total = 0;
+    double fraction() const {
+      return total ? static_cast<double>(detected) / total : 0.0;
+    }
+  };
+
+  /// Random-pattern grading with fault dropping.
+  Coverage grade_random(const std::vector<StuckAtFault>& faults,
+                        std::size_t num_patterns, std::uint64_t seed) const;
+
+  /// Grades an explicit vector set (vectors indexed by PI position).
+  Coverage grade_vectors(const std::vector<StuckAtFault>& faults,
+                         const std::vector<std::vector<bool>>& vectors) const;
+
+ private:
+  template <typename Fault>
+  double exhaustive_detectability_impl(const Fault& f) const;
+  template <typename Fault>
+  std::vector<bool> exhaustive_test_set_impl(const Fault& f) const;
+
+  /// Evaluation order with the bridge's cross-dependencies honoured.
+  std::vector<NetId> bridge_order(const BridgingFault& f) const;
+
+  void load_exhaustive_inputs(std::vector<Word>& values,
+                              std::uint64_t block) const;
+  void check_exhaustive(std::size_t limit) const;
+
+  PatternSimulator sim_;
+  std::size_t max_exhaustive_inputs_;
+};
+
+}  // namespace dp::sim

@@ -1,0 +1,60 @@
+#include "sim/pattern_sim.hpp"
+
+namespace dp::sim {
+
+using netlist::GateType;
+
+PatternSimulator::PatternSimulator(const Circuit& circuit)
+    : circuit_(circuit) {
+  if (!circuit.finalized()) {
+    throw netlist::NetlistError("PatternSimulator: circuit must be finalized");
+  }
+}
+
+Word PatternSimulator::eval_gate(NetId id, const std::vector<Word>& values) const {
+  const GateType t = circuit_.type(id);
+  switch (t) {
+    case GateType::Input: return values[id];
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~Word{0};
+    default: break;
+  }
+  const auto& fi = circuit_.fanins(id);
+  Word acc = values[fi[0]];
+  const GateType base = netlist::base_of(t);
+  for (std::size_t i = 1; i < fi.size(); ++i) {
+    acc = netlist::eval_word2(base, acc, values[fi[i]]);
+  }
+  if (netlist::is_inverting(t)) acc = ~acc;
+  return acc;
+}
+
+void PatternSimulator::eval(std::vector<Word>& values) const {
+  for (NetId id : circuit_.topo_order()) {
+    if (circuit_.type(id) == GateType::Input) continue;
+    values[id] = eval_gate(id, values);
+  }
+}
+
+Word PatternSimulator::exhaustive_input_word(std::size_t pi,
+                                             std::uint64_t block) {
+  // Lanes 0..63 of block B are input vectors B*64 .. B*64+63; PI `pi`
+  // contributes bit `pi` of the vector number.
+  if (pi < 6) {
+    // Bits 0..5 vary within the word: precomputed striping patterns.
+    static constexpr Word kStripe[6] = {
+        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+        0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+    return kStripe[pi];
+  }
+  return ((block >> (pi - 6)) & 1ull) ? ~Word{0} : 0;
+}
+
+Word PatternSimulator::block_mask(std::uint64_t block, std::size_t num_inputs) {
+  if (num_inputs >= 6) return ~Word{0};
+  const std::uint64_t total = 1ull << num_inputs;
+  (void)block;  // only block 0 exists when num_inputs < 6
+  return total >= 64 ? ~Word{0} : ((1ull << total) - 1);
+}
+
+}  // namespace dp::sim

@@ -1,0 +1,157 @@
+// Analysis-layer tests: histogram mechanics, profile statistics, report
+// formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/profiles.hpp"
+#include "analysis/report.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::analysis {
+namespace {
+
+TEST(HistogramTest, BinningAndProportions) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.30);  // bin 1
+  h.add(0.95);  // bin 3
+  h.add(0.95);  // bin 3
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_DOUBLE_EQ(h.proportion(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEndBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1.0);  // exactly hi lands in the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(ProfilesTest, StuckAtProfileOnC17) {
+  const CircuitProfile p = analyze_stuck_at(netlist::make_c17());
+  EXPECT_EQ(p.circuit, "c17");
+  EXPECT_EQ(p.netlist_size, 6u);
+  EXPECT_EQ(p.num_outputs, 2u);
+  EXPECT_FALSE(p.faults.empty());
+  // All C17 checkpoint faults are detectable (classic result).
+  EXPECT_EQ(p.detectable_count(), p.faults.size());
+  EXPECT_GT(p.mean_detectability_detectable(), 0.0);
+  EXPECT_LE(p.mean_detectability_detectable(), 1.0);
+  EXPECT_DOUBLE_EQ(p.mean_detectability_per_po(),
+                   p.mean_detectability_detectable() / 2.0);
+  // Adherence never exceeds one; detectability never exceeds its bound.
+  for (const FaultRecord& f : p.faults) {
+    EXPECT_LE(f.detectability, f.upper_bound + 1e-12);
+    EXPECT_LE(f.adherence, 1.0);
+    EXPECT_GE(f.max_levels_to_po, 0);
+  }
+}
+
+TEST(ProfilesTest, UncollapsedProfileIsLarger) {
+  AnalysisOptions collapsed;
+  AnalysisOptions full;
+  full.collapse = false;
+  const auto pc = analyze_stuck_at(netlist::make_c17(), collapsed);
+  const auto pf = analyze_stuck_at(netlist::make_c17(), full);
+  EXPECT_LT(pc.faults.size(), pf.faults.size());
+  EXPECT_EQ(pf.faults.size(), 22u);
+}
+
+TEST(ProfilesTest, BathtubSeriesHasEntries) {
+  const CircuitProfile p = analyze_stuck_at(netlist::make_c95_analog());
+  const auto series = p.detectability_by_po_distance();
+  EXPECT_GT(series.size(), 2u);
+  for (const auto& [dist, det] : series) {
+    EXPECT_GE(dist, 0);
+    EXPECT_GT(det, 0.0);
+    EXPECT_LE(det, 1.0);
+  }
+  EXPECT_FALSE(p.detectability_by_pi_distance().empty());
+}
+
+TEST(ProfilesTest, PoFedVsObservedMostlyEqual) {
+  const CircuitProfile p = analyze_stuck_at(netlist::make_c95_analog());
+  // "These numbers are almost always the same" (§4.1).
+  EXPECT_GT(p.po_fed_equals_observed_fraction(), 0.5);
+}
+
+TEST(ProfilesTest, BridgingProfileOnC17) {
+  AnalysisOptions opt;
+  const CircuitProfile p =
+      analyze_bridging(netlist::make_c17(), fault::BridgeType::And, opt);
+  EXPECT_FALSE(p.faults.empty());
+  for (const FaultRecord& f : p.faults) {
+    EXPECT_LE(f.detectability, f.upper_bound + 1e-12);
+  }
+  const double frac = p.bridge_stuck_at_fraction();
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(ProfilesTest, BridgingSamplingCapsPopulation) {
+  AnalysisOptions opt;
+  opt.sampling.target_count = 25;
+  const CircuitProfile p =
+      analyze_bridging(netlist::make_alu181(), fault::BridgeType::Or, opt);
+  EXPECT_EQ(p.faults.size(), 25u);
+}
+
+TEST(ReportTest, TextTableAlignsAndRejectsBadRows) {
+  TextTable t({"circuit", "value"});
+  t.add_row({"c17", TextTable::num(0.5, 2)});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("circuit"), std::string::npos);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, HistogramRendering) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.9);
+  h.add(0.95);
+  std::ostringstream os;
+  print_histogram(os, h, "Demo", "detectability");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("#"), std::string::npos);
+  EXPECT_NE(s.find("n = 3"), std::string::npos);
+}
+
+TEST(ReportTest, SeriesRendering) {
+  std::map<int, double> series{{0, 0.5}, {1, 0.25}, {5, 1.0}};
+  std::ostringstream os;
+  print_series(os, series, "Curve", "levels", "mean det");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Curve"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+TEST(ReportTest, CsvEmission) {
+  std::ostringstream os;
+  write_csv_header(os, {"a", "b"});
+  write_csv_row(os, {"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace dp::analysis

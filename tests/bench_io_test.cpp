@@ -1,0 +1,161 @@
+// ISCAS-85 .bench reader/writer tests: roundtrips, forward references,
+// error reporting.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::netlist {
+namespace {
+
+TEST(BenchIoTest, ParsesC17Text) {
+  const std::string text = R"(
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  Circuit c = read_bench_string(text, "c17");
+  EXPECT_EQ(c.num_inputs(), 5u);
+  EXPECT_EQ(c.num_outputs(), 2u);
+  EXPECT_EQ(c.num_gates(), 6u);
+  EXPECT_EQ(c.type(*c.find_net("16")), GateType::Nand);
+  EXPECT_TRUE(c.finalized());
+}
+
+TEST(BenchIoTest, ForwardReferencesAllowed) {
+  const std::string text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)      # x defined later
+x = BUF(a)
+)";
+  Circuit c = read_bench_string(text);
+  EXPECT_EQ(c.num_gates(), 2u);
+}
+
+TEST(BenchIoTest, PiOrderPreserved) {
+  Circuit c = read_bench_string(
+      "INPUT(z)\nINPUT(a)\nINPUT(m)\nOUTPUT(o)\no = AND(z, a, m)\n");
+  EXPECT_EQ(c.net_name(c.inputs()[0]), "z");
+  EXPECT_EQ(c.net_name(c.inputs()[1]), "a");
+  EXPECT_EQ(c.net_name(c.inputs()[2]), "m");
+}
+
+TEST(BenchIoTest, CaseInsensitiveKeywordsAndAliases) {
+  Circuit c = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o)\nx = buff(a)\ny = inv(b)\no = "
+      "nand(x, y)\n");
+  EXPECT_EQ(c.type(*c.find_net("x")), GateType::Buf);
+  EXPECT_EQ(c.type(*c.find_net("y")), GateType::Not);
+}
+
+class BenchRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchRoundTripTest, WriteThenReadReproducesNetlist) {
+  Circuit original = make_benchmark(GetParam());
+  Circuit reread =
+      read_bench_string(write_bench_string(original), original.name());
+  ASSERT_EQ(reread.num_nets(), original.num_nets());
+  ASSERT_EQ(reread.num_inputs(), original.num_inputs());
+  ASSERT_EQ(reread.num_outputs(), original.num_outputs());
+  for (NetId id = 0; id < original.num_nets(); ++id) {
+    const NetId rid = *reread.find_net(original.net_name(id));
+    EXPECT_EQ(reread.type(rid), original.type(id));
+    ASSERT_EQ(reread.fanins(rid).size(), original.fanins(id).size());
+    for (std::size_t k = 0; k < original.fanins(id).size(); ++k) {
+      EXPECT_EQ(reread.net_name(reread.fanins(rid)[k]),
+                original.net_name(original.fanins(id)[k]));
+    }
+  }
+  // PO order preserved.
+  for (std::size_t i = 0; i < original.num_outputs(); ++i) {
+    EXPECT_EQ(reread.net_name(reread.outputs()[i]),
+              original.net_name(original.outputs()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchRoundTripTest,
+                         ::testing::Values("c17", "fulladder", "c95",
+                                           "alu181", "c432", "c499", "c1355",
+                                           "c1908"));
+
+TEST(BenchIoErrorTest, UnknownGateType) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n"),
+      BenchParseError);
+}
+
+TEST(BenchIoErrorTest, MalformedCall) {
+  EXPECT_THROW(read_bench_string("INPUT a\n"), BenchParseError);
+  EXPECT_THROW(read_bench_string("INPUT(a\n"), BenchParseError);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(o)\no = AND(a,)\n"),
+               BenchParseError);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(o)\n = AND(a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIoErrorTest, UnknownDirective) {
+  EXPECT_THROW(read_bench_string("WIBBLE(a)\n"), BenchParseError);
+}
+
+TEST(BenchIoErrorTest, UndefinedNetReported) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(o)\no = AND(a, ghost)\n"),
+               NetlistError);
+}
+
+TEST(BenchIoErrorTest, DuplicateDefinitionReportedWithLine) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(o)\no = BUF(a)\no = NOT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(BenchIoErrorTest, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), NetlistError);
+}
+
+}  // namespace
+}  // namespace dp::netlist
+
+// File-based roundtrip appended here to keep all .bench I/O tests together.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dp::netlist {
+namespace {
+
+TEST(BenchIoFileTest, WriteAndReadBackThroughTheFilesystem) {
+  const Circuit original = make_alu181();
+  const auto path =
+      std::filesystem::temp_directory_path() / "dp_bench_io_test.bench";
+  {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good());
+    write_bench(os, original);
+  }
+  const Circuit reread = read_bench_file(path.string());
+  EXPECT_EQ(reread.name(), "dp_bench_io_test");  // stem of the filename
+  EXPECT_EQ(reread.num_nets(), original.num_nets());
+  EXPECT_EQ(reread.num_inputs(), original.num_inputs());
+  EXPECT_EQ(reread.num_gates(), original.num_gates());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dp::netlist

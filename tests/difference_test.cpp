@@ -1,0 +1,161 @@
+// Verifies the Table-1 difference algebra symbolically: for random good
+// and faulty input functions, the formula-computed output difference must
+// equal (good output) XOR (faulty output) computed directly.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dp/difference.hpp"
+#include "dp/good_functions.hpp"
+
+namespace dp::core {
+namespace {
+
+using netlist::GateType;
+
+class DifferenceAlgebraTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kVars = 5;
+
+  bdd::Bdd random_function(bdd::Manager& mgr, std::mt19937_64& rng) {
+    // Random function as a random truth table folded from minterms.
+    bdd::Bdd f = mgr.zero();
+    for (std::uint64_t m = 0; m < (1u << kVars); ++m) {
+      if (rng() & 1) {
+        bdd::Bdd cube = mgr.one();
+        for (bdd::Var v = 0; v < kVars; ++v) {
+          cube = cube & (((m >> v) & 1) ? mgr.var(v) : mgr.nvar(v));
+        }
+        f = f | cube;
+      }
+    }
+    return f;
+  }
+};
+
+TEST_P(DifferenceAlgebraTest, BinaryGatesMatchDirectXor) {
+  bdd::Manager mgr(kVars);
+  std::mt19937_64 rng(GetParam());
+
+  for (int round = 0; round < 20; ++round) {
+    const bdd::Bdd fa = random_function(mgr, rng);
+    const bdd::Bdd fb = random_function(mgr, rng);
+    const bdd::Bdd Fa = random_function(mgr, rng);  // faulty versions
+    const bdd::Bdd Fb = random_function(mgr, rng);
+    const bdd::Bdd da = fa ^ Fa;
+    const bdd::Bdd db = fb ^ Fb;
+
+    struct Case {
+      GateType base;
+      bdd::Bdd good_out, faulty_out;
+    };
+    const std::vector<Case> cases = {
+        {GateType::And, fa & fb, Fa & Fb},
+        {GateType::Or, fa | fb, Fa | Fb},
+        {GateType::Xor, fa ^ fb, Fa ^ Fb},
+    };
+    for (const Case& c : cases) {
+      const bdd::Bdd expected = c.good_out ^ c.faulty_out;
+      const bdd::Bdd got = gate_difference2(c.base, fa, fb, da, db);
+      EXPECT_EQ(got, expected)
+          << netlist::to_string(c.base) << " round " << round;
+    }
+    // NOT/BUF: difference passes through unchanged.
+    EXPECT_EQ(gate_difference2(GateType::Buf, fa, fb, da, db), da);
+    EXPECT_EQ((!fa) ^ (!Fa), da);  // inversion cancels in the ring sum
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferenceAlgebraTest,
+                         ::testing::Values(1, 7, 42, 1990, 31337));
+
+TEST_P(DifferenceAlgebraTest, NaryFoldMatchesDirectXor) {
+  bdd::Manager mgr(kVars);
+  std::mt19937_64 rng(GetParam() ^ 0xabcdefull);
+
+  for (GateType type :
+       {GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+        GateType::Xor, GateType::Xnor}) {
+    for (std::size_t arity : {2u, 3u, 4u}) {
+      std::vector<bdd::Bdd> goods, faultys, diffs;
+      for (std::size_t i = 0; i < arity; ++i) {
+        goods.push_back(random_function(mgr, rng));
+        faultys.push_back(random_function(mgr, rng));
+        diffs.push_back(goods.back() ^ faultys.back());
+      }
+      const bdd::Bdd good_out = build_gate_function(mgr, type, goods);
+      const bdd::Bdd faulty_out = build_gate_function(mgr, type, faultys);
+      const bdd::Bdd got = gate_difference(mgr, type, goods, diffs);
+      EXPECT_EQ(got, good_out ^ faulty_out)
+          << netlist::to_string(type) << " arity " << arity;
+    }
+  }
+}
+
+TEST(DifferenceAlgebraTest, InvalidDiffHandleMeansZero) {
+  bdd::Manager mgr(3);
+  const bdd::Bdd fa = mgr.var(0);
+  const bdd::Bdd fb = mgr.var(1);
+  std::vector<bdd::Bdd> goods{fa, fb};
+  std::vector<bdd::Bdd> diffs{bdd::Bdd{}, mgr.var(2)};  // da == 0
+  const bdd::Bdd got = gate_difference(mgr, GateType::And, goods, diffs);
+  EXPECT_EQ(got, fa & mgr.var(2));
+  // All-zero differences produce a zero output difference.
+  std::vector<bdd::Bdd> zeros{bdd::Bdd{}, bdd::Bdd{}};
+  EXPECT_TRUE(gate_difference(mgr, GateType::And, goods, zeros).is_zero());
+}
+
+TEST(DifferenceAlgebraTest, MismatchedVectorsThrow) {
+  bdd::Manager mgr(2);
+  std::vector<bdd::Bdd> goods{mgr.var(0)};
+  std::vector<bdd::Bdd> diffs{mgr.zero(), mgr.zero()};
+  EXPECT_THROW(gate_difference(mgr, GateType::And, goods, diffs),
+               bdd::BddError);
+  EXPECT_THROW(gate_difference(mgr, GateType::And, {}, {}), bdd::BddError);
+}
+
+TEST(DifferenceAlgebraTest, NonBaseTypeRejectedByBinaryForm) {
+  bdd::Manager mgr(2);
+  EXPECT_THROW(gate_difference2(GateType::Nand, mgr.var(0), mgr.var(1),
+                                mgr.zero(), mgr.zero()),
+               bdd::BddError);
+}
+
+TEST_P(DifferenceAlgebraTest, GeneralFormMatchesChainForm) {
+  bdd::Manager mgr(kVars);
+  std::mt19937_64 rng(GetParam() ^ 0x777);
+
+  for (GateType type :
+       {GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+        GateType::Xor}) {
+    for (std::size_t arity : {2u, 3u, 4u, 5u}) {
+      std::vector<bdd::Bdd> goods, diffs;
+      for (std::size_t i = 0; i < arity; ++i) {
+        goods.push_back(random_function(mgr, rng));
+        diffs.push_back(random_function(mgr, rng));
+      }
+      std::uint64_t ops = 0;
+      const bdd::Bdd general =
+          gate_difference_general(mgr, type, goods, diffs, &ops);
+      const bdd::Bdd chain = gate_difference(mgr, type, goods, diffs);
+      EXPECT_EQ(general, chain)
+          << netlist::to_string(type) << " arity " << arity;
+      // The general form's term count is exponential for AND/OR.
+      if (netlist::base_of(type) == GateType::And ||
+          netlist::base_of(type) == GateType::Or) {
+        EXPECT_EQ(ops, (1ull << arity) - 1);
+      }
+    }
+  }
+}
+
+TEST(DifferenceAlgebraTest, GeneralFormGuardsAgainstExplosion) {
+  bdd::Manager mgr(4);
+  std::vector<bdd::Bdd> goods(21, mgr.var(0));
+  std::vector<bdd::Bdd> diffs(21, mgr.var(1));
+  EXPECT_THROW(gate_difference_general(mgr, GateType::And, goods, diffs),
+               bdd::BddError);
+}
+
+}  // namespace
+}  // namespace dp::core

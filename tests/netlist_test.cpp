@@ -1,0 +1,203 @@
+// Unit tests for the netlist substrate: construction rules, structural
+// analysis (levels, reachability), layout estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/circuit.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/layout.hpp"
+#include "netlist/structure.hpp"
+
+namespace dp::netlist {
+namespace {
+
+Circuit tiny() {
+  // a, b -> g1 = AND(a,b); g2 = NOT(g1); POs: g1, g2.
+  Circuit c("tiny");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId g1 = c.add_gate(GateType::And, {a, b}, "g1");
+  NetId g2 = c.add_gate(GateType::Not, {g1}, "g2");
+  c.mark_output(g1);
+  c.mark_output(g2);
+  c.finalize();
+  return c;
+}
+
+TEST(CircuitTest, BasicAccessors) {
+  Circuit c = tiny();
+  EXPECT_EQ(c.num_nets(), 4u);
+  EXPECT_EQ(c.num_inputs(), 2u);
+  EXPECT_EQ(c.num_outputs(), 2u);
+  EXPECT_EQ(c.num_gates(), 2u);
+  EXPECT_EQ(c.type(*c.find_net("g1")), GateType::And);
+  EXPECT_EQ(c.net_name(c.inputs()[0]), "a");
+  EXPECT_FALSE(c.find_net("nope").has_value());
+}
+
+TEST(CircuitTest, InputIndexTracksPiOrder) {
+  Circuit c = tiny();
+  EXPECT_EQ(c.input_index(*c.find_net("a")), 0u);
+  EXPECT_EQ(c.input_index(*c.find_net("b")), 1u);
+  EXPECT_FALSE(c.input_index(*c.find_net("g1")).has_value());
+}
+
+TEST(CircuitTest, FanoutsTrackPins) {
+  Circuit c = tiny();
+  NetId g1 = *c.find_net("g1");
+  ASSERT_EQ(c.fanouts(g1).size(), 1u);
+  EXPECT_EQ(c.fanouts(g1)[0].gate, *c.find_net("g2"));
+  EXPECT_EQ(c.fanouts(g1)[0].pin, 0u);
+  EXPECT_EQ(c.fanout_count(*c.find_net("a")), 1u);
+}
+
+TEST(CircuitTest, TopoOrderRespectsDependencies) {
+  Circuit c = tiny();
+  const auto& topo = c.topo_order();
+  std::vector<std::size_t> pos(c.num_nets());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (NetId id = 0; id < c.num_nets(); ++id) {
+    for (NetId f : c.fanins(id)) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(CircuitTest, DuplicateDefinitionThrows) {
+  Circuit c("dup");
+  NetId a = c.add_input("a");
+  EXPECT_THROW(c.define_input(a), NetlistError);
+  EXPECT_THROW(c.add_input("a"), NetlistError);
+}
+
+TEST(CircuitTest, UndefinedNetCaughtAtFinalize) {
+  Circuit c("undef");
+  NetId a = c.add_input("a");
+  NetId ghost = c.declare("ghost");
+  NetId g = c.add_gate(GateType::And, {a, ghost}, "g");
+  c.mark_output(g);
+  EXPECT_THROW(c.finalize(), NetlistError);
+}
+
+TEST(CircuitTest, CombinationalLoopThrows) {
+  Circuit c("loop");
+  NetId a = c.add_input("a");
+  NetId x = c.declare("x");
+  NetId y = c.add_gate(GateType::And, {a, x}, "y");
+  c.define_gate(x, GateType::Not, {y});
+  c.mark_output(y);
+  EXPECT_THROW(c.finalize(), NetlistError);
+}
+
+TEST(CircuitTest, ArityViolationsThrow) {
+  Circuit c("arity");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  EXPECT_THROW(c.add_gate(GateType::Not, {a, b}, "bad_not"), NetlistError);
+  EXPECT_THROW(c.add_gate(GateType::And, {}, "bad_and"), NetlistError);
+}
+
+TEST(CircuitTest, NoOutputsThrows) {
+  Circuit c("nopo");
+  c.add_input("a");
+  EXPECT_THROW(c.finalize(), NetlistError);
+}
+
+TEST(CircuitTest, NoInputsThrows) {
+  Circuit c("nopi");
+  NetId k = c.add_const(true, "k");
+  c.mark_output(k);
+  EXPECT_THROW(c.finalize(), NetlistError);
+}
+
+TEST(StructureTest, LevelsFromPi) {
+  Circuit c = make_c17();
+  Structure s(c);
+  for (NetId pi : c.inputs()) EXPECT_EQ(s.level_from_pi(pi), 0);
+  EXPECT_EQ(s.level_from_pi(*c.find_net("10")), 1);
+  EXPECT_EQ(s.level_from_pi(*c.find_net("16")), 2);
+  EXPECT_EQ(s.level_from_pi(*c.find_net("22")), 3);
+  EXPECT_EQ(s.depth(), 3);
+}
+
+TEST(StructureTest, MaxLevelsToPo) {
+  Circuit c = make_c17();
+  Structure s(c);
+  EXPECT_EQ(s.max_levels_to_po(*c.find_net("22")), 0);
+  EXPECT_EQ(s.max_levels_to_po(*c.find_net("16")), 1);
+  // Net 11 feeds 16 and 19; the longest path to a PO has 2 levels.
+  EXPECT_EQ(s.max_levels_to_po(*c.find_net("11")), 2);
+  EXPECT_EQ(s.max_levels_to_po(*c.find_net("3")), 3);
+}
+
+TEST(StructureTest, PoReachability) {
+  Circuit c = make_c17();
+  Structure s(c);
+  const NetId n10 = *c.find_net("10");
+  // Net 10 only feeds gate 22 (PO index 0).
+  EXPECT_TRUE(s.po_reachable(n10, 0));
+  EXPECT_FALSE(s.po_reachable(n10, 1));
+  EXPECT_EQ(s.reachable_po_count(n10), 1u);
+  // Net 11 reaches both POs; PIs 1 reaches only PO 22.
+  EXPECT_EQ(s.reachable_po_count(*c.find_net("11")), 2u);
+  EXPECT_EQ(s.reachable_po_count(*c.find_net("1")), 1u);
+  EXPECT_THROW(s.po_reachable(n10, 99), NetlistError);
+}
+
+TEST(StructureTest, NetToNetReachability) {
+  Circuit c = make_c17();
+  Structure s(c);
+  EXPECT_TRUE(s.reaches(*c.find_net("3"), *c.find_net("22")));
+  EXPECT_TRUE(s.reaches(*c.find_net("11"), *c.find_net("23")));
+  EXPECT_FALSE(s.reaches(*c.find_net("22"), *c.find_net("3")));
+  EXPECT_FALSE(s.reaches(*c.find_net("10"), *c.find_net("19")));
+  // Reflexive by definition.
+  EXPECT_TRUE(s.reaches(*c.find_net("10"), *c.find_net("10")));
+}
+
+TEST(StructureTest, DanglingNetHasNoPoDistance) {
+  Circuit c("dangle");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId used = c.add_gate(GateType::And, {a, b}, "used");
+  c.add_gate(GateType::Or, {a, b}, "unused");
+  c.mark_output(used);
+  c.finalize();
+  Structure s(c);
+  EXPECT_EQ(s.max_levels_to_po(*c.find_net("unused")), -1);
+  EXPECT_EQ(s.reachable_po_count(*c.find_net("unused")), 0u);
+}
+
+TEST(LayoutTest, PiCoordinatesFollowStatedOrder) {
+  Circuit c = make_c17();
+  Structure s(c);
+  LayoutEstimate layout(c, s);
+  for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+    EXPECT_DOUBLE_EQ(layout.x(c.inputs()[i]), 0.0);
+    EXPECT_DOUBLE_EQ(layout.y(c.inputs()[i]), static_cast<double>(i));
+  }
+}
+
+TEST(LayoutTest, GateYIsMeanOfFanins) {
+  Circuit c = make_c17();
+  Structure s(c);
+  LayoutEstimate layout(c, s);
+  // Gate 10 = NAND(1, 3): PIs with Y = 0 and 2 -> Y = 1; X = level 1.
+  const NetId g10 = *c.find_net("10");
+  EXPECT_DOUBLE_EQ(layout.x(g10), 1.0);
+  EXPECT_DOUBLE_EQ(layout.y(g10), 1.0);
+  // Gate 16 = NAND(2, 11): Y(2) = 1, Y(11) = mean(2,3) = 2.5 -> 1.75.
+  EXPECT_DOUBLE_EQ(layout.y(*c.find_net("16")), 1.75);
+}
+
+TEST(LayoutTest, DistanceIsEuclidean) {
+  Circuit c = make_c17();
+  Structure s(c);
+  LayoutEstimate layout(c, s);
+  const NetId a = c.inputs()[0];  // (0, 0)
+  const NetId g10 = *c.find_net("10");  // (1, 1)
+  EXPECT_NEAR(layout.distance(a, g10), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(layout.distance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace dp::netlist

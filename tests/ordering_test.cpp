@@ -1,0 +1,113 @@
+// Variable-ordering heuristics and order-parameterized good functions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "dp/good_functions.hpp"
+#include "dp/ordering.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::core {
+namespace {
+
+using netlist::Circuit;
+
+void expect_permutation(const std::vector<std::size_t>& order, std::size_t n) {
+  ASSERT_EQ(order.size(), n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t v : order) {
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+class OrderKindTest : public ::testing::TestWithParam<VarOrderKind> {};
+
+TEST_P(OrderKindTest, ProducesAPermutationOnEveryBenchmark) {
+  for (const std::string& name : netlist::benchmark_names()) {
+    const Circuit c = netlist::make_benchmark(name);
+    expect_permutation(compute_variable_order(c, GetParam()),
+                       c.num_inputs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, OrderKindTest,
+                         ::testing::Values(VarOrderKind::PiOrder,
+                                           VarOrderKind::Reverse,
+                                           VarOrderKind::FaninDfs,
+                                           VarOrderKind::Random));
+
+TEST(OrderingTest, PiOrderIsIdentityAndReverseReverses) {
+  const Circuit c = netlist::make_alu181();
+  const auto id = compute_variable_order(c, VarOrderKind::PiOrder);
+  for (std::size_t i = 0; i < id.size(); ++i) EXPECT_EQ(id[i], i);
+  const auto rev = compute_variable_order(c, VarOrderKind::Reverse);
+  for (std::size_t i = 0; i < rev.size(); ++i) {
+    EXPECT_EQ(rev[i], rev.size() - 1 - i);
+  }
+}
+
+TEST(OrderingTest, RandomIsSeedDeterministic) {
+  const Circuit c = netlist::make_c432_analog();
+  EXPECT_EQ(compute_variable_order(c, VarOrderKind::Random, 5),
+            compute_variable_order(c, VarOrderKind::Random, 5));
+  EXPECT_NE(compute_variable_order(c, VarOrderKind::Random, 5),
+            compute_variable_order(c, VarOrderKind::Random, 6));
+}
+
+TEST(OrderingTest, OrderChangesSizesNotSemantics) {
+  const Circuit c = netlist::make_c95_analog();
+  bdd::Manager m1(0), m2(0);
+  GoodFunctions g1(m1, c);  // identity
+  GoodFunctionOptions opt;
+  opt.variable_order = compute_variable_order(c, VarOrderKind::Reverse);
+  GoodFunctions g2(m2, c, opt);
+  // Semantics: satcounts (order-independent) agree on every net.
+  for (netlist::NetId id = 0; id < c.num_nets(); ++id) {
+    EXPECT_DOUBLE_EQ(g1.at(id).sat_count(g1.num_vars()),
+                     g2.at(id).sat_count(g2.num_vars()))
+        << c.net_name(id);
+  }
+}
+
+TEST(OrderingTest, VarOfInputMapsThroughTheOrder) {
+  const Circuit c = netlist::make_full_adder();
+  GoodFunctionOptions opt;
+  opt.variable_order = {2, 0, 1};
+  bdd::Manager m(0);
+  GoodFunctions g(m, c, opt);
+  EXPECT_EQ(g.var_of_input(0), 2u);
+  EXPECT_EQ(g.var_of_input(1), 0u);
+  // PI 1 ("b") must literally be variable 0.
+  EXPECT_EQ(g.at(c.inputs()[1]), m.var(0));
+}
+
+TEST(OrderingTest, InvalidOrdersRejected) {
+  const Circuit c = netlist::make_full_adder();
+  for (std::vector<std::size_t> bad :
+       {std::vector<std::size_t>{0, 1},        // wrong size
+        std::vector<std::size_t>{0, 1, 3},     // out of range
+        std::vector<std::size_t>{0, 1, 1}}) {  // duplicate
+    bdd::Manager m(0);
+    GoodFunctionOptions opt;
+    opt.variable_order = bad;
+    EXPECT_THROW(GoodFunctions(m, c, opt), bdd::BddError);
+  }
+}
+
+TEST(OrderingTest, FaninDfsKeepsRelatedInputsTogether) {
+  // For the parity chain, fanin DFS visits inputs along the chain; the
+  // resulting order must give the linear-size parity BDD, like PI order.
+  const Circuit c = netlist::make_parity_tree(12, /*balanced=*/false);
+  GoodFunctionOptions opt;
+  opt.variable_order = compute_variable_order(c, VarOrderKind::FaninDfs);
+  bdd::Manager m(0);
+  GoodFunctions g(m, c, opt);
+  // Parity of n variables: 2n-1 decision nodes plus 2 terminals.
+  EXPECT_EQ(g.at(c.outputs()[0]).dag_size(), 2 * 12u + 1);
+}
+
+}  // namespace
+}  // namespace dp::core

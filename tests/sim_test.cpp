@@ -1,0 +1,215 @@
+// Simulator tests: lane packing, stuck-at and bridging injection semantics,
+// exhaustive sweeps, vector grading.
+#include <gtest/gtest.h>
+
+#include "fault/stuck_at.hpp"
+#include "netlist/generators.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace dp::sim {
+namespace {
+
+using fault::BridgingFault;
+using fault::StuckAtFault;
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NetId;
+
+TEST(PatternSimTest, ExhaustiveInputWordsEnumerateAllVectors) {
+  // Block 0, 6 PIs: lane L must encode vector number L.
+  for (std::size_t pi = 0; pi < 6; ++pi) {
+    const Word w = PatternSimulator::exhaustive_input_word(pi, 0);
+    for (std::uint64_t lane = 0; lane < 64; ++lane) {
+      EXPECT_EQ((w >> lane) & 1, (lane >> pi) & 1);
+    }
+  }
+  // PI >= 6 is constant per block, driven by the block number.
+  EXPECT_EQ(PatternSimulator::exhaustive_input_word(6, 0), 0u);
+  EXPECT_EQ(PatternSimulator::exhaustive_input_word(6, 1), ~Word{0});
+  EXPECT_EQ(PatternSimulator::exhaustive_input_word(7, 2), ~Word{0});
+  EXPECT_EQ(PatternSimulator::exhaustive_input_word(7, 1), 0u);
+}
+
+TEST(PatternSimTest, BlockMaskCoversSmallCircuits) {
+  EXPECT_EQ(PatternSimulator::block_mask(0, 3), 0xffu);
+  EXPECT_EQ(PatternSimulator::block_mask(0, 6), ~Word{0});
+  EXPECT_EQ(PatternSimulator::block_mask(5, 20), ~Word{0});
+}
+
+TEST(PatternSimTest, GateEvaluationMatchesTruthTables) {
+  Circuit c("gates");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  std::vector<std::pair<GateType, Word>> expect = {
+      {GateType::And, 0x8}, {GateType::Nand, 0x7}, {GateType::Or, 0xe},
+      {GateType::Nor, 0x1}, {GateType::Xor, 0x6},  {GateType::Xnor, 0x9}};
+  std::vector<NetId> outs;
+  for (auto& [t, tt] : expect) {
+    outs.push_back(c.add_gate(t, {a, b}, std::string(netlist::to_string(t))));
+    c.mark_output(outs.back());
+  }
+  c.finalize();
+  PatternSimulator ps(c);
+  std::vector<Word> values(c.num_nets());
+  values[a] = PatternSimulator::exhaustive_input_word(0, 0);
+  values[b] = PatternSimulator::exhaustive_input_word(1, 0);
+  ps.eval(values);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(values[outs[i]] & 0xf, expect[i].second)
+        << netlist::to_string(expect[i].first);
+  }
+}
+
+TEST(FaultSimTest, StemStuckAtForcesNet) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  const NetId n16 = *c.find_net("16");
+  StuckAtFault f{n16, std::nullopt, true};
+  std::vector<Word> values(c.num_nets());
+  for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+    values[c.inputs()[i]] = PatternSimulator::exhaustive_input_word(i, 0);
+  }
+  fs.faulty_values(values, f);
+  EXPECT_EQ(values[n16], ~Word{0});
+}
+
+TEST(FaultSimTest, BranchStuckAtLeavesStemClean) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  const NetId n11 = *c.find_net("11");
+  const NetId n16 = *c.find_net("16");
+  // Branch 11->16 stuck at 1: net 11 keeps its good value, gate 16 sees 1.
+  StuckAtFault f{n11, netlist::PinRef{n16, 1}, true};
+  std::vector<Word> good(c.num_nets()), bad(c.num_nets());
+  for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+    good[c.inputs()[i]] = bad[c.inputs()[i]] =
+        PatternSimulator::exhaustive_input_word(i, 0);
+  }
+  fs.good_values(good);
+  fs.faulty_values(bad, f);
+  EXPECT_EQ(bad[n11], good[n11]);  // stem unaffected
+  // Gate 19 also reads net 11 and must be unaffected.
+  EXPECT_EQ(bad[*c.find_net("19")], good[*c.find_net("19")]);
+  // Gate 16 = NAND(2, forced 1) == NOT(2).
+  const Word i2 = good[*c.find_net("2")];
+  EXPECT_EQ(bad[n16], ~i2);
+}
+
+TEST(FaultSimTest, AndBridgeWiresBothNets) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  const NetId n10 = *c.find_net("10");
+  const NetId n19 = *c.find_net("19");
+  BridgingFault f{std::min(n10, n19), std::max(n10, n19),
+                  fault::BridgeType::And};
+  std::vector<Word> good(c.num_nets()), bad(c.num_nets());
+  for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+    good[c.inputs()[i]] = bad[c.inputs()[i]] =
+        PatternSimulator::exhaustive_input_word(i, 0);
+  }
+  fs.good_values(good);
+  fs.faulty_values(bad, f);
+  EXPECT_EQ(bad[n10], good[n10] & good[n19]);
+  EXPECT_EQ(bad[n19], good[n10] & good[n19]);
+}
+
+TEST(FaultSimTest, BridgeConsumersSeeWiredValue) {
+  // a -> g = NOT(a); b independent. Bridge (a, b): g must compute
+  // NOT(wired) even though b comes later in the original topo order.
+  Circuit c("order");
+  NetId a = c.add_input("a");
+  NetId g = c.add_gate(GateType::Not, {a}, "g");
+  NetId b = c.add_input("b");
+  NetId h = c.add_gate(GateType::Not, {b}, "h");
+  c.mark_output(g);
+  c.mark_output(h);
+  c.finalize();
+  FaultSimulator fs(c);
+  BridgingFault f{a, b, fault::BridgeType::Or};
+  std::vector<Word> values(c.num_nets());
+  values[a] = 0b0011;  // lanes: a = 1 on lanes 0,1
+  values[b] = 0b0101;
+  fs.faulty_values(values, f);
+  const Word wired = 0b0111;
+  EXPECT_EQ(values[g] & 0xf, static_cast<Word>(~wired) & 0xf);
+  EXPECT_EQ(values[h] & 0xf, static_cast<Word>(~wired) & 0xf);
+}
+
+TEST(FaultSimTest, ExhaustiveDetectabilityKnownValues) {
+  // Full adder, sum output chain: sa0 on PI "a" (stem).
+  // a is XORed into sum: every vector flips sum when a = 1 -> all 4
+  // vectors with a = 1 detect via sum. Detectability = 1/2.
+  Circuit c = netlist::make_full_adder();
+  FaultSimulator fs(c);
+  StuckAtFault f{c.inputs()[0], std::nullopt, false};
+  EXPECT_DOUBLE_EQ(fs.exhaustive_detectability(f), 0.5);
+  // sa1 on "a": detected whenever a = 0 -> also 1/2.
+  StuckAtFault f1{c.inputs()[0], std::nullopt, true};
+  EXPECT_DOUBLE_EQ(fs.exhaustive_detectability(f1), 0.5);
+}
+
+TEST(FaultSimTest, ExhaustiveSyndromeKnownValues) {
+  Circuit c = netlist::make_full_adder();
+  FaultSimulator fs(c);
+  // sum = a ^ b ^ cin has syndrome 1/2; cout = majority has 1/2.
+  EXPECT_DOUBLE_EQ(fs.exhaustive_syndrome(*c.find_net("sum")), 0.5);
+  EXPECT_DOUBLE_EQ(fs.exhaustive_syndrome(*c.find_net("cout")), 0.5);
+  // ab = a & b has syndrome 1/4.
+  EXPECT_DOUBLE_EQ(fs.exhaustive_syndrome(*c.find_net("ab")), 0.25);
+}
+
+TEST(FaultSimTest, ExhaustiveTestSetMatchesDetectability) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  for (const auto& f : fault::checkpoint_faults(c)) {
+    const auto tests = fs.exhaustive_test_set(f);
+    std::size_t count = 0;
+    for (bool t : tests) count += t;
+    EXPECT_DOUBLE_EQ(static_cast<double>(count) / 32.0,
+                     fs.exhaustive_detectability(f))
+        << describe(f, c);
+  }
+}
+
+TEST(FaultSimTest, InputLimitEnforced) {
+  Circuit c = netlist::make_c499_analog();  // 41 PIs
+  FaultSimulator fs(c);
+  StuckAtFault f{c.inputs()[0], std::nullopt, false};
+  EXPECT_THROW((void)fs.exhaustive_detectability(f), std::invalid_argument);
+}
+
+TEST(FaultSimTest, RandomGradingDetectsEverythingOnC17) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  const auto faults = fault::checkpoint_faults(c);
+  const auto cov = fs.grade_random(faults, 256, 99);
+  // All C17 checkpoint faults are detectable and easy to hit randomly.
+  EXPECT_EQ(cov.detected, cov.total);
+  EXPECT_DOUBLE_EQ(cov.fraction(), 1.0);
+}
+
+TEST(FaultSimTest, VectorGradingCountsDetections) {
+  Circuit c = netlist::make_c17();
+  FaultSimulator fs(c);
+  const auto faults = fault::checkpoint_faults(c);
+  // One all-zeros vector detects some but not all faults.
+  const auto cov1 =
+      fs.grade_vectors(faults, {std::vector<bool>(c.num_inputs(), false)});
+  EXPECT_GT(cov1.detected, 0u);
+  EXPECT_LT(cov1.detected, cov1.total);
+  // Exhaustive vector list detects everything.
+  std::vector<std::vector<bool>> all;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (v >> i) & 1;
+    all.push_back(in);
+  }
+  const auto cov = fs.grade_vectors(faults, all);
+  EXPECT_EQ(cov.detected, cov.total);
+  // Width mismatch rejected.
+  EXPECT_THROW(fs.grade_vectors(faults, {std::vector<bool>(3, false)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dp::sim
