@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_decomposition.dir/abl_decomposition.cpp.o"
+  "CMakeFiles/abl_decomposition.dir/abl_decomposition.cpp.o.d"
+  "abl_decomposition"
+  "abl_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_variable_order.dir/abl_variable_order.cpp.o"
+  "CMakeFiles/abl_variable_order.dir/abl_variable_order.cpp.o.d"
+  "abl_variable_order"
+  "abl_variable_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variable_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sa_histograms.dir/fig1_sa_histograms.cpp.o"
+  "CMakeFiles/fig1_sa_histograms.dir/fig1_sa_histograms.cpp.o.d"
+  "fig1_sa_histograms"
+  "fig1_sa_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sa_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sa_trends.dir/fig2_sa_trends.cpp.o"
+  "CMakeFiles/fig2_sa_trends.dir/fig2_sa_trends.cpp.o.d"
+  "fig2_sa_trends"
+  "fig2_sa_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sa_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

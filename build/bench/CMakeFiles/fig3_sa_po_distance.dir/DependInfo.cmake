@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_sa_po_distance.cpp" "bench/CMakeFiles/fig3_sa_po_distance.dir/fig3_sa_po_distance.cpp.o" "gcc" "bench/CMakeFiles/fig3_sa_po_distance.dir/fig3_sa_po_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/dp_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

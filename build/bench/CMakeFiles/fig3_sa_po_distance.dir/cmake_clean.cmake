@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sa_po_distance.dir/fig3_sa_po_distance.cpp.o"
+  "CMakeFiles/fig3_sa_po_distance.dir/fig3_sa_po_distance.cpp.o.d"
+  "fig3_sa_po_distance"
+  "fig3_sa_po_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sa_po_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

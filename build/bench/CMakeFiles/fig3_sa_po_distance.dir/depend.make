@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_sa_po_distance.
+# This may be replaced when dependencies are built.

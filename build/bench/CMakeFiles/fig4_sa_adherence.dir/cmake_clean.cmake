@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sa_adherence.dir/fig4_sa_adherence.cpp.o"
+  "CMakeFiles/fig4_sa_adherence.dir/fig4_sa_adherence.cpp.o.d"
+  "fig4_sa_adherence"
+  "fig4_sa_adherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sa_adherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

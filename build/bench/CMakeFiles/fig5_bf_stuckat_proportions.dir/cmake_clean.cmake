@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bf_stuckat_proportions.dir/fig5_bf_stuckat_proportions.cpp.o"
+  "CMakeFiles/fig5_bf_stuckat_proportions.dir/fig5_bf_stuckat_proportions.cpp.o.d"
+  "fig5_bf_stuckat_proportions"
+  "fig5_bf_stuckat_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bf_stuckat_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bf_histograms.dir/fig6_bf_histograms.cpp.o"
+  "CMakeFiles/fig6_bf_histograms.dir/fig6_bf_histograms.cpp.o.d"
+  "fig6_bf_histograms"
+  "fig6_bf_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bf_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

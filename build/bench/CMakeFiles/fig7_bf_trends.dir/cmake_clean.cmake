@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bf_trends.dir/fig7_bf_trends.cpp.o"
+  "CMakeFiles/fig7_bf_trends.dir/fig7_bf_trends.cpp.o.d"
+  "fig7_bf_trends"
+  "fig7_bf_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bf_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_engine_comparison.dir/obs_engine_comparison.cpp.o"
+  "CMakeFiles/obs_engine_comparison.dir/obs_engine_comparison.cpp.o.d"
+  "obs_engine_comparison"
+  "obs_engine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_engine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

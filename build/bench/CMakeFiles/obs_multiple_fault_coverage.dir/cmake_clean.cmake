@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_multiple_fault_coverage.dir/obs_multiple_fault_coverage.cpp.o"
+  "CMakeFiles/obs_multiple_fault_coverage.dir/obs_multiple_fault_coverage.cpp.o.d"
+  "obs_multiple_fault_coverage"
+  "obs_multiple_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_multiple_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_multiple_fault_coverage.
+# This may be replaced when dependencies are built.

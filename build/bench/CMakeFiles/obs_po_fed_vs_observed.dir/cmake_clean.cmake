@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_po_fed_vs_observed.dir/obs_po_fed_vs_observed.cpp.o"
+  "CMakeFiles/obs_po_fed_vs_observed.dir/obs_po_fed_vs_observed.cpp.o.d"
+  "obs_po_fed_vs_observed"
+  "obs_po_fed_vs_observed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_po_fed_vs_observed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

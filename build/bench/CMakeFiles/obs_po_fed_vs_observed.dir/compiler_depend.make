@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obs_po_fed_vs_observed.
+# This may be replaced when dependencies are built.

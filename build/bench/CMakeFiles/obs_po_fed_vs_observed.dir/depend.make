@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_po_fed_vs_observed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_random_pattern_length.dir/obs_random_pattern_length.cpp.o"
+  "CMakeFiles/obs_random_pattern_length.dir/obs_random_pattern_length.cpp.o.d"
+  "obs_random_pattern_length"
+  "obs_random_pattern_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_random_pattern_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

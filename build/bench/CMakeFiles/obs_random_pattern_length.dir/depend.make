@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_random_pattern_length.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_syndrome_testing.dir/obs_syndrome_testing.cpp.o"
+  "CMakeFiles/obs_syndrome_testing.dir/obs_syndrome_testing.cpp.o.d"
+  "obs_syndrome_testing"
+  "obs_syndrome_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_syndrome_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_xor_expansion.dir/obs_xor_expansion.cpp.o"
+  "CMakeFiles/obs_xor_expansion.dir/obs_xor_expansion.cpp.o.d"
+  "obs_xor_expansion"
+  "obs_xor_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_xor_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

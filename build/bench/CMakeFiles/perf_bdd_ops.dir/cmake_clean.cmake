@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_bdd_ops.dir/perf_bdd_ops.cpp.o"
+  "CMakeFiles/perf_bdd_ops.dir/perf_bdd_ops.cpp.o.d"
+  "perf_bdd_ops"
+  "perf_bdd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_bdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_dp_vs_exhaustive.dir/perf_dp_vs_exhaustive.cpp.o"
+  "CMakeFiles/perf_dp_vs_exhaustive.dir/perf_dp_vs_exhaustive.cpp.o.d"
+  "perf_dp_vs_exhaustive"
+  "perf_dp_vs_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dp_vs_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

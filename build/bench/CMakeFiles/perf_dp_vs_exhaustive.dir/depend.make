@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_dp_vs_exhaustive.
+# This may be replaced when dependencies are built.

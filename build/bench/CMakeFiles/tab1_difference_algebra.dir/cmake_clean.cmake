@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_difference_algebra.dir/tab1_difference_algebra.cpp.o"
+  "CMakeFiles/tab1_difference_algebra.dir/tab1_difference_algebra.cpp.o.d"
+  "tab1_difference_algebra"
+  "tab1_difference_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_difference_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_tool.dir/atpg_tool.cpp.o"
+  "CMakeFiles/atpg_tool.dir/atpg_tool.cpp.o.d"
+  "atpg_tool"
+  "atpg_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridging_analysis.dir/bridging_analysis.cpp.o"
+  "CMakeFiles/bridging_analysis.dir/bridging_analysis.cpp.o.d"
+  "bridging_analysis"
+  "bridging_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridging_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

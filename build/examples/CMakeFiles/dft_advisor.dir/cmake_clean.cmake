@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_advisor.dir/dft_advisor.cpp.o"
+  "CMakeFiles/dft_advisor.dir/dft_advisor.cpp.o.d"
+  "dft_advisor"
+  "dft_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

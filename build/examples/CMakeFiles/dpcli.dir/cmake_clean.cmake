@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpcli.dir/dpcli.cpp.o"
+  "CMakeFiles/dpcli.dir/dpcli.cpp.o.d"
+  "dpcli"
+  "dpcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_testability_report "/root/repo/build/examples/testability_report" "c17")
+set_tests_properties(example_testability_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bridging_analysis "/root/repo/build/examples/bridging_analysis" "c17" "20")
+set_tests_properties(example_bridging_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_atpg_tool "/root/repo/build/examples/atpg_tool" "c17")
+set_tests_properties(example_atpg_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dft_advisor "/root/repo/build/examples/dft_advisor" "c17" "1")
+set_tests_properties(example_dft_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_list "/root/repo/build/examples/dpcli" "list")
+set_tests_properties(example_dpcli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_info "/root/repo/build/examples/dpcli" "info" "alu181")
+set_tests_properties(example_dpcli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_fault "/root/repo/build/examples/dpcli" "fault" "c17" "16" "1")
+set_tests_properties(example_dpcli_fault PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_syndrome "/root/repo/build/examples/dpcli" "syndrome" "c17")
+set_tests_properties(example_dpcli_syndrome PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_atpg "/root/repo/build/examples/dpcli" "atpg" "c95")
+set_tests_properties(example_dpcli_atpg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_write "/root/repo/build/examples/dpcli" "write" "c432")
+set_tests_properties(example_dpcli_write PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_dot "/root/repo/build/examples/dpcli" "dot" "c17" "22")
+set_tests_properties(example_dpcli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_usage "/root/repo/build/examples/dpcli")
+set_tests_properties(example_dpcli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpcli_diagnose "/root/repo/build/examples/dpcli" "diagnose" "c17" "16" "1")
+set_tests_properties(example_dpcli_diagnose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_analysis.dir/diagnosis.cpp.o"
+  "CMakeFiles/dp_analysis.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/dp_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/dp_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/dp_analysis.dir/profiles.cpp.o"
+  "CMakeFiles/dp_analysis.dir/profiles.cpp.o.d"
+  "CMakeFiles/dp_analysis.dir/random_pattern.cpp.o"
+  "CMakeFiles/dp_analysis.dir/random_pattern.cpp.o.d"
+  "CMakeFiles/dp_analysis.dir/report.cpp.o"
+  "CMakeFiles/dp_analysis.dir/report.cpp.o.d"
+  "libdp_analysis.a"
+  "libdp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

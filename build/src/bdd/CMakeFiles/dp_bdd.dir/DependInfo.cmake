@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/dot_export.cpp" "src/bdd/CMakeFiles/dp_bdd.dir/dot_export.cpp.o" "gcc" "src/bdd/CMakeFiles/dp_bdd.dir/dot_export.cpp.o.d"
+  "/root/repo/src/bdd/manager_core.cpp" "src/bdd/CMakeFiles/dp_bdd.dir/manager_core.cpp.o" "gcc" "src/bdd/CMakeFiles/dp_bdd.dir/manager_core.cpp.o.d"
+  "/root/repo/src/bdd/manager_ops.cpp" "src/bdd/CMakeFiles/dp_bdd.dir/manager_ops.cpp.o" "gcc" "src/bdd/CMakeFiles/dp_bdd.dir/manager_ops.cpp.o.d"
+  "/root/repo/src/bdd/manager_query.cpp" "src/bdd/CMakeFiles/dp_bdd.dir/manager_query.cpp.o" "gcc" "src/bdd/CMakeFiles/dp_bdd.dir/manager_query.cpp.o.d"
+  "/root/repo/src/bdd/manager_reorder.cpp" "src/bdd/CMakeFiles/dp_bdd.dir/manager_reorder.cpp.o" "gcc" "src/bdd/CMakeFiles/dp_bdd.dir/manager_reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_bdd.dir/dot_export.cpp.o"
+  "CMakeFiles/dp_bdd.dir/dot_export.cpp.o.d"
+  "CMakeFiles/dp_bdd.dir/manager_core.cpp.o"
+  "CMakeFiles/dp_bdd.dir/manager_core.cpp.o.d"
+  "CMakeFiles/dp_bdd.dir/manager_ops.cpp.o"
+  "CMakeFiles/dp_bdd.dir/manager_ops.cpp.o.d"
+  "CMakeFiles/dp_bdd.dir/manager_query.cpp.o"
+  "CMakeFiles/dp_bdd.dir/manager_query.cpp.o.d"
+  "CMakeFiles/dp_bdd.dir/manager_reorder.cpp.o"
+  "CMakeFiles/dp_bdd.dir/manager_reorder.cpp.o.d"
+  "libdp_bdd.a"
+  "libdp_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

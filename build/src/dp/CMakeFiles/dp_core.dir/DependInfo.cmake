@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/boolean_difference.cpp" "src/dp/CMakeFiles/dp_core.dir/boolean_difference.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/boolean_difference.cpp.o.d"
+  "/root/repo/src/dp/difference.cpp" "src/dp/CMakeFiles/dp_core.dir/difference.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/difference.cpp.o.d"
+  "/root/repo/src/dp/engine.cpp" "src/dp/CMakeFiles/dp_core.dir/engine.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/engine.cpp.o.d"
+  "/root/repo/src/dp/good_functions.cpp" "src/dp/CMakeFiles/dp_core.dir/good_functions.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/good_functions.cpp.o.d"
+  "/root/repo/src/dp/ordering.cpp" "src/dp/CMakeFiles/dp_core.dir/ordering.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/dp/symbolic_sim.cpp" "src/dp/CMakeFiles/dp_core.dir/symbolic_sim.cpp.o" "gcc" "src/dp/CMakeFiles/dp_core.dir/symbolic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/dp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dp_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

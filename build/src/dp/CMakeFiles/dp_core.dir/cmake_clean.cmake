@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_core.dir/boolean_difference.cpp.o"
+  "CMakeFiles/dp_core.dir/boolean_difference.cpp.o.d"
+  "CMakeFiles/dp_core.dir/difference.cpp.o"
+  "CMakeFiles/dp_core.dir/difference.cpp.o.d"
+  "CMakeFiles/dp_core.dir/engine.cpp.o"
+  "CMakeFiles/dp_core.dir/engine.cpp.o.d"
+  "CMakeFiles/dp_core.dir/good_functions.cpp.o"
+  "CMakeFiles/dp_core.dir/good_functions.cpp.o.d"
+  "CMakeFiles/dp_core.dir/ordering.cpp.o"
+  "CMakeFiles/dp_core.dir/ordering.cpp.o.d"
+  "CMakeFiles/dp_core.dir/symbolic_sim.cpp.o"
+  "CMakeFiles/dp_core.dir/symbolic_sim.cpp.o.d"
+  "libdp_core.a"
+  "libdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/bridging.cpp" "src/fault/CMakeFiles/dp_fault.dir/bridging.cpp.o" "gcc" "src/fault/CMakeFiles/dp_fault.dir/bridging.cpp.o.d"
+  "/root/repo/src/fault/multiple.cpp" "src/fault/CMakeFiles/dp_fault.dir/multiple.cpp.o" "gcc" "src/fault/CMakeFiles/dp_fault.dir/multiple.cpp.o.d"
+  "/root/repo/src/fault/sampling.cpp" "src/fault/CMakeFiles/dp_fault.dir/sampling.cpp.o" "gcc" "src/fault/CMakeFiles/dp_fault.dir/sampling.cpp.o.d"
+  "/root/repo/src/fault/stuck_at.cpp" "src/fault/CMakeFiles/dp_fault.dir/stuck_at.cpp.o" "gcc" "src/fault/CMakeFiles/dp_fault.dir/stuck_at.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_fault.dir/bridging.cpp.o"
+  "CMakeFiles/dp_fault.dir/bridging.cpp.o.d"
+  "CMakeFiles/dp_fault.dir/multiple.cpp.o"
+  "CMakeFiles/dp_fault.dir/multiple.cpp.o.d"
+  "CMakeFiles/dp_fault.dir/sampling.cpp.o"
+  "CMakeFiles/dp_fault.dir/sampling.cpp.o.d"
+  "CMakeFiles/dp_fault.dir/stuck_at.cpp.o"
+  "CMakeFiles/dp_fault.dir/stuck_at.cpp.o.d"
+  "libdp_fault.a"
+  "libdp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

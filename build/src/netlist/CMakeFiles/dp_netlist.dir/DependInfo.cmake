@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/generators_alu.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_alu.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_alu.cpp.o.d"
+  "/root/repo/src/netlist/generators_basic.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_basic.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_basic.cpp.o.d"
+  "/root/repo/src/netlist/generators_ecc.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_ecc.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_ecc.cpp.o.d"
+  "/root/repo/src/netlist/generators_mult.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_mult.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_mult.cpp.o.d"
+  "/root/repo/src/netlist/generators_priority.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_priority.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_priority.cpp.o.d"
+  "/root/repo/src/netlist/generators_suite.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/generators_suite.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/generators_suite.cpp.o.d"
+  "/root/repo/src/netlist/layout.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/layout.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/layout.cpp.o.d"
+  "/root/repo/src/netlist/structure.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/structure.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/structure.cpp.o.d"
+  "/root/repo/src/netlist/testpoints.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/testpoints.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/testpoints.cpp.o.d"
+  "/root/repo/src/netlist/transforms.cpp" "src/netlist/CMakeFiles/dp_netlist.dir/transforms.cpp.o" "gcc" "src/netlist/CMakeFiles/dp_netlist.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

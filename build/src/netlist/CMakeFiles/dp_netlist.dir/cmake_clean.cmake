@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/dp_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/dp_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/gate.cpp.o"
+  "CMakeFiles/dp_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_alu.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_alu.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_basic.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_basic.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_ecc.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_ecc.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_mult.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_mult.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_priority.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_priority.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/generators_suite.cpp.o"
+  "CMakeFiles/dp_netlist.dir/generators_suite.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/layout.cpp.o"
+  "CMakeFiles/dp_netlist.dir/layout.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/structure.cpp.o"
+  "CMakeFiles/dp_netlist.dir/structure.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/testpoints.cpp.o"
+  "CMakeFiles/dp_netlist.dir/testpoints.cpp.o.d"
+  "CMakeFiles/dp_netlist.dir/transforms.cpp.o"
+  "CMakeFiles/dp_netlist.dir/transforms.cpp.o.d"
+  "libdp_netlist.a"
+  "libdp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/dp_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/dp_sim.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/pattern_sim.cpp" "src/sim/CMakeFiles/dp_sim.dir/pattern_sim.cpp.o" "gcc" "src/sim/CMakeFiles/dp_sim.dir/pattern_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dp_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

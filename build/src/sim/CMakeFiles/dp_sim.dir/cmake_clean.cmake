@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/dp_sim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/dp_sim.dir/pattern_sim.cpp.o"
+  "CMakeFiles/dp_sim.dir/pattern_sim.cpp.o.d"
+  "libdp_sim.a"
+  "libdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_engine_test.dir/dp_engine_test.cpp.o"
+  "CMakeFiles/dp_engine_test.dir/dp_engine_test.cpp.o.d"
+  "dp_engine_test"
+  "dp_engine_test.pdb"
+  "dp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

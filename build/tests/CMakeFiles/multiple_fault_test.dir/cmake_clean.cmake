@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_fault_test.dir/multiple_fault_test.cpp.o"
+  "CMakeFiles/multiple_fault_test.dir/multiple_fault_test.cpp.o.d"
+  "multiple_fault_test"
+  "multiple_fault_test.pdb"
+  "multiple_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

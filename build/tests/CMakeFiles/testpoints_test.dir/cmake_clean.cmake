@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testpoints_test.dir/testpoints_test.cpp.o"
+  "CMakeFiles/testpoints_test.dir/testpoints_test.cpp.o.d"
+  "testpoints_test"
+  "testpoints_test.pdb"
+  "testpoints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testpoints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
