@@ -22,12 +22,24 @@ inline void banner(const std::string& id, const std::string& claim) {
 }
 
 /// Bridging-fault sample size: the paper tuned theta for ~1000 faults.
-/// Override with DP_BENCH_BF_COUNT for quick runs.
-inline analysis::AnalysisOptions default_options() {
+/// Override with DP_BENCH_BF_COUNT for quick runs. Pass the bench's argv
+/// to honor `--jobs N` (or the DP_BENCH_JOBS env var): the sweep then
+/// runs fault-parallel with N private-manager workers (0 = all hardware
+/// threads); results are bit-identical to the serial sweep.
+inline analysis::AnalysisOptions default_options(int argc = 0,
+                                                 char** argv = nullptr) {
   analysis::AnalysisOptions opt;
   opt.sampling.target_count = 1000;
   if (const char* env = std::getenv("DP_BENCH_BF_COUNT")) {
     opt.sampling.target_count = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (const char* env = std::getenv("DP_BENCH_JOBS")) {
+    opt.jobs = static_cast<std::size_t>(std::atoll(env));
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
   }
   return opt;
 }

@@ -4,14 +4,15 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 1 -- stuck-at detection probability histograms",
                 "Profiles of exact detectabilities for C95 and the 74LS181; "
                 "mass concentrates at low detectabilities.");
 
+  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
   for (const char* name : {"c95", "alu181"}) {
     const analysis::CircuitProfile p =
-        analysis::analyze_stuck_at(netlist::make_benchmark(name));
+        analysis::analyze_stuck_at(netlist::make_benchmark(name), opt);
     std::cout << "\nCircuit " << p.circuit << ": " << p.faults.size()
               << " collapsed checkpoint faults, " << p.detectable_count()
               << " detectable\n";

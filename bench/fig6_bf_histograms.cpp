@@ -8,12 +8,12 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 6 -- bridging-fault detection histograms (C95)",
                 "AND and OR NFBF profiles are very nearly the same; "
                 "dominance hardly matters for detectability.");
 
-  const analysis::AnalysisOptions opt = bench::default_options();
+  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
   const netlist::Circuit c = netlist::make_benchmark("c95");
 
   std::map<fault::BridgeType, analysis::Histogram> hists;

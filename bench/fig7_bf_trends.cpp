@@ -6,12 +6,12 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 7 -- mean bridging-fault detectability vs size",
                 "Bridging means slightly above stuck-at means; normalized "
                 "detectability still decreasing with netlist size.");
 
-  const analysis::AnalysisOptions opt = bench::default_options();
+  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
   analysis::TextTable table({"circuit", "gates", "AND mean", "OR mean",
                              "AND mean/#POs", "OR mean/#POs", "SA mean"});
   std::cout << "csv:circuit,gates,and_mean,or_mean,and_norm,or_norm,sa_mean\n";
@@ -24,7 +24,7 @@ int main() {
         analysis::analyze_bridging(c, fault::BridgeType::And, opt);
     const analysis::CircuitProfile po =
         analysis::analyze_bridging(c, fault::BridgeType::Or, opt);
-    const analysis::CircuitProfile ps = analysis::analyze_stuck_at(c);
+    const analysis::CircuitProfile ps = analysis::analyze_stuck_at(c, opt);
     const double am = pa.mean_detectability_detectable();
     const double om = po.mean_detectability_detectable();
     const double an = pa.mean_detectability_per_po();

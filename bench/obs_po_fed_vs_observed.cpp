@@ -14,8 +14,10 @@ int main() {
                 "Structurally reachable PO counts nearly always equal the "
                 "counts of POs where the fault is actually observable.");
 
+  // Branch-site checkpoints are skipped: their fed count refers to the
+  // fanout stem while the difference only travels through the fed gate.
   analysis::TextTable table(
-      {"circuit", "faults (detectable)", "fed == observed", "fraction"});
+      {"circuit", "stem faults (detectable)", "fed == observed", "fraction"});
   std::cout << "csv:circuit,fraction_equal\n";
   double min_fraction = 1.0;
   for (const std::string& name : netlist::benchmark_names()) {
@@ -24,7 +26,7 @@ int main() {
     const double frac = p.po_fed_equals_observed_fraction();
     std::size_t eq = 0, det = 0;
     for (const auto& f : p.faults) {
-      if (!f.detectable) continue;
+      if (!f.detectable || f.branch_site) continue;
       ++det;
       eq += (f.pos_fed == f.pos_observable);
     }

@@ -1,0 +1,127 @@
+// Fault-parallel sweep performance: serial DifferencePropagator loop vs
+// ParallelEngine on the C432-class circuit's collapsed checkpoint faults.
+// Verifies the parallel results are bit-identical to serial, then reports
+// the wall-clock speedup. Usage: perf_parallel_dp [--jobs N] (default 4;
+// DP_BENCH_JOBS env also honored).
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common.hpp"
+#include "dp/parallel_engine.hpp"
+#include "fault/stuck_at.hpp"
+
+using namespace dp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The scalar outputs every sweep must agree on exactly.
+struct Scalars {
+  bool detectable;
+  double detectability, upper_bound, adherence;
+  std::size_t pos_fed, pos_observable;
+
+  bool operator==(const Scalars&) const = default;
+};
+
+Scalars scalars(const core::FaultAnalysis& a) {
+  return {a.detectable, a.detectability, a.upper_bound,
+          a.adherence,  a.pos_fed,       a.pos_observable};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Perf -- fault-parallel Difference Propagation (C432-class)",
+                "Per-fault analyses are independent; a private-manager "
+                "worker pool scales the sweep with cores, bit-identically.");
+
+  std::size_t jobs = 4;
+  if (const char* env = std::getenv("DP_BENCH_JOBS")) {
+    jobs = static_cast<std::size_t>(std::atoll(env));
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const netlist::Circuit circuit = netlist::make_benchmark("c432");
+  const netlist::Structure structure(circuit);
+  const std::vector<fault::StuckAtFault> faults =
+      fault::collapse_checkpoint_faults(circuit);
+  std::cout << "\nCircuit " << circuit.name() << ": " << circuit.num_gates()
+            << " gates, " << faults.size()
+            << " collapsed checkpoint faults\n";
+
+  // Serial baseline: the pre-engine loop, one manager, one thread.
+  const auto serial_start = Clock::now();
+  std::vector<Scalars> serial;
+  serial.reserve(faults.size());
+  {
+    bdd::Manager manager(0, 32u * 1024 * 1024);
+    core::GoodFunctions good(manager, circuit);
+    core::DifferencePropagator propagator(good, structure);
+    for (const fault::StuckAtFault& f : faults) {
+      serial.push_back(scalars(propagator.analyze(f)));
+    }
+  }
+  const double serial_s = seconds_since(serial_start);
+  std::cout << "serial sweep:   " << analysis::TextTable::num(serial_s, 3)
+            << " s (" << analysis::TextTable::num(faults.size() / serial_s, 1)
+            << " faults/s)\n";
+
+  // Parallel sweep (engine construction included: building one
+  // GoodFunctions per worker is part of the price of the pool).
+  const auto par_start = Clock::now();
+  std::vector<Scalars> parallel(faults.size(),
+                                Scalars{false, 0, 0, 0, 0, 0});
+  core::ParallelEngine::Options popt;
+  popt.jobs = jobs;
+  core::ParallelEngine engine(circuit, structure, popt);
+  engine.analyze_each(faults, [&](std::size_t i, core::FaultAnalysis&& a) {
+    parallel[i] = scalars(a);
+  });
+  const double par_s = seconds_since(par_start);
+  std::cout << "parallel sweep: " << analysis::TextTable::num(par_s, 3)
+            << " s with --jobs " << jobs << "\n\n";
+  engine.stats().print(std::cout);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!(serial[i] == parallel[i])) ++mismatches;
+  }
+  const double speedup = par_s > 0 ? serial_s / par_s : 0.0;
+  std::cout << "\ncsv:jobs,serial_s,parallel_s,speedup,mismatches\n";
+  analysis::write_csv_row(
+      std::cout,
+      {std::to_string(jobs), analysis::TextTable::num(serial_s, 3),
+       analysis::TextTable::num(par_s, 3),
+       analysis::TextTable::num(speedup, 2), std::to_string(mismatches)});
+
+  bench::shape_check(mismatches == 0,
+                     "parallel scalars bit-identical to serial (" +
+                         std::to_string(mismatches) + " mismatches)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 2 && jobs >= 2) {
+    bench::shape_check(speedup >= 2.0,
+                       "speedup >= 2x with --jobs " + std::to_string(jobs) +
+                           " (" + analysis::TextTable::num(speedup, 2) +
+                           "x on " + std::to_string(hw) + " hw threads)");
+  } else {
+    std::cout << "[shape SKIP] speedup check needs >= 2 hardware threads "
+                 "and --jobs >= 2 (have "
+              << hw << " thread(s), jobs " << jobs << "); measured "
+              << analysis::TextTable::num(speedup, 2) << "x\n";
+  }
+  return 0;
+}

@@ -6,11 +6,13 @@
 //
 //   $ ./atpg_tool             # defaults to c95
 //   $ ./atpg_tool c432
+//   $ ./atpg_tool c432 --jobs 4   # fault-parallel analysis sweep
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "dp/engine.hpp"
+#include "dp/parallel_engine.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
@@ -19,36 +21,47 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
-  const std::string arg = argc > 1 ? argv[1] : "c95";
+  std::string arg = "c95";
+  std::size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      arg = argv[i];
+    }
+  }
   const auto& names = netlist::benchmark_names();
   netlist::Circuit circuit =
       std::find(names.begin(), names.end(), arg) != names.end()
           ? netlist::make_benchmark(arg)
           : netlist::read_bench_file(arg);
   netlist::Structure structure(circuit);
-  bdd::Manager manager(0);
-  core::GoodFunctions good(manager, circuit);
-  core::DifferencePropagator dp(good, structure);
 
   const auto faults = fault::collapse_checkpoint_faults(circuit);
   std::cout << "ATPG for " << circuit.name() << ": " << faults.size()
             << " collapsed checkpoint faults\n";
 
-  // Analyze every fault; sort hardest (smallest test set) first so scarce
-  // vectors are placed before flexible ones.
+  // Analyze every fault (sharded over --jobs workers; the engine must stay
+  // alive below because the test-set BDDs live in its worker managers);
+  // sort hardest (smallest test set) first so scarce vectors are placed
+  // before flexible ones.
+  core::ParallelEngine::Options popt;
+  popt.jobs = jobs;
+  core::ParallelEngine engine(circuit, structure, popt);
+  std::vector<core::FaultAnalysis> analyses = engine.analyze_all(faults);
+
   struct Entry {
     const fault::StuckAtFault* fault;
     core::FaultAnalysis analysis;
   };
   std::vector<Entry> entries;
   std::size_t redundant = 0;
-  for (const auto& f : faults) {
-    core::FaultAnalysis a = dp.analyze(f);
-    if (!a.detectable) {
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!analyses[i].detectable) {
       ++redundant;  // proven untestable: excluded, not abandoned
       continue;
     }
-    entries.push_back({&f, std::move(a)});
+    entries.push_back({&faults[i], std::move(analyses[i])});
   }
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
     return a.analysis.detectability < b.analysis.detectability;
@@ -98,5 +111,8 @@ int main(int argc, char** argv) {
   const bool ok = cov.detected + redundant == cov.total;
   std::cout << (ok ? "OK: complete coverage of all testable faults\n"
                    : "WARNING: coverage gap\n");
+  if (jobs != 1) {
+    std::cout << "\n" << engine.stats();
+  }
   return ok ? 0 : 1;
 }

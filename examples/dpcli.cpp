@@ -4,6 +4,9 @@
 //   dpcli info <circuit>                netlist statistics + structure
 //   dpcli sa <circuit> [--full]         stuck-at testability profile
 //   dpcli bf <circuit> [--count N]      bridging-fault study (AND + OR)
+//
+// sa and bf accept --jobs N to shard the sweep over N worker threads
+// (0 = all hardware threads); results are bit-identical to --jobs 1.
 //   dpcli fault <circuit> <net> <0|1>   analyze one stem stuck-at fault
 //   dpcli syndrome <circuit>            per-net syndromes (signal probs)
 //   dpcli atpg <circuit>                compact test set + coverage
@@ -38,7 +41,7 @@ int usage() {
          "  list | info C | sa C [--full] | bf C [--count N]\n"
          "  fault C NET 0|1 | diagnose C NET 0|1 | syndrome C | atpg C\n"
          "  write C | dot C NET\n"
-         "  (C = benchmark name or .bench path)\n";
+         "  (C = benchmark name or .bench path; sa and bf take --jobs N)\n";
   return 2;
 }
 
@@ -79,9 +82,10 @@ int cmd_info(const netlist::Circuit& c) {
   return 0;
 }
 
-int cmd_sa(const netlist::Circuit& c, bool full) {
+int cmd_sa(const netlist::Circuit& c, bool full, std::size_t jobs) {
   analysis::AnalysisOptions opt;
   opt.collapse = !full;
+  opt.jobs = jobs;
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(c, opt);
   std::cout << "stuck-at profile of " << c.name() << " ("
             << (full ? "uncollapsed" : "collapsed") << " checkpoints)\n";
@@ -100,24 +104,33 @@ int cmd_sa(const netlist::Circuit& c, bool full) {
   analysis::print_series(std::cout, p.detectability_by_po_distance(),
                          "bathtub curve", "max levels to PO",
                          "mean detectability");
+  if (jobs != 1) {
+    std::cout << "\n" << p.engine_stats;
+  }
   return 0;
 }
 
-int cmd_bf(const netlist::Circuit& c, std::size_t count) {
+int cmd_bf(const netlist::Circuit& c, std::size_t count, std::size_t jobs) {
   analysis::AnalysisOptions opt;
   opt.sampling.target_count = count;
+  opt.jobs = jobs;
   analysis::TextTable t({"type", "faults", "detectable", "mean det",
                          "stuck-at-like"});
+  analysis::CircuitProfile last;
   for (fault::BridgeType type :
        {fault::BridgeType::And, fault::BridgeType::Or}) {
-    const analysis::CircuitProfile p = analysis::analyze_bridging(c, type, opt);
+    analysis::CircuitProfile p = analysis::analyze_bridging(c, type, opt);
     t.add_row({fault::to_string(type), std::to_string(p.faults.size()),
                std::to_string(p.detectable_count()),
                analysis::TextTable::num(p.mean_detectability_detectable()),
                analysis::TextTable::num(p.bridge_stuck_at_fraction())});
+    last = std::move(p);
   }
   std::cout << "bridging-fault study of " << c.name() << "\n";
   t.print(std::cout);
+  if (jobs != 1) {
+    std::cout << "\n" << last.engine_stats;
+  }
   return 0;
 }
 
@@ -301,6 +314,18 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
   const std::string cmd = args[0];
 
+  // `--jobs N` may appear anywhere after the command; strip it here so the
+  // per-command positional parsing below stays simple.
+  std::size_t jobs = 1;
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (args[i] == "--jobs") {
+      jobs = std::stoul(args[i + 1]);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+
   try {
     if (cmd == "list") return cmd_list();
     if (args.size() < 2) return usage();
@@ -308,12 +333,12 @@ int main(int argc, char** argv) {
 
     if (cmd == "info") return cmd_info(circuit);
     if (cmd == "sa") {
-      return cmd_sa(circuit, args.size() > 2 && args[2] == "--full");
+      return cmd_sa(circuit, args.size() > 2 && args[2] == "--full", jobs);
     }
     if (cmd == "bf") {
       std::size_t count = 1000;
       if (args.size() > 3 && args[2] == "--count") count = std::stoul(args[3]);
-      return cmd_bf(circuit, count);
+      return cmd_bf(circuit, count, jobs);
     }
     if (cmd == "fault" && args.size() == 4) {
       return cmd_fault(circuit, args[2], args[3]);

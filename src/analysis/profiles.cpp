@@ -6,11 +6,8 @@
 
 namespace dp::analysis {
 
-using core::DifferencePropagator;
 using core::FaultAnalysis;
-using core::GoodFunctions;
 using netlist::Circuit;
-using netlist::NetId;
 using netlist::Structure;
 
 std::size_t CircuitProfile::detectable_count() const {
@@ -84,7 +81,7 @@ std::map<int, double> CircuitProfile::detectability_by_pi_distance() const {
 double CircuitProfile::po_fed_equals_observed_fraction() const {
   std::size_t eq = 0, n = 0;
   for (const FaultRecord& f : faults) {
-    if (!f.detectable) continue;
+    if (!f.detectable || f.branch_site) continue;
     ++n;
     if (f.pos_fed == f.pos_observable) ++eq;
   }
@@ -139,24 +136,37 @@ std::pair<int, int> sa_site_distances(const Structure& s,
 
 }  // namespace
 
+namespace {
+
+core::ParallelEngine::Options engine_options(const AnalysisOptions& options) {
+  core::ParallelEngine::Options popt;
+  popt.jobs = options.jobs;
+  popt.bdd_node_limit = options.bdd_node_limit;
+  popt.dp = options.dp;
+  return popt;
+}
+
+}  // namespace
+
 CircuitProfile analyze_stuck_at(const Circuit& circuit,
                                 const AnalysisOptions& options) {
   Structure structure(circuit);
-  bdd::Manager manager(0, options.bdd_node_limit);
-  GoodFunctions good(manager, circuit);
-  DifferencePropagator dp(good, structure, options.dp);
-
   const std::vector<fault::StuckAtFault> faults =
       options.collapse ? fault::collapse_checkpoint_faults(circuit)
                        : fault::checkpoint_faults(circuit);
 
   CircuitProfile profile = make_profile(circuit);
-  profile.faults.reserve(faults.size());
-  for (const fault::StuckAtFault& f : faults) {
-    const FaultAnalysis a = dp.analyze(f);
-    const auto [to_po, from_pi] = sa_site_distances(structure, f);
-    profile.faults.push_back(to_record(a, to_po, from_pi));
-  }
+  profile.faults.resize(faults.size());
+  // Streaming sink: the test-set BDDs are dropped fault by fault (distinct
+  // indices, so concurrent writes into the pre-sized vector are safe).
+  core::ParallelEngine engine(circuit, structure, engine_options(options));
+  engine.analyze_each(
+      faults, [&](std::size_t i, core::FaultAnalysis&& a) {
+        const auto [to_po, from_pi] = sa_site_distances(structure, faults[i]);
+        profile.faults[i] = to_record(a, to_po, from_pi);
+        profile.faults[i].branch_site = faults[i].branch.has_value();
+      });
+  profile.engine_stats = engine.stats();
   return profile;
 }
 
@@ -165,23 +175,22 @@ CircuitProfile analyze_bridging(const Circuit& circuit,
                                 const AnalysisOptions& options) {
   Structure structure(circuit);
   netlist::LayoutEstimate layout(circuit, structure);
-  bdd::Manager manager(0, options.bdd_node_limit);
-  GoodFunctions good(manager, circuit);
-  DifferencePropagator dp(good, structure, options.dp);
-
   const std::vector<fault::BridgingFault> faults = fault::nfbf_fault_set(
       circuit, structure, layout, type, options.sampling);
 
   CircuitProfile profile = make_profile(circuit);
-  profile.faults.reserve(faults.size());
-  for (const fault::BridgingFault& f : faults) {
-    const FaultAnalysis a = dp.analyze(f);
-    const int to_po = std::max(structure.max_levels_to_po(f.a),
-                               structure.max_levels_to_po(f.b));
-    const int from_pi = std::max(structure.level_from_pi(f.a),
-                                 structure.level_from_pi(f.b));
-    profile.faults.push_back(to_record(a, to_po, from_pi));
-  }
+  profile.faults.resize(faults.size());
+  core::ParallelEngine engine(circuit, structure, engine_options(options));
+  engine.analyze_each(
+      faults, [&](std::size_t i, core::FaultAnalysis&& a) {
+        const fault::BridgingFault& f = faults[i];
+        const int to_po = std::max(structure.max_levels_to_po(f.a),
+                                   structure.max_levels_to_po(f.b));
+        const int from_pi = std::max(structure.level_from_pi(f.a),
+                                     structure.level_from_pi(f.b));
+        profile.faults[i] = to_record(a, to_po, from_pi);
+      });
+  profile.engine_stats = engine.stats();
   return profile;
 }
 

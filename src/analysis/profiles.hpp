@@ -8,6 +8,7 @@
 
 #include "analysis/histogram.hpp"
 #include "dp/engine.hpp"
+#include "dp/parallel_engine.hpp"
 #include "fault/sampling.hpp"
 #include "fault/stuck_at.hpp"
 
@@ -24,6 +25,10 @@ struct FaultRecord {
   std::size_t pos_observable = 0;
   int max_levels_to_po = -1;  ///< site distance for the bathtub curves
   int level_from_pi = 0;      ///< site controllability-side distance
+  /// Stuck-at only: the site is a fanout branch. pos_fed then counts the
+  /// STEM's structural reach while the difference only travels through the
+  /// fed gate, so fed-vs-observed comparisons skip these records.
+  bool branch_site = false;
   bool bridge_stuck_at = false;
   std::uint64_t gates_evaluated = 0;
   std::uint64_t gates_skipped = 0;
@@ -35,6 +40,9 @@ struct CircuitProfile {
   std::size_t num_inputs = 0;
   std::size_t num_outputs = 0;
   std::vector<FaultRecord> faults;
+  /// Worker-pool observability for the sweep that built this profile
+  /// (with jobs == 1 the sweep ran inline on one worker).
+  core::ParallelStats engine_stats;
 
   std::size_t detectable_count() const;
   /// "Overall mean detectability of detectable faults" (figure 2/7 solid).
@@ -53,7 +61,9 @@ struct CircuitProfile {
   std::map<int, double> detectability_by_pi_distance() const;
 
   /// Fraction of faults whose fed and observable PO counts coincide
-  /// ("these numbers are almost always the same", §4.1).
+  /// ("these numbers are almost always the same", §4.1). Branch-site
+  /// faults are excluded: their fed count refers to the checkpoint stem,
+  /// not to the cone the injected difference can travel through.
   double po_fed_equals_observed_fraction() const;
 
   /// Bridging only: fraction behaving as double stuck-at (figure 5).
@@ -63,6 +73,10 @@ struct CircuitProfile {
 struct AnalysisOptions {
   bool collapse = true;          ///< collapse the checkpoint set (paper §2.1)
   std::size_t bdd_node_limit = 32u * 1024 * 1024;
+  /// Fault-parallel worker count: 1 = serial (inline), 0 = all hardware
+  /// threads, N = N workers, each with a private BDD manager. Results are
+  /// bit-identical to the serial sweep for any value.
+  std::size_t jobs = 1;
   core::DifferencePropagator::Options dp;
   fault::SamplingOptions sampling;  ///< bridging-fault sampling policy
 };

@@ -75,6 +75,18 @@ struct ManagerStats {
   std::uint64_t gc_runs = 0;          ///< mark-sweep executions
   std::uint64_t gc_reclaimed = 0;     ///< nodes reclaimed across all GCs
   std::size_t peak_live_nodes = 0;    ///< high-water mark of live nodes
+  /// dec_ref() calls on a node whose external refcount was already zero.
+  /// A nonzero value means a double-release bug in the caller; the manager
+  /// clamps instead of underflowing so no node becomes immortal.
+  std::uint64_t ref_underflows = 0;
+
+  /// Computed-cache hits as a fraction of recursive operation entries.
+  double cache_hit_rate() const {
+    return apply_calls > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(apply_calls)
+               : 0.0;
+  }
 };
 
 }  // namespace dp::bdd

@@ -4,7 +4,6 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "bdd/bdd.hpp"
 
@@ -130,7 +129,17 @@ void Manager::inc_ref(NodeIndex idx) {
 }
 
 void Manager::dec_ref(NodeIndex idx) {
-  assert(idx < nodes_.size() && ext_refs_[idx] > 0);
+  if (idx >= nodes_.size()) throw BddError("dec_ref(): bad node index");
+  // A release without a matching reference is a caller bug (double
+  // release). The unsigned counter must never wrap: an underflowed
+  // refcount pins the node -- and its whole cone -- forever, silently
+  // leaking pool capacity. Clamp at zero and count the incident so tests
+  // and the engine stats layer can fail loudly; dec_ref runs inside Bdd
+  // destructors, where throwing would terminate during unwinding.
+  if (ext_refs_[idx] == 0) {
+    ++stats_.ref_underflows;
+    return;
+  }
   --ext_refs_[idx];
 }
 

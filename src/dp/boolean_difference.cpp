@@ -103,9 +103,10 @@ FaultAnalysis BooleanDifferenceEngine::analyze(
                       ? std::clamp(out.detectability / out.upper_bound, 0.0, 1.0)
                       : 0.0;
 
-  const NetId site = fault.branch ? fault.branch->gate : fault.net;
+  // As in the DP engine, pos_fed counts POs reachable from the checkpoint
+  // line's stem (branch faults included).
   for (std::size_t i = 0; i < c.num_outputs(); ++i) {
-    if (structure_.po_reachable(site, i)) ++out.pos_fed;
+    if (structure_.po_reachable(fault.net, i)) ++out.pos_fed;
   }
   return out;
 }

@@ -26,7 +26,10 @@ PropagationStats DifferencePropagator::propagate(std::vector<bdd::Bdd>& diff,
     const auto& fi = c.fanins(id);
 
     const bool seeded_here = pin_seed && pin_seed->gate == id;
-    bool has_diff = seeded_here;
+    // A zero-valued seed is no difference at all: an unexcitable fault must
+    // not defeat selective trace and drag the whole downstream cone through
+    // gate_difference.
+    bool has_diff = seeded_here && !pin_seed->diff.is_zero();
     if (!has_diff) {
       for (NetId f : fi) {
         if (diff[f].valid()) {
@@ -156,7 +159,7 @@ FaultAnalysis DifferencePropagator::analyze(
     excitation = excitation | seed;
     if (f.branch) {
       pins.push_back(PinSeed{f.branch->gate, f.branch->pin, std::move(seed)});
-      site_nets.push_back(f.branch->gate);
+      site_nets.push_back(f.net);
     } else {
       nets.push_back(NetSeed{f.net, std::move(seed)});
       site_nets.push_back(f.net);
@@ -223,17 +226,17 @@ FaultAnalysis DifferencePropagator::analyze(
   const double upper = fault.stuck_value ? 1.0 - syn : syn;
 
   PropagationStats st;
-  std::vector<NetId> site_nets;
   if (fault.branch) {
     PinSeed pin{fault.branch->gate, fault.branch->pin, seed};
     st = propagate(diff, &pin);
-    site_nets = {fault.branch->gate};
   } else {
     if (!seed.is_zero()) diff[fault.net] = seed;
     st = propagate(diff, nullptr);
-    site_nets = {fault.net};
   }
-  return finish(diff, site_nets, upper, st);
+  // PO reachability is measured from the checkpoint line's stem: a branch
+  // fault lives on the fanout branch of `fault.net`, not on the fed gate's
+  // output, so pos_fed counts the POs the stem feeds.
+  return finish(diff, {fault.net}, upper, st);
 }
 
 FaultAnalysis DifferencePropagator::analyze(

@@ -39,7 +39,9 @@ struct FaultAnalysis {
   /// the fault dictionary machinery evaluates these per test vector.
   std::vector<bdd::Bdd> po_differences;
   std::size_t pos_observable = 0;
-  std::size_t pos_fed = 0;          ///< POs structurally fed by the site
+  /// POs structurally fed by the faulted line's stem (for a branch fault
+  /// this is the fanout stem, not the fed gate's output).
+  std::size_t pos_fed = 0;
 
   /// Bridging only: the wired (faulty) site function is constant, i.e. the
   /// bridge is functionally a double stuck-at fault (paper §4.2).

@@ -1,0 +1,285 @@
+#include "dp/parallel_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <iomanip>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace dp::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string human_count(std::uint64_t n) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (n >= 10'000'000ull) {
+    os << std::setprecision(1) << static_cast<double>(n) / 1e6 << "M";
+  } else if (n >= 10'000ull) {
+    os << std::setprecision(1) << static_cast<double>(n) / 1e3 << "k";
+  } else {
+    os << n;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+double ParallelStats::total_analyze_seconds() const {
+  double s = 0.0;
+  for (const WorkerStats& w : workers) s += w.analyze_seconds;
+  return s;
+}
+
+double ParallelStats::faults_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(faults) / wall_seconds : 0.0;
+}
+
+std::uint64_t ParallelStats::total_gc_runs() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.gc_runs;
+  return n;
+}
+
+std::uint64_t ParallelStats::total_apply_calls() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.apply_calls;
+  return n;
+}
+
+std::uint64_t ParallelStats::total_cache_hits() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.cache_hits;
+  return n;
+}
+
+std::uint64_t ParallelStats::total_ref_underflows() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.ref_underflows;
+  return n;
+}
+
+double ParallelStats::cache_hit_rate() const {
+  const std::uint64_t calls = total_apply_calls();
+  return calls > 0
+             ? static_cast<double>(total_cache_hits()) /
+                   static_cast<double>(calls)
+             : 0.0;
+}
+
+void ParallelStats::print(std::ostream& os) const {
+  os << "parallel DP sweep: " << faults << " faults on " << jobs
+     << (jobs == 1 ? " worker, " : " workers, ") << std::fixed
+     << std::setprecision(3) << wall_seconds << " s wall ("
+     << std::setprecision(1) << faults_per_second() << " faults/s, busy "
+     << std::setprecision(3) << total_analyze_seconds() << " s, cache hit "
+     << std::setprecision(1) << 100.0 * cache_hit_rate() << "%, "
+     << total_gc_runs() << " GC runs)\n";
+  os << "  worker   faults   busy(s)   max(ms)   build(s)  peak nodes  "
+        "gc   apply    cache-hit\n";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerStats& w = workers[i];
+    os << "  " << std::left << std::setw(9) << i << std::setw(9)
+       << w.faults_analyzed << std::right << std::setw(8)
+       << std::setprecision(3) << w.analyze_seconds << std::setw(10)
+       << std::setprecision(2) << 1e3 * w.max_fault_seconds << std::setw(10)
+       << std::setprecision(3) << w.build_seconds << std::setw(11)
+       << w.peak_live_nodes << std::setw(5) << w.gc_runs << std::setw(9)
+       << human_count(w.apply_calls) << std::setw(10) << std::setprecision(1)
+       << 100.0 * w.cache_hit_rate() << "%\n";
+  }
+  if (total_ref_underflows() > 0) {
+    os << "  WARNING: " << total_ref_underflows()
+       << " refcount underflows (double releases) detected\n";
+  }
+  os.unsetf(std::ios::floatfield);
+}
+
+std::ostream& operator<<(std::ostream& os, const ParallelStats& stats) {
+  stats.print(os);
+  return os;
+}
+
+/// A worker owns the full private analysis stack: no BDD state is shared
+/// between workers, so no locks are needed anywhere on the hot path.
+struct ParallelEngine::Worker {
+  std::unique_ptr<bdd::Manager> manager;
+  std::unique_ptr<GoodFunctions> good;
+  std::unique_ptr<DifferencePropagator> propagator;
+  double build_seconds = 0.0;
+};
+
+ParallelEngine::ParallelEngine(const netlist::Circuit& circuit,
+                               const netlist::Structure& structure,
+                               Options options)
+    : circuit_(circuit), structure_(structure), options_(options) {
+  std::size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.resize(jobs);
+
+  // Build the private managers concurrently; every build runs the same
+  // deterministic topological sweep, so all workers end up with
+  // structurally identical BDDs (same node budget, same variable order).
+  std::mutex error_mutex;
+  std::exception_ptr build_error;
+  auto build_one = [&](std::size_t slot) {
+    const auto start = Clock::now();
+    try {
+      auto w = std::make_unique<Worker>();
+      w->manager = std::make_unique<bdd::Manager>(0, options_.bdd_node_limit);
+      w->good = std::make_unique<GoodFunctions>(*w->manager, circuit_,
+                                                options_.good);
+      w->propagator = std::make_unique<DifferencePropagator>(
+          *w->good, structure_, options_.dp);
+      w->build_seconds = seconds_since(start);
+      workers_[slot] = std::move(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!build_error) build_error = std::current_exception();
+    }
+  };
+
+  if (jobs == 1) {
+    build_one(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) threads.emplace_back(build_one, i);
+    for (std::thread& t : threads) t.join();
+  }
+  if (build_error) {
+    workers_.clear();
+    std::rethrow_exception(build_error);
+  }
+
+  stats_.jobs = jobs;
+  stats_.workers.resize(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    stats_.workers[i].build_seconds = workers_[i]->build_seconds;
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+template <typename Fault>
+void ParallelEngine::run(const std::vector<Fault>& faults,
+                         const ResultSink& sink) {
+  const auto sweep_start = Clock::now();
+
+  // Dynamic sharding: workers pull the next unclaimed fault index, so an
+  // expensive fault does not stall the rest of the list. Each index is
+  // claimed by exactly one worker, so a sink that writes slot i of a
+  // pre-sized vector yields a deterministic input-order merge for free.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  auto work = [&](std::size_t slot) {
+    Worker& w = *workers_[slot];
+    WorkerStats& ws = stats_.workers[slot];
+    ws.faults_analyzed = 0;
+    ws.analyze_seconds = 0.0;
+    ws.max_fault_seconds = 0.0;
+    const bdd::ManagerStats before = w.manager->stats();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= faults.size()) break;
+      const auto fault_start = Clock::now();
+      try {
+        sink(i, w.propagator->analyze(faults[i]));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+        // Stop handing out work; indices already claimed finish normally.
+        next.store(faults.size(), std::memory_order_relaxed);
+        break;
+      }
+      const double dt = seconds_since(fault_start);
+      ++ws.faults_analyzed;
+      ws.analyze_seconds += dt;
+      ws.max_fault_seconds = std::max(ws.max_fault_seconds, dt);
+    }
+    const bdd::ManagerStats after = w.manager->stats();
+    ws.gc_runs = after.gc_runs - before.gc_runs;
+    ws.apply_calls = after.apply_calls - before.apply_calls;
+    ws.cache_hits = after.cache_hits - before.cache_hits;
+    ws.ref_underflows = after.ref_underflows - before.ref_underflows;
+    ws.live_nodes = w.manager->live_nodes();
+    ws.peak_live_nodes = after.peak_live_nodes;
+  };
+
+  if (workers_.size() == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      threads.emplace_back(work, i);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  stats_.faults = faults.size();
+  stats_.wall_seconds = seconds_since(sweep_start);
+  if (error) std::rethrow_exception(error);
+}
+
+template <typename Fault>
+std::vector<FaultAnalysis> ParallelEngine::run_collect(
+    const std::vector<Fault>& faults) {
+  std::vector<FaultAnalysis> results(faults.size());
+  run(faults, [&results](std::size_t i, FaultAnalysis&& a) {
+    results[i] = std::move(a);
+  });
+  return results;
+}
+
+std::vector<FaultAnalysis> ParallelEngine::analyze_all(
+    const std::vector<fault::StuckAtFault>& faults) {
+  return run_collect(faults);
+}
+
+std::vector<FaultAnalysis> ParallelEngine::analyze_all(
+    const std::vector<fault::BridgingFault>& faults) {
+  return run_collect(faults);
+}
+
+std::vector<FaultAnalysis> ParallelEngine::analyze_all(
+    const std::vector<fault::MultipleStuckAtFault>& faults) {
+  return run_collect(faults);
+}
+
+void ParallelEngine::analyze_each(
+    const std::vector<fault::StuckAtFault>& faults, const ResultSink& sink) {
+  run(faults, sink);
+}
+
+void ParallelEngine::analyze_each(
+    const std::vector<fault::BridgingFault>& faults, const ResultSink& sink) {
+  run(faults, sink);
+}
+
+void ParallelEngine::analyze_each(
+    const std::vector<fault::MultipleStuckAtFault>& faults,
+    const ResultSink& sink) {
+  run(faults, sink);
+}
+
+}  // namespace dp::core

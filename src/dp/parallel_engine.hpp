@@ -1,0 +1,145 @@
+// Fault-parallel Difference Propagation (the paper's headline sweeps).
+//
+// Every per-fault analysis in the paper's experiments is independent of
+// every other one, so the sweep parallelizes at the fault granularity:
+// a worker pool where each worker owns a PRIVATE bdd::Manager plus its own
+// GoodFunctions (built from the shared, read-only Circuit with the same
+// variable order), runs the serial DifferencePropagator per fault, and
+// writes its result into the slot of the fault's input position. Results
+// are therefore merged deterministically in input order, and -- because
+// every worker's manager is built by the identical deterministic sweep --
+// detectability, adherence, and observability are bit-identical to the
+// serial engine no matter how faults are scheduled.
+//
+// The engine owns the workers: FaultAnalysis results hold Bdd handles into
+// the worker managers and stay valid for the engine's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "dp/engine.hpp"
+#include "dp/good_functions.hpp"
+
+namespace dp::core {
+
+/// Per-worker observability: how much BDD work this worker's private
+/// manager did during the last sweep (deltas over the sweep, except the
+/// node gauges which are end-of-sweep values).
+struct WorkerStats {
+  std::size_t faults_analyzed = 0;
+  double analyze_seconds = 0.0;     ///< summed per-fault wall clock
+  double max_fault_seconds = 0.0;   ///< slowest single fault
+  double build_seconds = 0.0;       ///< good-function construction
+  std::size_t live_nodes = 0;       ///< manager gauge after the sweep
+  std::size_t peak_live_nodes = 0;  ///< manager high-water mark
+  std::uint64_t gc_runs = 0;
+  std::uint64_t apply_calls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t ref_underflows = 0;
+
+  double cache_hit_rate() const {
+    return apply_calls > 0 ? static_cast<double>(cache_hits) /
+                                 static_cast<double>(apply_calls)
+                           : 0.0;
+  }
+};
+
+/// Aggregated engine-level stats for one analyze_all() sweep.
+struct ParallelStats {
+  std::size_t jobs = 0;
+  std::size_t faults = 0;
+  double wall_seconds = 0.0;  ///< end-to-end sweep time (fan-out to join)
+  std::vector<WorkerStats> workers;
+
+  double total_analyze_seconds() const;
+  double faults_per_second() const;
+  std::uint64_t total_gc_runs() const;
+  std::uint64_t total_apply_calls() const;
+  std::uint64_t total_cache_hits() const;
+  std::uint64_t total_ref_underflows() const;
+  double cache_hit_rate() const;
+
+  /// Human-readable block: one summary line plus one row per worker.
+  void print(std::ostream& os) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ParallelStats& stats);
+
+/// Shards a fault list across a worker pool and merges the per-fault
+/// analyses back in input order.
+class ParallelEngine {
+ public:
+  struct Options {
+    /// Worker count; 0 = std::thread::hardware_concurrency(). With one
+    /// worker the sweep runs inline on the calling thread (no pool).
+    std::size_t jobs = 0;
+    std::size_t bdd_node_limit = 32u * 1024 * 1024;
+    DifferencePropagator::Options dp;
+    /// Shared by every worker, so all managers agree on the variable
+    /// order and detectabilities are bit-identical to the serial path.
+    GoodFunctionOptions good;
+  };
+
+  /// Builds one Manager + GoodFunctions + DifferencePropagator per worker
+  /// (concurrently). `circuit` and `structure` must outlive the engine.
+  ParallelEngine(const netlist::Circuit& circuit,
+                 const netlist::Structure& structure)
+      : ParallelEngine(circuit, structure, Options{}) {}
+  ParallelEngine(const netlist::Circuit& circuit,
+                 const netlist::Structure& structure, Options options);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Analyzes every fault; result i is fault i's analysis (input order).
+  /// The returned Bdd handles live in worker managers: they are valid only
+  /// while the engine is alive. The first per-fault exception (by fault
+  /// index) is rethrown after all workers drain.
+  std::vector<FaultAnalysis> analyze_all(
+      const std::vector<fault::StuckAtFault>& faults);
+  std::vector<FaultAnalysis> analyze_all(
+      const std::vector<fault::BridgingFault>& faults);
+  std::vector<FaultAnalysis> analyze_all(
+      const std::vector<fault::MultipleStuckAtFault>& faults);
+
+  /// Streaming variant: each analysis is handed to `sink(index, analysis)`
+  /// as soon as its fault finishes, and the BDD handles are released right
+  /// after the call -- node pressure stays flat over arbitrarily long
+  /// fault lists. The sink runs on worker threads, each index exactly
+  /// once; it must be safe to call concurrently for DISTINCT indices
+  /// (writing record i into a pre-sized vector qualifies).
+  using ResultSink = std::function<void(std::size_t, FaultAnalysis&&)>;
+  void analyze_each(const std::vector<fault::StuckAtFault>& faults,
+                    const ResultSink& sink);
+  void analyze_each(const std::vector<fault::BridgingFault>& faults,
+                    const ResultSink& sink);
+  void analyze_each(const std::vector<fault::MultipleStuckAtFault>& faults,
+                    const ResultSink& sink);
+
+  std::size_t jobs() const { return workers_.size(); }
+  /// Stats of the most recent analyze_all() sweep.
+  const ParallelStats& stats() const { return stats_; }
+
+ private:
+  struct Worker;
+
+  template <typename Fault>
+  void run(const std::vector<Fault>& faults, const ResultSink& sink);
+
+  template <typename Fault>
+  std::vector<FaultAnalysis> run_collect(const std::vector<Fault>& faults);
+
+  const netlist::Circuit& circuit_;
+  const netlist::Structure& structure_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ParallelStats stats_;
+};
+
+}  // namespace dp::core

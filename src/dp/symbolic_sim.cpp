@@ -99,17 +99,15 @@ FaultAnalysis SymbolicFaultSimulator::analyze(
   const double upper = fault.stuck_value ? 1.0 - syn : syn;
 
   PropagationStats st;
-  std::vector<NetId> site_nets;
   if (fault.branch) {
     PinSeed pin{fault.branch->gate, fault.branch->pin, forced};
     st = propagate(faulty, &pin);
-    site_nets = {fault.branch->gate};
   } else {
     if (good_.at(fault.net) != forced) faulty[fault.net] = forced;
     st = propagate(faulty, nullptr);
-    site_nets = {fault.net};
   }
-  return finish(faulty, site_nets, upper, st);
+  // pos_fed is measured from the checkpoint line's stem (see engine.cpp).
+  return finish(faulty, {fault.net}, upper, st);
 }
 
 SymbolicFaultSimulator::SyndromeTest SymbolicFaultSimulator::syndrome_test(

@@ -181,6 +181,52 @@ TEST(DpEngineTest, BranchFaultDiffersFromStemFault) {
   EXPECT_EQ(branch.pos_fed, 2u);
 }
 
+TEST(DpEngineTest, UnexcitableBranchFaultSkipsWholeCone) {
+  // g = a & !a is constantly 0, so a sa0 branch fault on g's line into h
+  // has a zero difference seed: nothing differs anywhere, and selective
+  // trace must skip EVERY gate rather than dragging the downstream cone
+  // through gate_difference with a zero seed.
+  Circuit c("unexcitable");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId na = c.add_gate(netlist::GateType::Not, {a}, "na");
+  NetId g = c.add_gate(netlist::GateType::And, {a, na}, "g");
+  NetId h = c.add_gate(netlist::GateType::Or, {g, b}, "h");
+  NetId k = c.add_gate(netlist::GateType::And, {g, b}, "k");
+  c.mark_output(h);
+  c.mark_output(k);
+  c.finalize();
+  Rig rig(std::move(c));
+
+  const FaultAnalysis a1 = rig.dp.analyze(
+      StuckAtFault{g, netlist::PinRef{h, 0}, false});
+  EXPECT_FALSE(a1.detectable);
+  EXPECT_DOUBLE_EQ(a1.upper_bound, 0.0);
+  EXPECT_EQ(a1.stats.gates_evaluated, 0u);
+  EXPECT_EQ(a1.stats.gates_skipped, rig.circuit.num_gates());
+}
+
+TEST(DpEngineTest, BranchFaultPosFedUsesTheStem) {
+  // C17's net 11 branches into gates 16 and 19. Gate 19 feeds only PO 23,
+  // but the checkpoint line is the BRANCH OF NET 11, whose stem reaches
+  // both POs -- pos_fed must count from the stem, not the fed gate.
+  Rig rig(netlist::make_c17());
+  const NetId n11 = *rig.circuit.find_net("11");
+  const NetId n19 = *rig.circuit.find_net("19");
+  std::uint32_t pin = 0;
+  const auto& fi = rig.circuit.fanins(n19);
+  while (pin < fi.size() && fi[pin] != n11) ++pin;
+  ASSERT_LT(pin, fi.size()) << "net 11 must feed gate 19";
+
+  const FaultAnalysis branch = rig.dp.analyze(
+      StuckAtFault{n11, netlist::PinRef{n19, pin}, true});
+  EXPECT_EQ(branch.pos_fed, 2u);  // the stem's reach, not gate 19's
+  // The difference itself can only travel through gate 19 -> PO 23.
+  EXPECT_LE(branch.pos_observable, 1u);
+  ASSERT_EQ(branch.po_observable.size(), 2u);
+  EXPECT_FALSE(branch.po_observable[0]);  // PO 22 is not in gate 19's cone
+}
+
 TEST(DpEngineTest, BridgeBetweenIdenticalFunctionsIsUndetectable) {
   // Two structurally distinct nets computing the same function: bridging
   // them never disturbs anything.

@@ -1,0 +1,196 @@
+// GC-under-pressure stress: with a tiny node budget the manager collects
+// constantly, so any stale computed-cache entry, free-list resurrection of
+// a referenced node, or live-count drift surfaces immediately. Also the
+// refcount-underflow regression: a double release must clamp and be
+// counted, never wrap the unsigned counter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace dp::bdd {
+namespace {
+
+constexpr std::size_t kVars = 12;
+constexpr std::uint64_t kPoints = 1ull << kVars;
+
+std::vector<bool> truth_table(const Bdd& f) {
+  std::vector<bool> t(kPoints);
+  std::vector<bool> point(kVars);
+  for (std::uint64_t v = 0; v < kPoints; ++v) {
+    for (std::size_t i = 0; i < kVars; ++i) point[i] = (v >> i) & 1;
+    t[v] = f.eval(point);
+  }
+  return t;
+}
+
+/// (var, lo, hi) triples of the DAG under `root`, in DFS order. Stable
+/// across GC iff no node of the DAG is swept or clobbered.
+std::vector<std::uint64_t> dag_snapshot(const Manager& mgr, NodeIndex root) {
+  std::vector<std::uint64_t> triples;
+  std::vector<NodeIndex> stack{root};
+  std::vector<bool> seen(mgr.pool_size(), false);
+  while (!stack.empty()) {
+    const NodeIndex i = stack.back();
+    stack.pop_back();
+    if (i >= seen.size() || seen[i]) continue;
+    seen[i] = true;
+    triples.push_back((static_cast<std::uint64_t>(mgr.var_of(i)) << 48) ^
+                      (static_cast<std::uint64_t>(mgr.lo(i)) << 24) ^
+                      mgr.hi(i));
+    if (!mgr.is_terminal(i)) {
+      stack.push_back(mgr.lo(i));
+      stack.push_back(mgr.hi(i));
+    }
+  }
+  return triples;
+}
+
+TEST(GcStressTest, PressureCollectionsPreserveRootsAndCaches) {
+  // ~4000 nodes for 12-var random functions: the pool rides the budget,
+  // so every few operations run with maybe_gc() firing near the limit.
+  Manager mgr(kVars, /*max_nodes=*/4000);
+  std::mt19937_64 rng(0xB00Cu);
+  auto rand_var = [&] { return static_cast<Var>(rng() % kVars); };
+
+  std::vector<Bdd> window;          // kept roots (external GC roots)
+  std::vector<std::vector<bool>> tables;  // their captured semantics
+
+  std::size_t rounds_done = 0;
+  for (std::size_t round = 0; round < 120; ++round) {
+    // Grow a random function from literals and (sometimes) a kept root.
+    try {
+      Bdd f = (rng() & 1) ? mgr.var(rand_var()) : mgr.nvar(rand_var());
+      const std::size_t steps = 2 + rng() % 6;
+      for (std::size_t s = 0; s < steps; ++s) {
+        Bdd g = (!window.empty() && (rng() & 1))
+                    ? window[rng() % window.size()]
+                    : mgr.var(rand_var());
+        switch (rng() % 3) {
+          case 0: f = f & g; break;
+          case 1: f = f | g; break;
+          default: f = f ^ g; break;
+        }
+      }
+      window.push_back(f);
+      tables.push_back(truth_table(f));
+    } catch (const OutOfNodes&) {
+      // Live roots alone hit the budget: shrink the working set and keep
+      // stressing -- recovery is part of the contract.
+      const std::size_t keep = window.size() / 2;
+      window.resize(keep);
+      tables.resize(keep);
+      mgr.gc();
+      continue;
+    }
+    if (window.size() > 8) {
+      window.erase(window.begin());
+      tables.erase(tables.begin());
+    }
+
+    mgr.gc();
+    ++rounds_done;
+
+    // (c) Mark-sweep bookkeeping: the live-node gauge must equal an
+    // independent mark from the external roots after every collection.
+    ASSERT_EQ(mgr.count_live_from_roots(), mgr.live_nodes())
+        << "round " << round;
+
+    // (b) Free-list reuse must never clobber a referenced DAG: the node
+    // triples under every kept root are unchanged by post-GC allocations.
+    std::vector<std::vector<std::uint64_t>> snaps;
+    snaps.reserve(window.size());
+    for (const Bdd& w : window) snaps.push_back(dag_snapshot(mgr, w.index()));
+    try {
+      for (int burn = 0; burn < 10; ++burn) {
+        (void)(mgr.var(rand_var()) ^ mgr.var(rand_var()));
+      }
+    } catch (const OutOfNodes&) {
+      // Allocation pressure is the point; a full pool is fine here.
+    }
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      ASSERT_EQ(dag_snapshot(mgr, window[i].index()), snaps[i])
+          << "root " << i << " mutated after GC in round " << round;
+    }
+
+    // (a) No stale computed-cache hits: operations recomputed after the
+    // collection must match the captured pre-GC semantics exactly.
+    if (window.size() >= 2) {
+      const std::size_t a = rng() % window.size();
+      const std::size_t b = rng() % window.size();
+      try {
+        const Bdd conj = window[a] & window[b];
+        const Bdd xorv = window[a] ^ window[b];
+        std::vector<bool> point(kVars);
+        for (int probe = 0; probe < 64; ++probe) {
+          const std::uint64_t v = rng() % kPoints;
+          for (std::size_t i = 0; i < kVars; ++i) point[i] = (v >> i) & 1;
+          ASSERT_EQ(conj.eval(point), tables[a][v] && tables[b][v])
+              << "stale AND after GC, round " << round;
+          ASSERT_EQ(xorv.eval(point), tables[a][v] != tables[b][v])
+              << "stale XOR after GC, round " << round;
+        }
+      } catch (const OutOfNodes&) {
+      }
+    }
+    // Kept roots themselves still evaluate to their captured tables.
+    std::vector<bool> point(kVars);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      for (int probe = 0; probe < 32; ++probe) {
+        const std::uint64_t v = rng() % kPoints;
+        for (std::size_t k = 0; k < kVars; ++k) point[k] = (v >> k) & 1;
+        ASSERT_EQ(window[i].eval(point), tables[i][v])
+            << "root " << i << " corrupted in round " << round;
+      }
+    }
+  }
+
+  EXPECT_GT(rounds_done, 50u);
+  EXPECT_GT(mgr.stats().gc_runs, 0u);
+  EXPECT_EQ(mgr.stats().ref_underflows, 0u);
+}
+
+TEST(GcStressTest, DoubleReleaseClampsAndStaysCollectable) {
+  Manager mgr(4);
+  Bdd f = mgr.var(0) & mgr.var(1);
+  const NodeIndex idx = f.index();
+
+  // Strip the handle's legitimate reference, then release once too often:
+  // the counter must clamp at zero and the incident must be counted --
+  // wrapping would pin the node (and its cone) forever.
+  mgr.dec_ref(idx);
+  EXPECT_EQ(mgr.stats().ref_underflows, 0u);
+  mgr.dec_ref(idx);
+  EXPECT_EQ(mgr.stats().ref_underflows, 1u);
+
+  // A bad index is a hard error in every build mode.
+  EXPECT_THROW(mgr.dec_ref(static_cast<NodeIndex>(mgr.pool_size() + 99)),
+               BddError);
+
+  // The clamped node is unreferenced, so GC reclaims it.
+  const std::size_t before = mgr.live_nodes();
+  EXPECT_GT(mgr.gc(), 0u);
+  EXPECT_LT(mgr.live_nodes(), before);
+  EXPECT_EQ(mgr.count_live_from_roots(), mgr.live_nodes());
+}
+
+TEST(GcStressTest, HandleLifetimesBalanceReferences) {
+  // Ordinary RAII usage never trips the underflow counter.
+  Manager mgr(6);
+  {
+    Bdd a = mgr.var(0), b = mgr.var(1);
+    Bdd c = (a & b) | (!a & mgr.var(2));
+    Bdd d = c;
+    d = c ^ b;
+    c = std::move(d);
+  }
+  mgr.gc();
+  EXPECT_EQ(mgr.stats().ref_underflows, 0u);
+  EXPECT_EQ(mgr.count_live_from_roots(), mgr.live_nodes());
+}
+
+}  // namespace
+}  // namespace dp::bdd
