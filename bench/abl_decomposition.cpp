@@ -50,7 +50,8 @@ RunResult classify(const netlist::Circuit& c,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("abl_decomposition", argc, argv);
   bench::banner("Ablation -- cut-point functional decomposition (C499)",
                 "Decomposition trades exactness for node count: cheaper "
                 "analysis, but some BF stuck-at classifications change "
@@ -64,7 +65,12 @@ int main() {
   const auto faults = fault::nfbf_fault_set(c, st, layout,
                                             fault::BridgeType::And, sampling);
 
+  obs::ScopedTimer exact_timer = session.phase("exact");
   const RunResult exact = classify(c, faults, 0);
+  exact_timer.stop();
+  session.metrics().counter("decomp.faults").add(faults.size());
+  session.metrics().gauge("decomp.exact_nodes").set(
+      static_cast<double>(exact.good_nodes));
   analysis::TextTable table({"cut threshold", "cut nets", "good-fn nodes",
                              "time (ms)", "stuck-at-like frac",
                              "classification changes"});
@@ -81,7 +87,9 @@ int main() {
   bool nodes_drop = false;
   std::size_t min_changes = faults.size();
   for (std::size_t threshold : {512u, 128u, 32u}) {
+    obs::ScopedTimer timer = session.phase("cut" + std::to_string(threshold));
     const RunResult r = classify(c, faults, threshold);
+    timer.stop();
     std::size_t changes = 0;
     for (std::size_t i = 0; i < faults.size(); ++i) {
       changes += (r.stuck_at_like[i] != exact.stuck_at_like[i]);

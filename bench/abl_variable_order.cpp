@@ -35,7 +35,8 @@ std::pair<std::size_t, std::size_t> sift_gain(const netlist::Circuit& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("abl_variable_order", argc, argv);
   bench::banner("Ablation -- OBDD variable order vs stated PI order",
                 "The benchmark's stated PI order is 'meaningful': it should "
                 "rival the fanin-DFS heuristic and beat a random order.");
@@ -46,6 +47,7 @@ int main() {
   std::size_t pi_beats_random = 0, total = 0;
   bool sift_never_worse = true;
   for (const std::string& name : netlist::benchmark_names()) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     const std::size_t pi = nodes_under(c, core::VarOrderKind::PiOrder);
     const std::size_t dfs = nodes_under(c, core::VarOrderKind::FaninDfs);
@@ -61,6 +63,11 @@ int main() {
         std::cout, {name, std::to_string(pi), std::to_string(dfs),
                     std::to_string(rev), std::to_string(rnd),
                     std::to_string(live_pi), std::to_string(live_sift)});
+    timer.stop();
+    session.metrics().gauge("order.pi_nodes." + name).set(
+        static_cast<double>(pi));
+    session.metrics().gauge("order.random_nodes." + name).set(
+        static_cast<double>(rnd));
     ++total;
     if (pi <= rnd) ++pi_beats_random;
     if (live_sift > live_pi) sift_never_worse = false;

@@ -1,14 +1,30 @@
 // Shared glue for the figure-reproduction benches: consistent headers,
-// option handling, and profile -> report plumbing.
+// strict option handling, phase timing, and profile -> report -> metrics
+// plumbing. Every bench accepts the same flags:
+//
+//   --jobs N            fault-parallel workers (0 = all hardware threads)
+//   --metrics-json PATH write a dp.metrics.v1 JSON document on exit
+//   --trace             keep a per-fault event trace (embedded in the JSON)
+//
+// Unknown flags and flags missing their value are hard errors (usage on
+// stderr, exit 2) -- a typo must never silently run the default
+// configuration for an hour.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
 #include "netlist/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::bench {
 
@@ -21,31 +37,233 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "==================================================================\n";
 }
 
-/// Bridging-fault sample size: the paper tuned theta for ~1000 faults.
-/// Override with DP_BENCH_BF_COUNT for quick runs. Pass the bench's argv
-/// to honor `--jobs N` (or the DP_BENCH_JOBS env var): the sweep then
-/// runs fault-parallel with N private-manager workers (0 = all hardware
-/// threads); results are bit-identical to the serial sweep.
-inline analysis::AnalysisOptions default_options(int argc = 0,
-                                                 char** argv = nullptr) {
-  analysis::AnalysisOptions opt;
-  opt.sampling.target_count = 1000;
+namespace detail {
+
+/// Everything the shared command line can configure.
+struct CommonArgs {
+  analysis::AnalysisOptions options;
+  std::string metrics_json;
+  bool trace = false;
+  bool jobs_set = false;  ///< --jobs or DP_BENCH_JOBS was given
+  /// Unrecognized argv entries, kept only in passthrough mode (the
+  /// google-benchmark benches forward these to benchmark::Initialize).
+  std::vector<char*> passthrough;
+};
+
+inline void print_usage(std::ostream& os, const char* prog,
+                        bool passthrough) {
+  os << "usage: " << (prog && *prog ? prog : "bench")
+     << " [--jobs N] [--metrics-json PATH] [--trace]";
+  if (passthrough) os << " [benchmark flags...]";
+  os << "\n"
+        "  --jobs N            fault-parallel workers; 0 = all hardware "
+        "threads, 1 = serial\n"
+        "  --metrics-json PATH write a dp.metrics.v1 JSON document on exit\n"
+        "  --trace             record per-fault trace events into the JSON "
+        "document\n"
+        "env: DP_BENCH_BF_COUNT (bridging sample size), DP_BENCH_JOBS,\n"
+        "     DP_BENCH_METRICS_DIR (write BENCH_<id>.json there when\n"
+        "     --metrics-json is absent)\n";
+}
+
+/// Parses the shared bench flags. Strict by default: an unknown flag or a
+/// flag missing its value (e.g. `--jobs` as the final token) prints usage
+/// and exits(2) instead of being silently dropped. With `passthrough`,
+/// unrecognized arguments are collected instead of rejected.
+inline CommonArgs parse_common_args(int argc, char** argv,
+                                    bool passthrough = false) {
+  CommonArgs args;
+  args.options.sampling.target_count = 1000;
   if (const char* env = std::getenv("DP_BENCH_BF_COUNT")) {
-    opt.sampling.target_count = static_cast<std::size_t>(std::atoll(env));
+    args.options.sampling.target_count =
+        static_cast<std::size_t>(std::atoll(env));
   }
   if (const char* env = std::getenv("DP_BENCH_JOBS")) {
-    opt.jobs = static_cast<std::size_t>(std::atoll(env));
+    args.options.jobs = static_cast<std::size_t>(std::atoll(env));
+    args.jobs_set = true;
   }
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs") {
-      opt.jobs = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+
+  const char* prog = argc > 0 ? argv[0] : nullptr;
+  auto fail = [&](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    print_usage(std::cerr, prog, passthrough);
+    std::exit(2);
+  };
+  auto parse_count = [&](const char* flag, const char* text) -> std::size_t {
+    char* end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0) {
+      fail(std::string(flag) + " expects a non-negative integer, got '" +
+           text + "'");
+    }
+    return static_cast<std::size_t>(v);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value_of = [&]() -> const char* {
+      if (i + 1 >= argc) fail(a + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--jobs") {
+      args.options.jobs = parse_count("--jobs", value_of());
+      args.jobs_set = true;
+    } else if (a == "--metrics-json") {
+      args.metrics_json = value_of();
+    } else if (a == "--trace") {
+      args.trace = true;
+    } else if (a == "--help" || a == "-h") {
+      print_usage(std::cout, prog, passthrough);
+      std::exit(0);
+    } else if (passthrough) {
+      args.passthrough.push_back(argv[i]);
+    } else {
+      fail("unknown option '" + a + "'");
     }
   }
-  return opt;
+  return args;
+}
+
+}  // namespace detail
+
+/// Back-compat shim: the shared strict parser, returning just the
+/// analysis options.
+inline analysis::AnalysisOptions default_options(int argc = 0,
+                                                 char** argv = nullptr) {
+  return detail::parse_common_args(argc, argv).options;
 }
 
 inline void shape_check(bool ok, const std::string& what) {
   std::cout << (ok ? "[shape OK]   " : "[shape MISS] ") << what << "\n";
 }
+
+/// One bench run: parses the shared flags, owns the metrics registry and
+/// (optional) trace buffer, times phases, folds every analyzed circuit's
+/// engine stats into the registry, and writes the JSON document on
+/// destruction when --metrics-json (or DP_BENCH_METRICS_DIR) asked for
+/// one. Document shape:
+///
+///   { "bench": "<id>", "schema": "dp.metrics.v1", "jobs": N,
+///     "metrics": { counters, gauges, timers, histograms },
+///     "circuits": [ { circuit, gates, inputs, outputs, faults, ... } ],
+///     "trace": { ... }            // only with --trace
+///   }
+class Session {
+ public:
+  /// `id` names the output document (BENCH_<id>.json under
+  /// DP_BENCH_METRICS_DIR); use the executable's short name.
+  /// `passthrough_unknown` keeps unrecognized argv entries available via
+  /// passthrough_argv() instead of rejecting them.
+  explicit Session(std::string id, int argc = 0, char** argv = nullptr,
+                   bool passthrough_unknown = false)
+      : id_(std::move(id)),
+        args_(detail::parse_common_args(argc, argv, passthrough_unknown)),
+        circuits_(obs::JsonValue::array()),
+        start_(std::chrono::steady_clock::now()) {
+    if (args_.metrics_json.empty()) {
+      if (const char* dir = std::getenv("DP_BENCH_METRICS_DIR")) {
+        args_.metrics_json = std::string(dir) + "/BENCH_" + id_ + ".json";
+      }
+    }
+    if (args_.trace) {
+      trace_ = std::make_unique<obs::TraceBuffer>(1u << 16);
+      args_.options.dp.trace = trace_.get();
+    }
+  }
+  ~Session() { finish(); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Mutable so a bench can tweak sampling/collapse before the sweep.
+  analysis::AnalysisOptions& options() { return args_.options; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Non-null only with --trace.
+  obs::TraceBuffer* trace() { return trace_.get(); }
+  bool metrics_requested() const { return !args_.metrics_json.empty(); }
+  /// True when --jobs (or DP_BENCH_JOBS) was given explicitly, letting a
+  /// bench keep its own default worker count otherwise.
+  bool jobs_explicit() const { return args_.jobs_set; }
+  /// Arguments the strict parser did not recognize (passthrough mode).
+  std::vector<char*>& passthrough_argv() { return args_.passthrough; }
+
+  /// RAII wall-clock for one named phase; exported as timer
+  /// "phase.<name>".
+  obs::ScopedTimer phase(const std::string& name) {
+    return metrics_.scoped_timer("phase." + name);
+  }
+
+  /// Folds one analyzed circuit into the document: engine stats into the
+  /// registry (counters/gauges/timers) plus a per-circuit JSON record.
+  void record_profile(const analysis::CircuitProfile& p) {
+    p.engine_stats.export_metrics(metrics_);
+    metrics_.counter("bench.circuits").add(1);
+
+    const core::ParallelStats& es = p.engine_stats;
+    std::size_t peak = 0;
+    for (const core::WorkerStats& w : es.workers) {
+      peak = std::max(peak, w.peak_live_nodes);
+    }
+
+    obs::JsonValue c = obs::JsonValue::object();
+    c["circuit"] = p.circuit;
+    c["gates"] = p.netlist_size;
+    c["inputs"] = p.num_inputs;
+    c["outputs"] = p.num_outputs;
+    c["faults"] = p.faults.size();
+    c["detectable"] = p.detectable_count();
+    c["mean_detectability_detectable"] = p.mean_detectability_detectable();
+    c["mean_detectability_per_po"] = p.mean_detectability_per_po();
+    obs::JsonValue& e = c["engine"];
+    e["jobs"] = es.jobs;
+    e["wall_seconds"] = es.wall_seconds;
+    e["gates_evaluated"] = es.total_gates_evaluated();
+    e["gates_skipped"] = es.total_gates_skipped();
+    e["apply_calls"] = es.total_apply_calls();
+    e["cache_hits"] = es.total_cache_hits();
+    e["cache_hit_rate"] = es.cache_hit_rate();
+    e["gc_runs"] = es.total_gc_runs();
+    e["peak_live_nodes"] = peak;
+    e["ref_underflows"] = es.total_ref_underflows();
+    circuits_.push_back(std::move(c));
+  }
+
+  /// Writes the document (idempotent; also run by the destructor).
+  /// Returns false only when a requested write failed.
+  bool finish() {
+    if (finished_) return true;
+    finished_ = true;
+    metrics_.timer("phase.total")
+        .record(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+    if (args_.metrics_json.empty()) return true;
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["bench"] = id_;
+    doc["schema"] = "dp.metrics.v1";
+    doc["jobs"] = args_.options.jobs;
+    doc["metrics"] = metrics_.to_json();
+    doc["circuits"] = std::move(circuits_);
+    if (trace_) doc["trace"] = trace_->to_json();
+
+    std::string error;
+    if (!obs::write_json_file(args_.metrics_json, doc, &error)) {
+      std::cerr << "[metrics] FAILED to write " << args_.metrics_json << ": "
+                << error << "\n";
+      return false;
+    }
+    std::cout << "[metrics] wrote " << args_.metrics_json << "\n";
+    return true;
+  }
+
+ private:
+  std::string id_;
+  detail::CommonArgs args_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  obs::JsonValue circuits_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+};
 
 }  // namespace dp::bench

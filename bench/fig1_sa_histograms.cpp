@@ -5,14 +5,18 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  bench::Session session("fig1_sa_histograms", argc, argv);
   bench::banner("Figure 1 -- stuck-at detection probability histograms",
                 "Profiles of exact detectabilities for C95 and the 74LS181; "
                 "mass concentrates at low detectabilities.");
 
-  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
+  const analysis::AnalysisOptions& opt = session.options();
   for (const char* name : {"c95", "alu181"}) {
+    obs::ScopedTimer timer = session.phase(name);
     const analysis::CircuitProfile p =
         analysis::analyze_stuck_at(netlist::make_benchmark(name), opt);
+    timer.stop();
+    session.record_profile(p);
     std::cout << "\nCircuit " << p.circuit << ": " << p.faults.size()
               << " collapsed checkpoint faults, " << p.detectable_count()
               << " detectable\n";

@@ -7,6 +7,7 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  bench::Session session("fig2_sa_trends", argc, argv);
   bench::banner("Figure 2 -- mean stuck-at detectability vs netlist size",
                 "Raw means show no true trend; PO-normalized means decrease "
                 "with size (testability falls as circuits grow).");
@@ -16,11 +17,14 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::pair<double, double>>> rows;
   double c499_norm = -1, c1355_norm = -1;
 
-  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
+  const analysis::AnalysisOptions& opt = session.options();
   std::cout << "csv:circuit,gates,pos,mean_det,mean_det_per_po\n";
   for (const std::string& name : netlist::benchmark_names()) {
+    obs::ScopedTimer timer = session.phase(name);
     const analysis::CircuitProfile p =
         analysis::analyze_stuck_at(netlist::make_benchmark(name), opt);
+    timer.stop();
+    session.record_profile(p);
     const double mean = p.mean_detectability_detectable();
     const double norm = p.mean_detectability_per_po();
     table.add_row({p.circuit, std::to_string(p.netlist_size),

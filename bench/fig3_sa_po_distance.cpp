@@ -39,14 +39,18 @@ double ends_minus_middle(const std::map<int, double>& series) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("fig3_sa_po_distance", argc, argv);
   bench::banner(
       "Figure 3 -- mean stuck-at detectability vs max levels to PO (C1355)",
       "Bathtub curve: faults near PIs and near POs are easier to detect "
       "than faults in the circuit center; PO proximity correlates best.");
 
-  const analysis::CircuitProfile p =
-      analysis::analyze_stuck_at(netlist::make_benchmark("c1355"));
+  obs::ScopedTimer timer = session.phase("c1355");
+  const analysis::CircuitProfile p = analysis::analyze_stuck_at(
+      netlist::make_benchmark("c1355"), session.options());
+  timer.stop();
+  session.record_profile(p);
   const auto po_series = p.detectability_by_po_distance();
   const auto pi_series = p.detectability_by_pi_distance();
 

@@ -8,13 +8,17 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("fig4_sa_adherence", argc, argv);
   bench::banner("Figure 4 -- stuck-at adherence histogram (74LS181)",
                 "Low adherence overall, sharp spike at adherence = 1; "
                 "syndromes are loose upper bounds on detectability.");
 
-  const analysis::CircuitProfile p =
-      analysis::analyze_stuck_at(netlist::make_benchmark("alu181"));
+  obs::ScopedTimer timer = session.phase("alu181");
+  const analysis::CircuitProfile p = analysis::analyze_stuck_at(
+      netlist::make_benchmark("alu181"), session.options());
+  timer.stop();
+  session.record_profile(p);
   const analysis::Histogram h = p.adherence_histogram(20);
   analysis::print_histogram(std::cout, h,
                             "Fault proportion vs adherence (alu181)",

@@ -10,13 +10,14 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("fig5_bf_stuckat_proportions", argc, argv);
   bench::banner("Figure 5 -- proportions of NFBFs with stuck-at behavior",
                 "Single stuck-at faults model bridging faults poorly: the "
                 "stuck-at-like fraction is generally low for both dominance "
                 "types.");
 
-  const analysis::AnalysisOptions opt = bench::default_options();
+  const analysis::AnalysisOptions& opt = session.options();
   analysis::TextTable table(
       {"circuit", "AND NFBFs", "AND stuck-at frac", "OR NFBFs",
        "OR stuck-at frac"});
@@ -26,11 +27,15 @@ int main() {
   bool anti_correlated_somewhere = false;
   double prev_and = -1, prev_or = -1;
   for (const std::string& name : netlist::benchmark_names()) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     const analysis::CircuitProfile pa =
         analysis::analyze_bridging(c, fault::BridgeType::And, opt);
     const analysis::CircuitProfile po =
         analysis::analyze_bridging(c, fault::BridgeType::Or, opt);
+    timer.stop();
+    session.record_profile(pa);
+    session.record_profile(po);
     const double fa = pa.bridge_stuck_at_fraction();
     const double fo = po.bridge_stuck_at_fraction();
     table.add_row({name, std::to_string(pa.faults.size()),

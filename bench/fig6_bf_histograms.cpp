@@ -9,17 +9,21 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  bench::Session session("fig6_bf_histograms", argc, argv);
   bench::banner("Figure 6 -- bridging-fault detection histograms (C95)",
                 "AND and OR NFBF profiles are very nearly the same; "
                 "dominance hardly matters for detectability.");
 
-  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
+  const analysis::AnalysisOptions& opt = session.options();
   const netlist::Circuit c = netlist::make_benchmark("c95");
 
   std::map<fault::BridgeType, analysis::Histogram> hists;
   for (fault::BridgeType type :
        {fault::BridgeType::And, fault::BridgeType::Or}) {
+    obs::ScopedTimer timer = session.phase(fault::to_string(type));
     const analysis::CircuitProfile p = analysis::analyze_bridging(c, type, opt);
+    timer.stop();
+    session.record_profile(p);
     analysis::Histogram h = p.detectability_histogram(20);
     analysis::print_histogram(
         std::cout, h,

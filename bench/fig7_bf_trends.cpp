@@ -7,11 +7,12 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  bench::Session session("fig7_bf_trends", argc, argv);
   bench::banner("Figure 7 -- mean bridging-fault detectability vs size",
                 "Bridging means slightly above stuck-at means; normalized "
                 "detectability still decreasing with netlist size.");
 
-  const analysis::AnalysisOptions opt = bench::default_options(argc, argv);
+  const analysis::AnalysisOptions& opt = session.options();
   analysis::TextTable table({"circuit", "gates", "AND mean", "OR mean",
                              "AND mean/#POs", "OR mean/#POs", "SA mean"});
   std::cout << "csv:circuit,gates,and_mean,or_mean,and_norm,or_norm,sa_mean\n";
@@ -19,12 +20,17 @@ int main(int argc, char** argv) {
   double first_norm = -1, last_norm = -1;
   std::size_t bf_above_sa = 0, circuits = 0;
   for (const std::string& name : netlist::benchmark_names()) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     const analysis::CircuitProfile pa =
         analysis::analyze_bridging(c, fault::BridgeType::And, opt);
     const analysis::CircuitProfile po =
         analysis::analyze_bridging(c, fault::BridgeType::Or, opt);
     const analysis::CircuitProfile ps = analysis::analyze_stuck_at(c, opt);
+    timer.stop();
+    session.record_profile(pa);
+    session.record_profile(po);
+    session.record_profile(ps);
     const double am = pa.mean_detectability_detectable();
     const double om = po.mean_detectability_detectable();
     const double an = pa.mean_detectability_per_po();

@@ -7,20 +7,24 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("fig8_bf_po_distance", argc, argv);
   bench::banner(
       "Figure 8 -- mean bridging detectability vs max levels to PO (C1355)",
       "Same observability story as stuck-at faults: bridges near POs are "
       "easier; behavior of AND and OR bridges nearly identical.");
 
-  const analysis::AnalysisOptions opt = bench::default_options();
+  const analysis::AnalysisOptions& opt = session.options();
   const netlist::Circuit c = netlist::make_benchmark("c1355");
 
   std::map<int, double> curves[2];
   int idx = 0;
   for (fault::BridgeType type :
        {fault::BridgeType::And, fault::BridgeType::Or}) {
+    obs::ScopedTimer timer = session.phase(fault::to_string(type));
     const analysis::CircuitProfile p = analysis::analyze_bridging(c, type, opt);
+    timer.stop();
+    session.record_profile(p);
     curves[idx] = p.detectability_by_po_distance();
     analysis::print_series(
         std::cout, curves[idx],

@@ -14,7 +14,8 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_engine_comparison", argc, argv);
   bench::banner("Comparison -- DP vs Boolean difference vs symbolic fault "
                 "simulation",
                 "Identical exact results by three methods; DP avoids the "
@@ -27,11 +28,14 @@ int main() {
 
   bool all_identical = true;
   for (const char* name : {"c95", "alu181", "c432", "c499"}) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     netlist::Structure st(c);
     bdd::Manager mgr(0);
     core::GoodFunctions good(mgr, c);
-    core::DifferencePropagator dp(good, st);
+    core::DifferencePropagator::Options dp_opts;
+    dp_opts.trace = session.trace();
+    core::DifferencePropagator dp(good, st, dp_opts);
     core::BooleanDifferenceEngine bd(good, st);
     core::SymbolicFaultSimulator sym(good, st);
     const auto faults = fault::collapse_checkpoint_faults(c);
@@ -74,6 +78,15 @@ int main() {
         {name, std::to_string(dp_cost.ms), std::to_string(bd_cost.ms),
          std::to_string(sym_cost.ms), std::to_string(dp_cost.applies),
          std::to_string(bd_cost.applies), std::to_string(sym_cost.applies)});
+    timer.stop();
+    session.metrics().counter("cmp.faults").add(faults.size());
+    session.metrics().gauge("cmp.dp_applies").add(
+        static_cast<double>(dp_cost.applies));
+    session.metrics().gauge("cmp.bd_applies").add(
+        static_cast<double>(bd_cost.applies));
+    session.metrics().gauge("cmp.sym_applies").add(
+        static_cast<double>(sym_cost.applies));
+    mgr.export_metrics(session.metrics(), std::string("bdd.") + name);
   }
   std::cout << "\n";
   table.print(std::cout);

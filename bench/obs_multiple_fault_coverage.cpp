@@ -36,7 +36,8 @@ std::vector<std::vector<bool>> single_sa_test_set(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_multiple_fault_coverage", argc, argv);
   bench::banner("Observation -- multiple-fault coverage of single-SA test "
                 "sets (ref [2])",
                 "Complete single stuck-at test sets detect nearly all -- "
@@ -48,16 +49,20 @@ int main() {
   std::cout << "csv:circuit,multiplicity,detectable,covered,coverage\n";
   double min_cov = 1.0;
   for (const char* name : {"c95", "alu181", "c432"}) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     netlist::Structure st(c);
     bdd::Manager mgr(0);
     core::GoodFunctions good(mgr, c);
-    core::DifferencePropagator dp(good, st);
+    core::DifferencePropagator::Options dp_opts;
+    dp_opts.trace = session.trace();
+    core::DifferencePropagator dp(good, st, dp_opts);
     const auto vectors = single_sa_test_set(c, dp);
 
     for (std::size_t multiplicity : {2u, 3u}) {
       const auto faults =
           fault::sample_multiple_faults(c, multiplicity, 300, 1990);
+      session.metrics().counter("mf.faults_sampled").add(faults.size());
       std::size_t detectable = 0, covered = 0;
       for (const auto& mf : faults) {
         const core::FaultAnalysis a = dp.analyze(mf);

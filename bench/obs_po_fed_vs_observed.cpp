@@ -9,7 +9,8 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_po_fed_vs_observed", argc, argv);
   bench::banner("Observation -- POs fed vs POs observable (stuck-at)",
                 "Structurally reachable PO counts nearly always equal the "
                 "counts of POs where the fault is actually observable.");
@@ -21,8 +22,11 @@ int main() {
   std::cout << "csv:circuit,fraction_equal\n";
   double min_fraction = 1.0;
   for (const std::string& name : netlist::benchmark_names()) {
-    const analysis::CircuitProfile p =
-        analysis::analyze_stuck_at(netlist::make_benchmark(name));
+    obs::ScopedTimer timer = session.phase(name);
+    const analysis::CircuitProfile p = analysis::analyze_stuck_at(
+        netlist::make_benchmark(name), session.options());
+    timer.stop();
+    session.record_profile(p);
     const double frac = p.po_fed_equals_observed_fraction();
     std::size_t eq = 0, det = 0;
     for (const auto& f : p.faults) {

@@ -10,7 +10,8 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_random_pattern_length", argc, argv);
   bench::banner("Application -- random-pattern test length from exact "
                 "profiles",
                 "Expected coverage from exact detectabilities matches "
@@ -22,8 +23,12 @@ int main() {
   std::cout << "csv:circuit,n95,n99,predicted256,simulated256\n";
   double worst_gap = 0.0;
   for (const char* name : {"c17", "c95", "alu181", "c432", "c499"}) {
+    obs::ScopedTimer timer = session.phase(name);
+    const analysis::CircuitProfile p =
+        analysis::analyze_stuck_at(netlist::make_benchmark(name),
+                                   session.options());
+    session.record_profile(p);
     const netlist::Circuit c = netlist::make_benchmark(name);
-    const analysis::CircuitProfile p = analysis::analyze_stuck_at(c);
 
     const std::size_t n95 = analysis::patterns_for_coverage(p, 0.95);
     const std::size_t n99 = analysis::patterns_for_coverage(p, 0.99);

@@ -8,7 +8,8 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_syndrome_testing", argc, argv);
   bench::banner("Observation -- syndrome testability (ref [11])",
                 "Most, but not all, detectable faults shift a PO syndrome; "
                 "XOR-rich circuits hide balanced flips from count testing.");
@@ -19,6 +20,7 @@ int main() {
   double min_frac = 1.0, max_frac = 0.0;
   std::string min_name, max_name;
   for (const char* name : {"c17", "c95", "alu181", "c432", "c499"}) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     netlist::Structure st(c);
     bdd::Manager mgr(0);
@@ -31,6 +33,9 @@ int main() {
       ++detectable;
       if (sym.syndrome_test(f).syndrome_detectable) ++syndrome_detectable;
     }
+    session.metrics().counter("syn.detectable").add(detectable);
+    session.metrics().counter("syn.syndrome_detectable")
+        .add(syndrome_detectable);
     const double frac = detectable ? static_cast<double>(syndrome_detectable) /
                                          static_cast<double>(detectable)
                                    : 0.0;

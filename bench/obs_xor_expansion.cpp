@@ -6,7 +6,8 @@
 
 using namespace dp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("obs_xor_expansion", argc, argv);
   bench::banner("Observation -- XOR expansion lowers testability (C499 vs "
                 "C1355)",
                 "Same PO functions, more gates, lower detectability: minimal "
@@ -14,8 +15,16 @@ int main() {
 
   const netlist::Circuit c499 = netlist::make_benchmark("c499");
   const netlist::Circuit c1355 = netlist::make_benchmark("c1355");
-  const analysis::CircuitProfile p499 = analysis::analyze_stuck_at(c499);
-  const analysis::CircuitProfile p1355 = analysis::analyze_stuck_at(c1355);
+  obs::ScopedTimer t499 = session.phase("c499");
+  const analysis::CircuitProfile p499 =
+      analysis::analyze_stuck_at(c499, session.options());
+  t499.stop();
+  obs::ScopedTimer t1355 = session.phase("c1355");
+  const analysis::CircuitProfile p1355 =
+      analysis::analyze_stuck_at(c1355, session.options());
+  t1355.stop();
+  session.record_profile(p499);
+  session.record_profile(p1355);
 
   analysis::TextTable table({"circuit", "gates", "faults", "mean det",
                              "mean det/#POs", "undetectable"});

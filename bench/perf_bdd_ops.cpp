@@ -5,6 +5,7 @@
 #include <random>
 
 #include "bdd/bdd.hpp"
+#include "common.hpp"
 
 using namespace dp::bdd;
 
@@ -95,4 +96,25 @@ BENCHMARK(BM_SatCount)->Arg(16)->Arg(32)->Arg(48);
 BENCHMARK(BM_BuildRandomDnf)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GarbageCollection)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the common flags (--metrics-json, --trace,
+// --jobs) work here too; everything unrecognized passes through to
+// google-benchmark untouched.
+int main(int argc, char** argv) {
+  dp::bench::Session session("perf_bdd_ops", argc, argv,
+                             /*passthrough_unknown=*/true);
+  std::vector<char*> args;
+  char arg0_default[] = "perf_bdd_ops";
+  args.push_back(argc > 0 ? argv[0] : arg0_default);
+  for (char* a : session.passthrough_argv()) args.push_back(a);
+  int bench_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&bench_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  dp::obs::ScopedTimer timer = session.phase("benchmarks");
+  const std::size_t run = ::benchmark::RunSpecifiedBenchmarks();
+  timer.stop();
+  session.metrics().counter("benchmarks.run").add(run);
+  ::benchmark::Shutdown();
+  return 0;
+}

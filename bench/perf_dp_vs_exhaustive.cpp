@@ -5,6 +5,7 @@
 // the exhaustive baseline scales as 2^n, Difference Propagation does not.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "dp/engine.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
@@ -78,4 +79,25 @@ BENCHMARK(BM_ExhaustiveSimulation)->DenseRange(0, 6)->Unit(benchmark::kMicroseco
 BENCHMARK(BM_DifferencePropagation)->DenseRange(0, 6)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DifferencePropagationLarge)->DenseRange(0, 1)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the common flags (--metrics-json, --trace,
+// --jobs) work here too; everything unrecognized passes through to
+// google-benchmark untouched.
+int main(int argc, char** argv) {
+  bench::Session session("perf_dp_vs_exhaustive", argc, argv,
+                         /*passthrough_unknown=*/true);
+  std::vector<char*> args;
+  char arg0_default[] = "perf_dp_vs_exhaustive";
+  args.push_back(argc > 0 ? argv[0] : arg0_default);
+  for (char* a : session.passthrough_argv()) args.push_back(a);
+  int bench_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&bench_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  obs::ScopedTimer timer = session.phase("benchmarks");
+  const std::size_t run = ::benchmark::RunSpecifiedBenchmarks();
+  timer.stop();
+  session.metrics().counter("benchmarks.run").add(run);
+  ::benchmark::Shutdown();
+  return 0;
+}

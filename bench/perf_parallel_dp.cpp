@@ -38,19 +38,14 @@ Scalars scalars(const core::FaultAnalysis& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Session session("perf_parallel_dp", argc, argv);
   bench::banner("Perf -- fault-parallel Difference Propagation (C432-class)",
                 "Per-fault analyses are independent; a private-manager "
                 "worker pool scales the sweep with cores, bit-identically.");
 
-  std::size_t jobs = 4;
-  if (const char* env = std::getenv("DP_BENCH_JOBS")) {
-    jobs = static_cast<std::size_t>(std::atoll(env));
-  }
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs") {
-      jobs = static_cast<std::size_t>(std::atoll(argv[i + 1]));
-    }
-  }
+  // Default to 4 workers so the speedup check is meaningful even when the
+  // common flags leave jobs at the serial default.
+  std::size_t jobs = session.jobs_explicit() ? session.options().jobs : 4;
   if (jobs == 0) {
     jobs = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -64,6 +59,7 @@ int main(int argc, char** argv) {
             << " collapsed checkpoint faults\n";
 
   // Serial baseline: the pre-engine loop, one manager, one thread.
+  obs::ScopedTimer serial_timer = session.phase("serial");
   const auto serial_start = Clock::now();
   std::vector<Scalars> serial;
   serial.reserve(faults.size());
@@ -75,6 +71,7 @@ int main(int argc, char** argv) {
       serial.push_back(scalars(propagator.analyze(f)));
     }
   }
+  serial_timer.stop();
   const double serial_s = seconds_since(serial_start);
   std::cout << "serial sweep:   " << analysis::TextTable::num(serial_s, 3)
             << " s (" << analysis::TextTable::num(faults.size() / serial_s, 1)
@@ -82,19 +79,23 @@ int main(int argc, char** argv) {
 
   // Parallel sweep (engine construction included: building one
   // GoodFunctions per worker is part of the price of the pool).
+  obs::ScopedTimer par_timer = session.phase("parallel");
   const auto par_start = Clock::now();
   std::vector<Scalars> parallel(faults.size(),
                                 Scalars{false, 0, 0, 0, 0, 0});
   core::ParallelEngine::Options popt;
   popt.jobs = jobs;
+  popt.dp.trace = session.trace();
   core::ParallelEngine engine(circuit, structure, popt);
   engine.analyze_each(faults, [&](std::size_t i, core::FaultAnalysis&& a) {
     parallel[i] = scalars(a);
   });
+  par_timer.stop();
   const double par_s = seconds_since(par_start);
   std::cout << "parallel sweep: " << analysis::TextTable::num(par_s, 3)
             << " s with --jobs " << jobs << "\n\n";
   engine.stats().print(std::cout);
+  engine.stats().export_metrics(session.metrics());
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {

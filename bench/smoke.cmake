@@ -1,0 +1,47 @@
+# Runs every bench executable on a reduced workload with --metrics-json,
+# then validates the emitted dp.metrics.v1 documents and aggregates them
+# into BENCH_summary.json. Driven by the `bench_smoke` custom target:
+#
+#   cmake -DBENCH_DIR=<bindir>/bench -DOUT_DIR=<bindir>/bench_smoke \
+#         -DVALIDATOR=<bindir>/bench/validate_metrics \
+#         -DBENCHES="fig1_sa_histograms;..." -P smoke.cmake
+#
+# DP_BENCH_BF_COUNT=50 keeps the bridging-fault samples small; the
+# google-benchmark benches are filtered to one cheap case each so the
+# smoke pass checks the telemetry plumbing, not steady-state performance.
+if(NOT BENCH_DIR OR NOT OUT_DIR OR NOT VALIDATOR OR NOT BENCHES)
+  message(FATAL_ERROR "smoke.cmake needs BENCH_DIR, OUT_DIR, VALIDATOR, BENCHES")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(json_files "")
+foreach(bench IN LISTS BENCHES)
+  set(extra "")
+  if(bench STREQUAL "perf_bdd_ops")
+    set(extra "--benchmark_filter=BM_Negate/16$")
+  elseif(bench STREQUAL "perf_dp_vs_exhaustive")
+    set(extra "--benchmark_filter=BM_DifferencePropagation/1$")
+  endif()
+  set(json "${OUT_DIR}/BENCH_${bench}.json")
+  message(STATUS "bench_smoke: ${bench}")
+  execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E env DP_BENCH_BF_COUNT=50
+              "${BENCH_DIR}/${bench}" --metrics-json "${json}" ${extra}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${bench} exited ${rc}:\n${out}")
+  endif()
+  list(APPEND json_files "${json}")
+endforeach()
+
+execute_process(
+    COMMAND "${VALIDATOR}" --summary "${OUT_DIR}/BENCH_summary.json"
+            ${json_files}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: metrics validation failed (${rc})")
+endif()
+message(STATUS "bench_smoke: all documents valid; summary at "
+               "${OUT_DIR}/BENCH_summary.json")

@@ -30,12 +30,14 @@ bdd::Bdd random_function(bdd::Manager& mgr, std::mt19937_64& rng,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session("tab1_difference_algebra", argc, argv);
   bench::banner("Table 1 -- output difference functions per gate type",
                 "Delta fC in terms of input good functions and input "
                 "differences only; inversions never change the difference.");
 
   // Part 1: symbolic validation over random functions.
+  obs::ScopedTimer identities_timer = session.phase("identities");
   constexpr std::size_t kVars = 6;
   bdd::Manager mgr(kVars);
   std::mt19937_64 rng(1990);
@@ -65,6 +67,10 @@ int main() {
       agreed += (r.direct == r.formula);
     }
   }
+  identities_timer.stop();
+  mgr.export_metrics(session.metrics(), "bdd.identities");
+  session.metrics().counter("tab1.identity_checks").add(checked);
+  session.metrics().counter("tab1.identity_agreements").add(agreed);
   std::cout << "Symbolic identity checks: " << agreed << "/" << checked
             << " agree with direct good-XOR-faulty computation\n";
   bench::shape_check(agreed == checked, "all Table 1 identities hold");
@@ -72,11 +78,14 @@ int main() {
   // Part 2: selective trace. Count gate evaluations with and without it
   // across the collapsed stuck-at set of a mid-size circuit.
   for (const char* name : {"c432", "c499"}) {
+    obs::ScopedTimer timer = session.phase(name);
     const netlist::Circuit c = netlist::make_benchmark(name);
     netlist::Structure st(c);
     bdd::Manager m2(0);
     core::GoodFunctions good(m2, c);
-    core::DifferencePropagator with(good, st);
+    core::DifferencePropagator::Options with_opts;
+    with_opts.trace = session.trace();
+    core::DifferencePropagator with(good, st, with_opts);
     core::DifferencePropagator without(good, st, {/*selective_trace=*/false});
 
     std::uint64_t eval_with = 0, eval_without = 0;
@@ -85,6 +94,12 @@ int main() {
       eval_with += with.analyze(f).stats.gates_evaluated;
       eval_without += without.analyze(f).stats.gates_evaluated;
     }
+    timer.stop();
+    session.metrics().counter("dp.gates_evaluated").add(eval_with);
+    session.metrics()
+        .counter("tab1.gates_evaluated_without_selective_trace")
+        .add(eval_without);
+    m2.export_metrics(session.metrics(), std::string("bdd.") + name);
     const double saved =
         1.0 - static_cast<double>(eval_with) /
                   static_cast<double>(eval_without);

@@ -1,0 +1,166 @@
+// Validator/aggregator for dp.metrics.v1 documents (the bench_smoke
+// backstop): every file must parse with the obs JSON parser and carry the
+// required keys, so a refactor that silently breaks the exporter fails
+// the smoke suite instead of producing unreadable telemetry.
+//
+//   validate_metrics [--summary PATH] FILE...
+//
+// With --summary, an aggregate document (one record per input file plus
+// cross-bench totals) is written to PATH.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using dp::obs::JsonValue;
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& file, const std::string& what) {
+  std::cerr << "FAIL " << file << ": " << what << "\n";
+  ++g_failures;
+}
+
+/// Checks one document; returns a summary record (null on hard failure).
+JsonValue validate(const std::string& file) {
+  JsonValue doc;
+  try {
+    doc = dp::obs::read_json_file(file);
+  } catch (const std::exception& e) {
+    fail(file, e.what());
+    return JsonValue();
+  }
+  if (!doc.is_object()) {
+    fail(file, "top-level value is not an object");
+    return JsonValue();
+  }
+
+  // Benches write "bench", the example CLIs write "tool".
+  const bool is_bench = doc.contains("bench");
+  if (!is_bench && !doc.contains("tool")) {
+    fail(file, "missing required key 'bench' (or 'tool')");
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "dp.metrics.v1") {
+    fail(file, "schema is not \"dp.metrics.v1\"");
+  }
+  if (is_bench && !doc.contains("jobs")) fail(file, "missing key 'jobs'");
+
+  const JsonValue* metrics = doc.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    fail(file, "missing 'metrics' object");
+    return JsonValue();
+  }
+  for (const char* section :
+       {"counters", "gauges", "timers", "histograms"}) {
+    const JsonValue* s = metrics->find(section);
+    if (!s || !s->is_object()) {
+      fail(file, std::string("metrics.") + section + " missing");
+    }
+  }
+  if (is_bench) {
+    const JsonValue* timers = metrics->find("timers");
+    if (timers && timers->is_object() && !timers->contains("phase.total")) {
+      fail(file, "timers lack the mandatory 'phase.total' entry");
+    }
+    const JsonValue* circuits = doc.find("circuits");
+    if (!circuits || !circuits->is_array()) {
+      fail(file, "missing 'circuits' array");
+    }
+  }
+
+  // Summary record: identity, workload counters, total wall clock.
+  JsonValue rec = JsonValue::object();
+  rec["file"] = file;
+  if (const JsonValue* id = doc.find(is_bench ? "bench" : "tool")) {
+    rec[is_bench ? "bench" : "tool"] = *id;
+  }
+  if (const JsonValue* jobs = doc.find("jobs")) rec["jobs"] = *jobs;
+  if (const JsonValue* circuits = doc.find("circuits")) {
+    rec["circuits"] = circuits->size();
+  }
+  if (const JsonValue* timers = metrics->find("timers")) {
+    if (const JsonValue* total = timers->find("phase.total")) {
+      rec["wall_seconds"] = total->at("total_s");
+    }
+  }
+  if (const JsonValue* counters = metrics->find("counters")) {
+    for (const char* key :
+         {"dp.faults_analyzed", "dp.gates_evaluated", "dp.gates_skipped"}) {
+      if (const JsonValue* c = counters->find(key)) rec[key] = *c;
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string summary_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--summary") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --summary requires a value\n";
+        return 2;
+      }
+      summary_path = argv[++i];
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: validate_metrics [--summary PATH] FILE...\n";
+    return 2;
+  }
+
+  JsonValue documents = JsonValue::array();
+  long long faults = 0, evaluated = 0, skipped = 0;
+  for (const std::string& file : files) {
+    JsonValue rec = validate(file);
+    if (rec.is_null()) continue;
+    if (const JsonValue* v = rec.find("dp.faults_analyzed")) {
+      faults += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("dp.gates_evaluated")) {
+      evaluated += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("dp.gates_skipped")) {
+      skipped += v->as_int();
+    }
+    documents.push_back(std::move(rec));
+    std::cout << "ok   " << file << "\n";
+  }
+
+  if (!summary_path.empty()) {
+    JsonValue summary = JsonValue::object();
+    summary["schema"] = "dp.metrics.summary.v1";
+    summary["documents"] = documents.size();
+    summary["failures"] = g_failures;
+    JsonValue totals = JsonValue::object();
+    totals["dp.faults_analyzed"] = faults;
+    totals["dp.gates_evaluated"] = evaluated;
+    totals["dp.gates_skipped"] = skipped;
+    summary["totals"] = std::move(totals);
+    summary["benches"] = std::move(documents);
+    std::string error;
+    if (!dp::obs::write_json_file(summary_path, summary, &error)) {
+      std::cerr << "FAIL writing summary " << summary_path << ": " << error
+                << "\n";
+      ++g_failures;
+    } else {
+      std::cout << "[metrics] wrote " << summary_path << "\n";
+    }
+  }
+
+  if (g_failures > 0) {
+    std::cerr << g_failures << " validation failure(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -7,11 +7,14 @@
 //   $ ./atpg_tool             # defaults to c95
 //   $ ./atpg_tool c432
 //   $ ./atpg_tool c432 --jobs 4   # fault-parallel analysis sweep
+//   $ ./atpg_tool c432 --metrics-json atpg.json --trace
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "cli_common.hpp"
 #include "dp/parallel_engine.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generators.hpp"
@@ -21,13 +24,21 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  cli::Telemetry tel;
+  tel.strip_flags(args);
+
   std::string arg = "c95";
   std::size_t jobs = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
-      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --jobs requires a value\n";
+        return 2;
+      }
+      jobs = cli::parse_count("--jobs", args[++i]);
     } else {
-      arg = argv[i];
+      arg = args[i];
     }
   }
   const auto& names = netlist::benchmark_names();
@@ -47,8 +58,10 @@ int main(int argc, char** argv) {
   // before flexible ones.
   core::ParallelEngine::Options popt;
   popt.jobs = jobs;
+  popt.dp.trace = tel.trace();
   core::ParallelEngine engine(circuit, structure, popt);
   std::vector<core::FaultAnalysis> analyses = engine.analyze_all(faults);
+  engine.stats().export_metrics(tel.metrics());
 
   struct Entry {
     const fault::StuckAtFault* fault;
@@ -111,8 +124,8 @@ int main(int argc, char** argv) {
   const bool ok = cov.detected + redundant == cov.total;
   std::cout << (ok ? "OK: complete coverage of all testable faults\n"
                    : "WARNING: coverage gap\n");
-  if (jobs != 1) {
-    std::cout << "\n" << engine.stats();
-  }
-  return ok ? 0 : 1;
+  // Always shown (even serial) so refcount underflows can never hide.
+  std::cout << "\n" << engine.stats();
+  const bool wrote = tel.write("atpg_tool");
+  return ok && wrote ? 0 : 1;
 }

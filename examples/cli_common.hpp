@@ -1,0 +1,97 @@
+// Shared telemetry flags for the example CLIs: `--metrics-json PATH` and
+// `--trace` behave identically across dpcli, testability_report and
+// atpg_tool. The written document mirrors the bench schema
+// (dp.metrics.v1) so one validator handles both:
+//
+//   { "tool": "<name>", "command": "<subcommand>",   // command optional
+//     "schema": "dp.metrics.v1",
+//     "metrics": { counters, gauges, timers, histograms },
+//     "trace": { ... } }                             // only with --trace
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dp::cli {
+
+/// Strict flag-value parser: exits 2 on anything but a non-negative
+/// integer, so `--jobs` can never silently fall back to a default.
+inline std::size_t parse_count(const std::string& flag,
+                               const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0) {
+    std::cerr << "error: " << flag
+              << " expects a non-negative integer, got '" << text << "'\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Owns the metrics registry and the optional trace buffer for one CLI
+/// invocation. strip_flags() removes the telemetry flags from argv before
+/// the tool's own positional parsing; write() emits the JSON document.
+class Telemetry {
+ public:
+  /// Removes `--metrics-json PATH` and `--trace` from `args`, exiting 2
+  /// when `--metrics-json` is the final token (a missing value must not
+  /// be swallowed as a path).
+  void strip_flags(std::vector<std::string>& args) {
+    for (std::size_t i = 0; i < args.size();) {
+      if (args[i] == "--metrics-json") {
+        if (i + 1 >= args.size()) {
+          std::cerr << "error: --metrics-json requires a value\n";
+          std::exit(2);
+        }
+        path_ = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      } else if (args[i] == "--trace") {
+        if (!buffer_) buffer_ = std::make_unique<obs::TraceBuffer>(1u << 16);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Non-null only with --trace; wire into DifferencePropagator options.
+  obs::TraceBuffer* trace() { return buffer_.get(); }
+  bool requested() const { return !path_.empty(); }
+
+  /// Writes the document when --metrics-json was given. Returns false
+  /// only when a requested write failed (callers fold that into their
+  /// exit code so scripts notice the missing file).
+  bool write(const std::string& tool, const std::string& command = "") {
+    if (path_.empty()) return true;
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["tool"] = tool;
+    if (!command.empty()) doc["command"] = command;
+    doc["schema"] = "dp.metrics.v1";
+    doc["metrics"] = metrics_.to_json();
+    if (buffer_) doc["trace"] = buffer_->to_json();
+    std::string error;
+    if (!obs::write_json_file(path_, doc, &error)) {
+      std::cerr << "[metrics] FAILED to write " << path_ << ": " << error
+                << "\n";
+      return false;
+    }
+    std::cout << "[metrics] wrote " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceBuffer> buffer_;
+};
+
+}  // namespace dp::cli

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/diagnosis.hpp"
+#include "cli_common.hpp"
 #include "analysis/profiles.hpp"
 #include "analysis/random_pattern.hpp"
 #include "analysis/report.hpp"
@@ -41,7 +42,8 @@ int usage() {
          "  list | info C | sa C [--full] | bf C [--count N]\n"
          "  fault C NET 0|1 | diagnose C NET 0|1 | syndrome C | atpg C\n"
          "  write C | dot C NET\n"
-         "  (C = benchmark name or .bench path; sa and bf take --jobs N)\n";
+         "  (C = benchmark name or .bench path; sa and bf take --jobs N)\n"
+         "  global: --metrics-json PATH (dp.metrics.v1 document), --trace\n";
   return 2;
 }
 
@@ -82,11 +84,14 @@ int cmd_info(const netlist::Circuit& c) {
   return 0;
 }
 
-int cmd_sa(const netlist::Circuit& c, bool full, std::size_t jobs) {
+int cmd_sa(const netlist::Circuit& c, bool full, std::size_t jobs,
+           cli::Telemetry& tel) {
   analysis::AnalysisOptions opt;
   opt.collapse = !full;
   opt.jobs = jobs;
+  opt.dp.trace = tel.trace();
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(c, opt);
+  p.engine_stats.export_metrics(tel.metrics());
   std::cout << "stuck-at profile of " << c.name() << " ("
             << (full ? "uncollapsed" : "collapsed") << " checkpoints)\n";
   std::cout << "  faults       : " << p.faults.size() << "\n";
@@ -104,22 +109,24 @@ int cmd_sa(const netlist::Circuit& c, bool full, std::size_t jobs) {
   analysis::print_series(std::cout, p.detectability_by_po_distance(),
                          "bathtub curve", "max levels to PO",
                          "mean detectability");
-  if (jobs != 1) {
-    std::cout << "\n" << p.engine_stats;
-  }
+  // Always shown (even serial) so refcount underflows can never hide.
+  std::cout << "\n" << p.engine_stats;
   return 0;
 }
 
-int cmd_bf(const netlist::Circuit& c, std::size_t count, std::size_t jobs) {
+int cmd_bf(const netlist::Circuit& c, std::size_t count, std::size_t jobs,
+           cli::Telemetry& tel) {
   analysis::AnalysisOptions opt;
   opt.sampling.target_count = count;
   opt.jobs = jobs;
+  opt.dp.trace = tel.trace();
   analysis::TextTable t({"type", "faults", "detectable", "mean det",
                          "stuck-at-like"});
   analysis::CircuitProfile last;
   for (fault::BridgeType type :
        {fault::BridgeType::And, fault::BridgeType::Or}) {
     analysis::CircuitProfile p = analysis::analyze_bridging(c, type, opt);
+    p.engine_stats.export_metrics(tel.metrics());
     t.add_row({fault::to_string(type), std::to_string(p.faults.size()),
                std::to_string(p.detectable_count()),
                analysis::TextTable::num(p.mean_detectability_detectable()),
@@ -128,14 +135,13 @@ int cmd_bf(const netlist::Circuit& c, std::size_t count, std::size_t jobs) {
   }
   std::cout << "bridging-fault study of " << c.name() << "\n";
   t.print(std::cout);
-  if (jobs != 1) {
-    std::cout << "\n" << last.engine_stats;
-  }
+  // Always shown (even serial) so refcount underflows can never hide.
+  std::cout << "\n" << last.engine_stats;
   return 0;
 }
 
 int cmd_fault(const netlist::Circuit& c, const std::string& net,
-              const std::string& value) {
+              const std::string& value, cli::Telemetry& tel) {
   if (value != "0" && value != "1") {
     std::cerr << "stuck value must be 0 or 1, got '" << value << "'\n";
     return 2;
@@ -148,9 +154,12 @@ int cmd_fault(const netlist::Circuit& c, const std::string& net,
   netlist::Structure st(c);
   bdd::Manager mgr(0);
   core::GoodFunctions good(mgr, c);
-  core::DifferencePropagator dp(good, st);
+  core::DifferencePropagator::Options dpo;
+  dpo.trace = tel.trace();
+  core::DifferencePropagator dp(good, st, dpo);
   const fault::StuckAtFault f{*id, std::nullopt, value == "1"};
   const core::FaultAnalysis a = dp.analyze(f);
+  mgr.export_metrics(tel.metrics());
   std::cout << describe(f, c) << ":\n";
   std::cout << "  detectable     : " << (a.detectable ? "yes" : "no") << "\n";
   std::cout << "  detectability  : " << a.detectability << "\n";
@@ -158,6 +167,9 @@ int cmd_fault(const netlist::Circuit& c, const std::string& net,
   std::cout << "  adherence      : " << a.adherence << "\n";
   std::cout << "  POs fed/obsrvd : " << a.pos_fed << "/" << a.pos_observable
             << "\n";
+  std::cout << "  gates eval/skip: " << a.stats.gates_evaluated << "/"
+            << a.stats.gates_skipped << "  (ref underflows "
+            << mgr.stats().ref_underflows << ")\n";
   if (a.detectable) {
     const auto cube = a.test_set.sat_one();
     std::cout << "  a test vector  : ";
@@ -173,7 +185,7 @@ int cmd_fault(const netlist::Circuit& c, const std::string& net,
   return 0;
 }
 
-int cmd_syndrome(const netlist::Circuit& c) {
+int cmd_syndrome(const netlist::Circuit& c, cli::Telemetry& tel) {
   bdd::Manager mgr(0);
   core::GoodFunctions good(mgr, c);
   analysis::TextTable t({"net", "type", "syndrome", "bdd nodes"});
@@ -183,6 +195,7 @@ int cmd_syndrome(const netlist::Circuit& c) {
                std::to_string(good.at(id).dag_size())});
   }
   t.print(std::cout);
+  mgr.export_metrics(tel.metrics());
   return 0;
 }
 
@@ -216,16 +229,19 @@ std::vector<std::vector<bool>> build_compact_vectors(
   return vectors;
 }
 
-int cmd_atpg(const netlist::Circuit& c) {
+int cmd_atpg(const netlist::Circuit& c, cli::Telemetry& tel) {
   netlist::Structure st(c);
   bdd::Manager mgr(0);
   core::GoodFunctions good(mgr, c);
-  core::DifferencePropagator dp(good, st);
+  core::DifferencePropagator::Options dpo;
+  dpo.trace = tel.trace();
+  core::DifferencePropagator dp(good, st, dpo);
   sim::FaultSimulator fs(c);
 
   const auto faults = fault::collapse_checkpoint_faults(c);
   std::size_t redundant = 0;
   const auto vectors = build_compact_vectors(c, dp, &redundant);
+  mgr.export_metrics(tel.metrics());
   const auto cov = fs.grade_vectors(faults, vectors);
   std::cout << "# " << c.name() << ": " << vectors.size() << " vectors, "
             << cov.detected << "/" << cov.total << " faults detected, "
@@ -238,7 +254,7 @@ int cmd_atpg(const netlist::Circuit& c) {
 }
 
 int cmd_diagnose(const netlist::Circuit& c, const std::string& net,
-                 const std::string& value) {
+                 const std::string& value, cli::Telemetry& tel) {
   if (value != "0" && value != "1") {
     std::cerr << "stuck value must be 0 or 1, got '" << value << "'\n";
     return 2;
@@ -252,7 +268,9 @@ int cmd_diagnose(const netlist::Circuit& c, const std::string& net,
   netlist::Structure st(c);
   bdd::Manager mgr(0);
   core::GoodFunctions good(mgr, c);
-  core::DifferencePropagator dp(good, st);
+  core::DifferencePropagator::Options dpo;
+  dpo.trace = tel.trace();
+  core::DifferencePropagator dp(good, st, dpo);
   sim::FaultSimulator fs(c);
 
   // Dictionary over a compact ATPG vector set.
@@ -290,6 +308,7 @@ int cmd_diagnose(const netlist::Circuit& c, const std::string& net,
     std::cout << "  " << describe(dict.fault_at(cand.fault_index), c)
               << "  distance " << cand.distance << "\n";
   }
+  mgr.export_metrics(tel.metrics());
   return 0;
 }
 
@@ -309,53 +328,75 @@ int cmd_dot(const netlist::Circuit& c, const std::string& net) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::vector<std::string>& args, std::size_t jobs,
+             cli::Telemetry& tel) {
+  const std::string cmd = args[0];
+  if (cmd == "list") return cmd_list();
+  if (args.size() < 2) return usage();
+  const netlist::Circuit circuit = load(args[1]);
+
+  if (cmd == "info") return cmd_info(circuit);
+  if (cmd == "sa") {
+    return cmd_sa(circuit, args.size() > 2 && args[2] == "--full", jobs, tel);
+  }
+  if (cmd == "bf") {
+    std::size_t count = 1000;
+    if (args.size() > 3 && args[2] == "--count") {
+      count = cli::parse_count("--count", args[3]);
+    }
+    return cmd_bf(circuit, count, jobs, tel);
+  }
+  if (cmd == "fault" && args.size() == 4) {
+    return cmd_fault(circuit, args[2], args[3], tel);
+  }
+  if (cmd == "diagnose" && args.size() == 4) {
+    return cmd_diagnose(circuit, args[2], args[3], tel);
+  }
+  if (cmd == "syndrome") return cmd_syndrome(circuit, tel);
+  if (cmd == "atpg") return cmd_atpg(circuit, tel);
+  if (cmd == "write") {
+    netlist::write_bench(std::cout, circuit);
+    return 0;
+  }
+  if (cmd == "dot" && args.size() == 3) return cmd_dot(circuit, args[2]);
+  return usage();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
-  const std::string cmd = args[0];
 
-  // `--jobs N` may appear anywhere after the command; strip it here so the
-  // per-command positional parsing below stays simple.
+  cli::Telemetry tel;
+  tel.strip_flags(args);
+  if (args.empty()) return usage();
+
+  // `--jobs N` may appear anywhere after the command; strip it here so
+  // the per-command positional parsing below stays simple. A trailing
+  // `--jobs` with no value is a hard error, never a silent default.
   std::size_t jobs = 1;
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (args[i] == "--jobs") {
-      jobs = std::stoul(args[i + 1]);
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      break;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] != "--jobs") continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: --jobs requires a value\n";
+      return 2;
     }
+    jobs = cli::parse_count("--jobs", args[i + 1]);
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    break;
   }
 
+  int rc;
   try {
-    if (cmd == "list") return cmd_list();
-    if (args.size() < 2) return usage();
-    const netlist::Circuit circuit = load(args[1]);
-
-    if (cmd == "info") return cmd_info(circuit);
-    if (cmd == "sa") {
-      return cmd_sa(circuit, args.size() > 2 && args[2] == "--full", jobs);
-    }
-    if (cmd == "bf") {
-      std::size_t count = 1000;
-      if (args.size() > 3 && args[2] == "--count") count = std::stoul(args[3]);
-      return cmd_bf(circuit, count, jobs);
-    }
-    if (cmd == "fault" && args.size() == 4) {
-      return cmd_fault(circuit, args[2], args[3]);
-    }
-    if (cmd == "diagnose" && args.size() == 4) {
-      return cmd_diagnose(circuit, args[2], args[3]);
-    }
-    if (cmd == "syndrome") return cmd_syndrome(circuit);
-    if (cmd == "atpg") return cmd_atpg(circuit);
-    if (cmd == "write") {
-      netlist::write_bench(std::cout, circuit);
-      return 0;
-    }
-    if (cmd == "dot" && args.size() == 3) return cmd_dot(circuit, args[2]);
-    return usage();
+    rc = dispatch(args, jobs, tel);
   } catch (const std::exception& e) {
     std::cerr << "dpcli: " << e.what() << "\n";
     return 1;
   }
+  if (!tel.write("dpcli", args[0]) && rc == 0) rc = 1;
+  return rc;
 }

@@ -7,13 +7,16 @@
 //   $ ./testability_report path/to.bench  # or an ISCAS-85 netlist file
 //   $ ./testability_report c432 --jobs 4  # fault-parallel sweep
 //                                         # (bit-identical to serial)
+//   $ ./testability_report c432 --metrics-json report.json --trace
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
+#include "cli_common.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generators.hpp"
 
@@ -32,15 +35,24 @@ netlist::Circuit load(const std::string& arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  cli::Telemetry tel;
+  tel.strip_flags(args);
+
   std::string arg = "alu181";
   analysis::AnalysisOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
-      opt.jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --jobs requires a value\n";
+        return 2;
+      }
+      opt.jobs = cli::parse_count("--jobs", args[++i]);
     } else {
-      arg = argv[i];
+      arg = args[i];
     }
   }
+  opt.dp.trace = tel.trace();
   netlist::Circuit circuit = load(arg);
 
   std::cout << "Stuck-at testability report: " << circuit.name() << "\n";
@@ -49,6 +61,7 @@ int main(int argc, char** argv) {
             << " POs\n\n";
 
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(circuit, opt);
+  p.engine_stats.export_metrics(tel.metrics());
   const std::size_t undetectable = p.faults.size() - p.detectable_count();
 
   std::cout << "Collapsed checkpoint faults : " << p.faults.size() << "\n";
@@ -96,8 +109,7 @@ int main(int argc, char** argv) {
   std::cout << "\nDFT hint: faults concentrate in the curve's middle -- "
                "target observation points at the circuit center (paper §4.1)."
             << "\n";
-  if (opt.jobs != 1) {
-    std::cout << "\n" << p.engine_stats;
-  }
-  return 0;
+  // Always shown (even serial) so refcount underflows can never hide.
+  std::cout << "\n" << p.engine_stats;
+  return tel.write("testability_report") ? 0 : 1;
 }

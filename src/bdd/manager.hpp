@@ -13,6 +13,7 @@
 
 #include "bdd/bdd_types.hpp"
 #include "bdd/computed_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace dp::bdd {
 
@@ -106,8 +107,16 @@ class Manager {
 
   std::size_t live_nodes() const { return live_nodes_; }
   std::size_t pool_size() const { return nodes_.size(); }
+  std::size_t unique_bucket_count() const { return unique_.size(); }
   const ManagerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ManagerStats{}; }
+
+  /// Publishes the manager's current state as live gauges named
+  /// `<prefix>.<metric>`: node counts, GC activity, unique-table load
+  /// (live nodes per hash bucket), and the computed-cache hit rate.
+  /// Snapshot values, not deltas -- call again to refresh.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "bdd") const;
 
   // ---- node accessors --------------------------------------------------
 

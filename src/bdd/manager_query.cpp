@@ -134,4 +134,27 @@ std::vector<signed char> Manager::sat_one(NodeIndex f) const {
   return cube;
 }
 
+void Manager::export_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  auto g = [&](const char* name, double v) {
+    registry.gauge(prefix + "." + name).set(v);
+  };
+  g("live_nodes", static_cast<double>(live_nodes_));
+  g("pool_size", static_cast<double>(nodes_.size()));
+  g("peak_live_nodes", static_cast<double>(stats_.peak_live_nodes));
+  g("nodes_created", static_cast<double>(stats_.nodes_created));
+  g("unique_table_buckets", static_cast<double>(unique_.size()));
+  g("unique_table_load",
+    unique_.empty() ? 0.0
+                    : static_cast<double>(live_nodes_) /
+                          static_cast<double>(unique_.size()));
+  g("unique_lookups", static_cast<double>(stats_.unique_lookups));
+  g("apply_calls", static_cast<double>(stats_.apply_calls));
+  g("cache_hits", static_cast<double>(stats_.cache_hits));
+  g("cache_hit_rate", stats_.cache_hit_rate());
+  g("gc_runs", static_cast<double>(stats_.gc_runs));
+  g("gc_reclaimed", static_cast<double>(stats_.gc_reclaimed));
+  g("ref_underflows", static_cast<double>(stats_.ref_underflows));
+}
+
 }  // namespace dp::bdd

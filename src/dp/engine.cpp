@@ -14,6 +14,17 @@ DifferencePropagator::DifferencePropagator(const GoodFunctions& good,
                                            Options options)
     : good_(good), structure_(structure), options_(options) {}
 
+void DifferencePropagator::trace_fault(std::string label,
+                                       std::size_t seed_sites,
+                                       const FaultAnalysis& out) const {
+  if (!options_.trace) return;
+  options_.trace->record(obs::TraceKind::Fault, std::move(label),
+                         static_cast<std::int64_t>(out.stats.gates_evaluated),
+                         static_cast<std::int64_t>(out.stats.gates_skipped),
+                         static_cast<std::int64_t>(seed_sites),
+                         static_cast<std::int64_t>(out.pos_observable));
+}
+
 PropagationStats DifferencePropagator::propagate(std::vector<bdd::Bdd>& diff,
                                                  const PinSeed* pin_seed) const {
   const Circuit& c = good_.circuit();
@@ -171,7 +182,9 @@ FaultAnalysis DifferencePropagator::analyze(
   const double upper = excitation.density(good_.num_vars());
 
   PropagationStats st = propagate_multi(diff, pins, nets);
-  return finish(diff, site_nets, upper, st);
+  FaultAnalysis out = finish(diff, site_nets, upper, st);
+  trace_fault(fault::describe(fault, c), site_nets.size(), out);
+  return out;
 }
 
 FaultAnalysis DifferencePropagator::finish(
@@ -236,7 +249,9 @@ FaultAnalysis DifferencePropagator::analyze(
   // PO reachability is measured from the checkpoint line's stem: a branch
   // fault lives on the fanout branch of `fault.net`, not on the fed gate's
   // output, so pos_fed counts the POs the stem feeds.
-  return finish(diff, {fault.net}, upper, st);
+  FaultAnalysis out = finish(diff, {fault.net}, upper, st);
+  trace_fault(fault::describe(fault, c), 1, out);
+  return out;
 }
 
 FaultAnalysis DifferencePropagator::analyze(
@@ -262,6 +277,7 @@ FaultAnalysis DifferencePropagator::analyze(
   PropagationStats st = propagate(diff, nullptr);
   FaultAnalysis out = finish(diff, {fault.a, fault.b}, upper, st);
   out.bridge_stuck_at = wired.is_constant();
+  trace_fault(fault::describe(fault, c), 2, out);
   (void)mgr;
   return out;
 }

@@ -46,6 +46,18 @@ double ParallelStats::faults_per_second() const {
   return wall_seconds > 0.0 ? static_cast<double>(faults) / wall_seconds : 0.0;
 }
 
+std::uint64_t ParallelStats::total_gates_evaluated() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.gates_evaluated;
+  return n;
+}
+
+std::uint64_t ParallelStats::total_gates_skipped() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.gates_skipped;
+  return n;
+}
+
 std::uint64_t ParallelStats::total_gc_runs() const {
   std::uint64_t n = 0;
   for (const WorkerStats& w : workers) n += w.gc_runs;
@@ -85,7 +97,10 @@ void ParallelStats::print(std::ostream& os) const {
      << std::setprecision(1) << faults_per_second() << " faults/s, busy "
      << std::setprecision(3) << total_analyze_seconds() << " s, cache hit "
      << std::setprecision(1) << 100.0 * cache_hit_rate() << "%, "
-     << total_gc_runs() << " GC runs)\n";
+     << total_gc_runs() << " GC runs, gates " << human_count(
+            total_gates_evaluated()) << " eval / "
+     << human_count(total_gates_skipped()) << " skip, "
+     << total_ref_underflows() << " ref underflows)\n";
   os << "  worker   faults   busy(s)   max(ms)   build(s)  peak nodes  "
         "gc   apply    cache-hit\n";
   for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -109,6 +124,53 @@ void ParallelStats::print(std::ostream& os) const {
 std::ostream& operator<<(std::ostream& os, const ParallelStats& stats) {
   stats.print(os);
   return os;
+}
+
+void ParallelStats::export_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  // Deterministic workload totals -> counters (see the header comment).
+  registry.counter(prefix + ".faults_analyzed")
+      .add(static_cast<std::uint64_t>(faults));
+  registry.counter(prefix + ".gates_evaluated").add(total_gates_evaluated());
+  registry.counter(prefix + ".gates_skipped").add(total_gates_skipped());
+
+  // Schedule/machine-dependent values -> gauges. Accumulating gauges use
+  // add() so repeated sweeps (multi-circuit benches) sum up; level gauges
+  // use set()/set_max().
+  registry.gauge(prefix + ".jobs")
+      .set_max(static_cast<double>(jobs));
+  obs::Gauge& apply = registry.gauge(prefix + ".apply_calls");
+  obs::Gauge& hits = registry.gauge(prefix + ".cache_hits");
+  apply.add(static_cast<double>(total_apply_calls()));
+  hits.add(static_cast<double>(total_cache_hits()));
+  registry.gauge(prefix + ".cache_hit_rate")
+      .set(apply.value() > 0.0 ? hits.value() / apply.value() : 0.0);
+  registry.gauge(prefix + ".gc_runs")
+      .add(static_cast<double>(total_gc_runs()));
+  registry.gauge(prefix + ".ref_underflows")
+      .add(static_cast<double>(total_ref_underflows()));
+
+  double peak = 0.0, live = 0.0;
+  for (const WorkerStats& w : workers) {
+    peak = std::max(peak, static_cast<double>(w.peak_live_nodes));
+    live += static_cast<double>(w.live_nodes);
+    registry.histogram(prefix + ".worker_busy_seconds")
+        .observe(w.analyze_seconds);
+  }
+  registry.gauge(prefix + ".peak_live_nodes").set_max(peak);
+  registry.gauge(prefix + ".live_nodes").set(live);
+
+  registry.timer(prefix + ".sweep").record(wall_seconds);
+  registry.timer(prefix + ".worker_build")
+      .record(workers.empty()
+                  ? 0.0
+                  : std::max_element(workers.begin(), workers.end(),
+                                     [](const WorkerStats& a,
+                                        const WorkerStats& b) {
+                                       return a.build_seconds <
+                                              b.build_seconds;
+                                     })
+                        ->build_seconds);
 }
 
 /// A worker owns the full private analysis stack: no BDD state is shared
@@ -192,6 +254,8 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
     Worker& w = *workers_[slot];
     WorkerStats& ws = stats_.workers[slot];
     ws.faults_analyzed = 0;
+    ws.gates_evaluated = 0;
+    ws.gates_skipped = 0;
     ws.analyze_seconds = 0.0;
     ws.max_fault_seconds = 0.0;
     const bdd::ManagerStats before = w.manager->stats();
@@ -200,7 +264,10 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
       if (i >= faults.size()) break;
       const auto fault_start = Clock::now();
       try {
-        sink(i, w.propagator->analyze(faults[i]));
+        FaultAnalysis a = w.propagator->analyze(faults[i]);
+        ws.gates_evaluated += a.stats.gates_evaluated;
+        ws.gates_skipped += a.stats.gates_skipped;
+        sink(i, std::move(a));
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (i < error_index) {

@@ -24,6 +24,7 @@
 
 #include "dp/engine.hpp"
 #include "dp/good_functions.hpp"
+#include "obs/metrics.hpp"
 
 namespace dp::core {
 
@@ -32,6 +33,8 @@ namespace dp::core {
 /// node gauges which are end-of-sweep values).
 struct WorkerStats {
   std::size_t faults_analyzed = 0;
+  std::uint64_t gates_evaluated = 0;  ///< summed PropagationStats
+  std::uint64_t gates_skipped = 0;    ///< summed PropagationStats
   double analyze_seconds = 0.0;     ///< summed per-fault wall clock
   double max_fault_seconds = 0.0;   ///< slowest single fault
   double build_seconds = 0.0;       ///< good-function construction
@@ -58,6 +61,8 @@ struct ParallelStats {
 
   double total_analyze_seconds() const;
   double faults_per_second() const;
+  std::uint64_t total_gates_evaluated() const;
+  std::uint64_t total_gates_skipped() const;
   std::uint64_t total_gc_runs() const;
   std::uint64_t total_apply_calls() const;
   std::uint64_t total_cache_hits() const;
@@ -66,6 +71,16 @@ struct ParallelStats {
 
   /// Human-readable block: one summary line plus one row per worker.
   void print(std::ostream& os) const;
+
+  /// Folds this sweep into `registry` under `<prefix>.`. Per-worker
+  /// snapshots are aggregated in worker-index order (deterministic).
+  /// Deterministic totals (faults analyzed, gates evaluated/skipped)
+  /// become counters -- identical for --jobs 1 and --jobs N sweeps of the
+  /// same workload; schedule-dependent values (apply calls, cache hits,
+  /// node counts) become gauges. Repeated calls accumulate, so one
+  /// registry can absorb a whole multi-circuit bench.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "dp") const;
 };
 
 std::ostream& operator<<(std::ostream& os, const ParallelStats& stats);

@@ -1,0 +1,434 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace dp::obs {
+
+JsonValue::JsonValue(unsigned long v) : kind_(Kind::Int) {
+  if (v > static_cast<unsigned long>(std::numeric_limits<long long>::max())) {
+    kind_ = Kind::Double;
+    double_ = static_cast<double>(v);
+  } else {
+    int_ = static_cast<long long>(v);
+  }
+}
+
+JsonValue::JsonValue(unsigned long long v) : kind_(Kind::Int) {
+  if (v > static_cast<unsigned long long>(
+              std::numeric_limits<long long>::max())) {
+    kind_ = Kind::Double;
+    double_ = static_cast<double>(v);
+  } else {
+    int_ = static_cast<long long>(v);
+  }
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw JsonError("not a bool");
+  return bool_;
+}
+
+long long JsonValue::as_int() const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::Double) return static_cast<long long>(double_);
+  throw JsonError("not a number");
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ == Kind::Double) return double_;
+  throw JsonError("not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw JsonError("not a string");
+  return string_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) throw JsonError("push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  throw JsonError("size() on non-container");
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (kind_ != Kind::Array) throw JsonError("at(index) on non-array");
+  if (i >= array_.size()) throw JsonError("array index out of range");
+  return array_[i];
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) throw JsonError("operator[] on non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(std::string(key), JsonValue());
+  return object_.back().second;
+}
+
+bool JsonValue::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw JsonError("missing key '" + std::string(key) + "'");
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::Object) throw JsonError("members() on non-object");
+  return object_;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan literals; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof buf, d);  // shortest round-trip form
+  os.write(buf, end - buf);
+}
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void JsonValue::write_rec(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Int: os << int_; break;
+    case Kind::Double: write_double(os, double_); break;
+    case Kind::String: write_json_string(os, string_); break;
+    case Kind::Array: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        array_[i].write_rec(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        write_json_string(os, object_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        object_[i].second.write_rec(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  write_rec(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+// ---- parser ------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; decode them permissively as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+    const char* tb = tok.data();
+    const char* te = tok.data() + tok.size();
+    if (integral) {
+      long long v = 0;
+      const auto [p, ec] = std::from_chars(tb, te, v);
+      if (ec == std::errc() && p == te) return JsonValue(v);
+      // fall through to double on overflow
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tb, te, d);
+    if (ec != std::errc() || p != te) fail("bad number");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool write_json_file(const std::string& path, const JsonValue& value,
+                     std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  value.write(os, 2);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    if (error) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+JsonValue read_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw JsonError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return JsonValue::parse(buf.str());
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dp::obs {
+
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void Timer::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (s_.count == 0) {
+    s_.min = s_.max = seconds;
+  } else {
+    s_.min = std::min(s_.min, seconds);
+    s_.max = std::max(s_.max, seconds);
+  }
+  ++s_.count;
+  s_.total += seconds;
+}
+
+Timer::Snapshot Timer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return s_;
+}
+
+void Timer::merge(const Snapshot& s) {
+  if (s.count == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (s_.count == 0) {
+    s_.min = s.min;
+    s_.max = s.max;
+  } else {
+    s_.min = std::min(s_.min, s.min);
+    s_.max = std::max(s_.max, s.max);
+  }
+  s_.count += s.count;
+  s_.total += s.total;
+}
+
+Histogram::Histogram(std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  if (bounds.empty()) {
+    throw std::invalid_argument("Histogram needs at least one bucket bound");
+  }
+  s_.bounds = std::move(bounds);
+  s_.counts.assign(s_.bounds.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(s_.bounds.begin(), s_.bounds.end(), v);
+  ++s_.counts[static_cast<std::size_t>(it - s_.bounds.begin())];
+  if (s_.count == 0) {
+    s_.min = s_.max = v;
+  } else {
+    s_.min = std::min(s_.min, v);
+    s_.max = std::max(s_.max, v);
+  }
+  ++s_.count;
+  s_.sum += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return s_;
+}
+
+void Histogram::merge(const Snapshot& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (s.bounds != s_.bounds) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    s_.counts[i] += s.counts[i];
+  }
+  if (s.count > 0) {
+    if (s_.count == 0) {
+      s_.min = s.min;
+      s_.max = s.max;
+    } else {
+      s_.min = std::min(s_.min, s.min);
+      s_.max = std::max(s_.max, s.max);
+    }
+    s_.count += s.count;
+    s_.sum += s.sum;
+  }
+}
+
+double ScopedTimer::stop() {
+  if (!timer_) return 0.0;
+  const double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  timer_->record(dt);
+  timer_ = nullptr;
+  return dt;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+std::vector<double> MetricsRegistry::default_bounds() {
+  // Decade-ish spread suited to both seconds and small counts.
+  return {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue root = JsonValue::object();
+
+  JsonValue& counters = root["counters"];
+  counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) counters[name] = c.value();
+
+  JsonValue& gauges = root["gauges"];
+  gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g.value();
+
+  JsonValue& timers = root["timers"];
+  timers = JsonValue::object();
+  for (const auto& [name, t] : timers_) {
+    const Timer::Snapshot s = t.snapshot();
+    JsonValue& tv = timers[name];
+    tv["count"] = s.count;
+    tv["total_s"] = s.total;
+    tv["min_s"] = s.min;
+    tv["max_s"] = s.max;
+  }
+
+  JsonValue& hists = root["histograms"];
+  hists = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h.snapshot();
+    JsonValue& hv = hists[name];
+    hv["count"] = s.count;
+    hv["sum"] = s.sum;
+    hv["min"] = s.min;
+    hv["max"] = s.max;
+    JsonValue& buckets = hv["buckets"];
+    buckets = JsonValue::array();
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      JsonValue b = JsonValue::object();
+      if (i < s.bounds.size()) {
+        b["le"] = s.bounds[i];
+      } else {
+        b["le"] = "inf";
+      }
+      b["count"] = s.counts[i];
+      buckets.push_back(std::move(b));
+    }
+  }
+  return root;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Snapshot `other` first so the two registry locks never nest.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Timer::Snapshot> timers;
+  std::map<std::string, Histogram::Snapshot> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto& [name, c] : other.counters_) counters[name] = c.value();
+    for (const auto& [name, g] : other.gauges_) gauges[name] = g.value();
+    for (const auto& [name, t] : other.timers_) timers[name] = t.snapshot();
+    for (const auto& [name, h] : other.histograms_) {
+      hists[name] = h.snapshot();
+    }
+  }
+
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).set_max(v);
+  for (const auto& [name, s] : timers) timer(name).merge(s);
+  for (const auto& [name, s] : hists) {
+    Histogram* h = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = histograms_.find(name);
+      if (it == histograms_.end() ||
+          it->second.snapshot().bounds != s.bounds) {
+        histograms_.erase(name);
+        it = histograms_.try_emplace(name, s.bounds).first;
+      }
+      h = &it->second;
+    }
+    h->merge(s);
+  }
+}
+
+}  // namespace dp::obs

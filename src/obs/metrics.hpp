@@ -1,0 +1,177 @@
+// Structured telemetry for the BDD manager and the DP engines: a
+// registry of named instruments plus RAII phase timers, serializable to
+// JSON (obs/json.hpp).
+//
+// Instrument taxonomy -- chosen so serial and parallel sweeps can be
+// compared field by field:
+//
+//   Counter    monotonic uint64 event count. Everything exported as a
+//              counter is DETERMINISTIC: identical for --jobs 1 and
+//              --jobs N runs of the same workload (faults analyzed,
+//              gates evaluated/skipped, ...).
+//   Gauge      double level/snapshot (live nodes, unique-table load,
+//              cache hit rate). May legitimately differ run to run or
+//              with the worker count -- never asserted deterministic.
+//   Timer      phase wall-clock accumulator: count / total / min / max
+//              seconds, fed by ScopedTimer.
+//   Histogram  bucketed distribution of double samples (upper-bound
+//              buckets plus overflow), with count / sum / min / max.
+//
+// Thread safety: instrument handles returned by the registry are stable
+// for the registry's lifetime, and every mutation (Counter::add,
+// Gauge::set, Timer::record, Histogram::observe) is safe to call
+// concurrently. Lookups by name take the registry mutex; hot paths
+// should hold the returned reference instead of re-looking-up.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dp::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water-mark semantics).
+  void set_max(double v);
+  /// Atomic add (accumulating gauges, e.g. summed live nodes).
+  void add(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Wall-clock accumulator for one named phase.
+class Timer {
+ public:
+  void record(double seconds);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Snapshot snapshot() const;
+  /// Folds another timer's aggregate in (registry merge).
+  void merge(const Snapshot& s);
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot s_;
+};
+
+/// Bucketed distribution. Bucket i counts samples <= bounds[i]; one
+/// implicit overflow bucket counts the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        ///< upper bounds, ascending
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Snapshot snapshot() const;
+  /// Bucket-wise fold of another histogram with identical bounds;
+  /// throws std::invalid_argument on a bounds mismatch.
+  void merge(const Snapshot& s);
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot s_;
+};
+
+/// RAII phase timer: records the elapsed wall clock into a Timer when it
+/// goes out of scope (or at an explicit stop()).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(ScopedTimer&& other) noexcept
+      : timer_(other.timer_), start_(other.start_) {
+    other.timer_ = nullptr;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(ScopedTimer&&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records now and disarms; returns the elapsed seconds (0 if already
+  /// stopped).
+  double stop();
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named instrument store. Instruments are created on first use and live
+/// as long as the registry; names are exported in sorted order so the
+/// JSON document is deterministic.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+  /// `bounds` is honored on first creation only; later calls return the
+  /// existing instrument.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_bounds());
+
+  /// RAII timer feeding timer(name).
+  ScopedTimer scoped_timer(const std::string& name) {
+    return ScopedTimer(timer(name));
+  }
+
+  /// Deterministic export: sections in fixed order, names sorted.
+  /// Shape: {"counters": {name: int}, "gauges": {name: num},
+  ///         "timers": {name: {count,total_s,min_s,max_s}},
+  ///         "histograms": {name: {count,sum,min,max,buckets:[{le,count}]}}
+  JsonValue to_json() const;
+
+  /// Fold another registry in: counters add, timers merge, gauges take
+  /// the maximum (snapshot-style gauges keep their high-water mark),
+  /// histograms merge bucket-wise when the bounds agree (and are
+  /// replaced otherwise).
+  void merge_from(const MetricsRegistry& other);
+
+  static std::vector<double> default_bounds();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: stable addresses for handed-out references AND sorted
+  // iteration for deterministic JSON output.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dp::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dp::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Fault: return "fault";
+    case TraceKind::Phase: return "phase";
+    case TraceKind::Mark: return "mark";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      start_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::record(TraceKind kind, std::string label, std::int64_t a,
+                         std::int64_t b, std::int64_t c, std::int64_t d) {
+  TraceEvent ev;
+  ev.t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+             .count();
+  ev.kind = kind;
+  ev.label = std::move(label);
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(thread_ids_.begin(), thread_ids_.end(), self);
+  if (it == thread_ids_.end()) {
+    thread_ids_.push_back(self);
+    it = thread_ids_.end() - 1;
+  }
+  ev.thread = static_cast<std::uint32_t>(it - thread_ids_.begin());
+
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring is full: next_ points at the oldest event.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - std::min<std::uint64_t>(total_, ring_.size());
+}
+
+JsonValue TraceBuffer::to_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total = total_;
+  }
+  JsonValue root = JsonValue::object();
+  root["capacity"] = capacity_;
+  root["recorded"] = total;
+  root["dropped"] = total - events.size();
+  JsonValue& arr = root["events"];
+  arr = JsonValue::array();
+  for (const TraceEvent& ev : events) {
+    JsonValue e = JsonValue::object();
+    e["t"] = ev.t;
+    e["thread"] = ev.thread;
+    e["kind"] = to_string(ev.kind);
+    e["label"] = ev.label;
+    e["a"] = ev.a;
+    e["b"] = ev.b;
+    e["c"] = ev.c;
+    e["d"] = ev.d;
+    arr.push_back(std::move(e));
+  }
+  return root;
+}
+
+}  // namespace dp::obs

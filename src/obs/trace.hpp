@@ -1,0 +1,70 @@
+// Event-trace ring buffer: a bounded, thread-safe log of structured
+// events (per-fault propagation summaries, phase marks) that costs a
+// mutexed struct copy per event and never grows. When the buffer wraps,
+// the oldest events are dropped and counted, so a --trace run over a
+// million faults keeps the tail -- usually the interesting part -- and
+// reports exactly how much history it shed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dp::obs {
+
+/// Event kinds and the meaning of the generic payload slots a..d.
+/// The schema is documented in DESIGN.md §9; summary:
+///   Fault  one DP fault analysis. label = fault site description;
+///          a = gates evaluated, b = gates skipped (selective trace),
+///          c = difference-seed sites, d = POs where observable.
+///   Phase  a phase boundary. label = phase name; a = 0 begin / 1 end.
+///   Mark   free-form annotation from a tool; payload caller-defined.
+enum class TraceKind : std::uint8_t { Fault = 0, Phase = 1, Mark = 2 };
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  double t = 0.0;             ///< seconds since the buffer was created
+  std::uint32_t thread = 0;   ///< dense per-buffer thread id
+  TraceKind kind = TraceKind::Mark;
+  std::string label;
+  std::int64_t a = 0, b = 0, c = 0, d = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void record(TraceKind kind, std::string label, std::int64_t a = 0,
+              std::int64_t b = 0, std::int64_t c = 0, std::int64_t d = 0);
+
+  /// Events oldest-first (at most capacity() of them).
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded, including dropped ones.
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+  /// {"capacity":N,"recorded":N,"dropped":N,"events":[{t,thread,kind,
+  ///  label,a,b,c,d}...]} -- events oldest-first.
+  JsonValue to_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;           ///< slot the next event lands in
+  std::uint64_t total_ = 0;
+  std::vector<std::thread::id> thread_ids_;  ///< index = dense id
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dp::obs

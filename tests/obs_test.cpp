@@ -1,0 +1,316 @@
+// The observability layer's contract: instrument semantics (counters,
+// gauges, timers, histograms), exact sums under concurrent mutation,
+// deterministic registry merges, trace-ring wrap accounting, and a JSON
+// model whose writer and parser round-trip each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON model
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(JsonValue::parse("null").kind(), JsonValue::Kind::Null);
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(JsonValue::parse("\"a\\nb\\\"c\\\\\"").as_string(), "a\nb\"c\\");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndRoundTrips) {
+  JsonValue v = JsonValue::object();
+  v["zebra"] = 1;
+  v["alpha"] = "two";
+  v["nested"]["deep"] = true;
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("three");
+  v["list"] = std::move(arr);
+
+  const std::string text = v.dump();
+  const JsonValue back = JsonValue::parse(text);
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.members()[0].first, "zebra");  // order survives the trip
+  EXPECT_EQ(back.members()[1].first, "alpha");
+  EXPECT_EQ(back.at("zebra").as_int(), 1);
+  EXPECT_TRUE(back.at("nested").at("deep").as_bool());
+  ASSERT_EQ(back.at("list").size(), 3u);
+  EXPECT_DOUBLE_EQ(back.at("list").at(1).as_double(), 2.5);
+  // Idempotent: dump(parse(dump(v))) == dump(v).
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(JsonValue::parse("'single'"), JsonError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonError);
+}
+
+TEST(Json, TypedAccessorsThrowOnKindMismatch) {
+  const JsonValue v = JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_int(), JsonError);
+  EXPECT_THROW(v.at("missing"), JsonError);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_TRUE(v.contains("a"));
+}
+
+TEST(Json, FileRoundTrip) {
+  JsonValue v = JsonValue::object();
+  v["x"] = 7;
+  const std::string path = ::testing::TempDir() + "obs_test_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_json_file(path, v, &error)) << error;
+  EXPECT_EQ(read_json_file(path).at("x").as_int(), 7);
+  std::remove(path.c_str());
+  // Unwritable path reports instead of throwing.
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x.json", v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry r;
+  r.counter("c").add();
+  r.counter("c").add(41);
+  EXPECT_EQ(r.counter("c").value(), 42u);
+
+  r.gauge("g").set(2.0);
+  r.gauge("g").set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 2.0);
+  r.gauge("g").set_max(5.0);  // higher: taken
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 5.0);
+  r.gauge("g").add(0.5);
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 5.5);
+}
+
+TEST(Metrics, TimerAggregates) {
+  MetricsRegistry r;
+  Timer& t = r.timer("t");
+  t.record(0.25);
+  t.record(0.75);
+  t.record(0.5);
+  const Timer::Snapshot s = t.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.total, 1.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 0.75);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnceEvenWhenMoved) {
+  MetricsRegistry r;
+  {
+    ScopedTimer a = r.scoped_timer("phase");
+    ScopedTimer b = std::move(a);  // a is disarmed, b owns the record
+    EXPECT_GE(b.stop(), 0.0);
+    EXPECT_DOUBLE_EQ(b.stop(), 0.0);  // second stop is a no-op
+  }
+  EXPECT_EQ(r.timer("phase").snapshot().count, 1u);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("h", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(s.counts[0], 2u);      // 0.5, 1.0 (bucket is <= bound)
+  EXPECT_EQ(s.counts[1], 1u);      // 1.5
+  EXPECT_EQ(s.counts[2], 1u);      // 3.0
+  EXPECT_EQ(s.counts[3], 1u);      // 100.0 overflow
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 106.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // Bounds are honored on first creation only.
+  EXPECT_EQ(r.histogram("h", {9.0}).snapshot().bounds.size(), 3u);
+}
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter& c = r.counter("hits");
+  Gauge& g = r.gauge("sum");
+  Timer& t = r.timer("work");
+  Histogram& h = r.histogram("dist", {0.25, 0.5, 0.75});
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        t.record(0.001);
+        h.observe(0.5);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(t.snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Histogram::Snapshot hs = h.snapshot();
+  EXPECT_EQ(hs.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hs.counts[1], hs.count);  // all samples land in (0.25, 0.5]
+}
+
+TEST(Metrics, MergeFromFoldsEverySection) {
+  MetricsRegistry a, b;
+  a.counter("c").add(1);
+  b.counter("c").add(2);
+  b.counter("only_b").add(7);
+  a.gauge("peak").set(3.0);
+  b.gauge("peak").set(9.0);
+  a.timer("t").record(1.0);
+  b.timer("t").record(3.0);
+  a.histogram("h", {1.0}).observe(0.5);
+  b.histogram("h", {1.0}).observe(2.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("peak").value(), 9.0);  // gauges take the max
+  const Timer::Snapshot t = a.timer("t").snapshot();
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.min, 1.0);
+  EXPECT_DOUBLE_EQ(t.max, 3.0);
+  const Histogram::Snapshot h = a.histogram("h", {1.0}).snapshot();
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+}
+
+TEST(Metrics, ToJsonShapeIsSortedAndComplete) {
+  MetricsRegistry r;
+  r.counter("b.count").add(2);
+  r.counter("a.count").add(1);
+  r.gauge("nodes").set(12.5);
+  r.timer("phase.x").record(0.5);
+  r.histogram("lat", {1.0}).observe(0.25);
+  r.histogram("lat", {1.0}).observe(5.0);
+
+  const JsonValue j = r.to_json();
+  ASSERT_TRUE(j.is_object());
+  // Fixed section order...
+  ASSERT_EQ(j.members().size(), 4u);
+  EXPECT_EQ(j.members()[0].first, "counters");
+  EXPECT_EQ(j.members()[1].first, "gauges");
+  EXPECT_EQ(j.members()[2].first, "timers");
+  EXPECT_EQ(j.members()[3].first, "histograms");
+  // ...and sorted names inside each section.
+  EXPECT_EQ(j.at("counters").members()[0].first, "a.count");
+  EXPECT_EQ(j.at("counters").members()[1].first, "b.count");
+  EXPECT_EQ(j.at("counters").at("b.count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("nodes").as_double(), 12.5);
+
+  const JsonValue& timer = j.at("timers").at("phase.x");
+  EXPECT_EQ(timer.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(timer.at("total_s").as_double(), 0.5);
+  EXPECT_TRUE(timer.contains("min_s"));
+  EXPECT_TRUE(timer.contains("max_s"));
+
+  const JsonValue& hist = j.at("histograms").at("lat");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  ASSERT_EQ(hist.at("buckets").size(), 2u);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at(0).at("le").as_double(), 1.0);
+  EXPECT_EQ(hist.at("buckets").at(0).at("count").as_int(), 1);
+  EXPECT_EQ(hist.at("buckets").at(1).at("le").as_string(), "inf");
+
+  // The whole document survives a serialize/parse cycle.
+  EXPECT_EQ(JsonValue::parse(j.dump()).dump(), j.dump());
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+
+TEST(Trace, RecordsInOrderWithPayload) {
+  TraceBuffer buf(8);
+  buf.record(TraceKind::Phase, "build", 0);
+  buf.record(TraceKind::Fault, "n1 sa0", 4, 2, 1, 3);
+  const std::vector<TraceEvent> events = buf.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::Phase);
+  EXPECT_EQ(events[1].label, "n1 sa0");
+  EXPECT_EQ(events[1].a, 4);
+  EXPECT_EQ(events[1].b, 2);
+  EXPECT_EQ(events[1].c, 1);
+  EXPECT_EQ(events[1].d, 3);
+  EXPECT_GE(events[1].t, events[0].t);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(Trace, WrapKeepsTailAndCountsDrops) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.record(TraceKind::Mark, "e" + std::to_string(i), i);
+  }
+  EXPECT_EQ(buf.total_recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const std::vector<TraceEvent> events = buf.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first tail: e6 e7 e8 e9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].label,
+              "e" + std::to_string(6 + i));
+  }
+}
+
+TEST(Trace, ConcurrentRecordsLoseNothingButHistory) {
+  TraceBuffer buf(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        buf.record(TraceKind::Mark, "m", i);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(buf.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(buf.dropped(), buf.total_recorded() - buf.capacity());
+  EXPECT_EQ(buf.snapshot().size(), buf.capacity());
+  // Dense thread ids: every event's id is < the number of writer threads.
+  for (const TraceEvent& e : buf.snapshot()) {
+    EXPECT_LT(e.thread, static_cast<std::uint32_t>(kThreads));
+  }
+}
+
+TEST(Trace, ToJsonShape) {
+  TraceBuffer buf(4);
+  buf.record(TraceKind::Fault, "f", 1, 2, 3, 4);
+  const JsonValue j = buf.to_json();
+  EXPECT_EQ(j.at("capacity").as_int(), 4);
+  EXPECT_EQ(j.at("recorded").as_int(), 1);
+  EXPECT_EQ(j.at("dropped").as_int(), 0);
+  ASSERT_EQ(j.at("events").size(), 1u);
+  const JsonValue& e = j.at("events").at(0);
+  EXPECT_EQ(e.at("kind").as_string(), "fault");
+  EXPECT_EQ(e.at("label").as_string(), "f");
+  EXPECT_EQ(e.at("a").as_int(), 1);
+  EXPECT_EQ(e.at("d").as_int(), 4);
+}
+
+}  // namespace
+}  // namespace dp::obs

@@ -4,6 +4,7 @@
 // coherent engine stats.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "dp/parallel_engine.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dp::core {
 namespace {
@@ -203,6 +206,59 @@ TEST(ParallelEngineTest, StatsAreCoherent) {
   EXPECT_GT(st.total_apply_calls(), 0u);
   EXPECT_GE(st.cache_hit_rate(), 0.0);
   EXPECT_LE(st.cache_hit_rate(), 1.0);
+}
+
+TEST(ParallelEngineTest, ExportedCountersMatchSerialExactly) {
+  const Circuit circuit = netlist::make_alu181();
+  const Structure structure(circuit);
+  const std::vector<StuckAtFault> faults =
+      fault::collapse_checkpoint_faults(circuit);
+
+  // Everything exported as a counter is workload-deterministic: the same
+  // fault set must yield identical values for --jobs 1 and --jobs N.
+  auto sweep_counters = [&](std::size_t jobs) {
+    ParallelEngine::Options opt;
+    opt.jobs = jobs;
+    ParallelEngine engine(circuit, structure, opt);
+    (void)engine.analyze_all(faults);
+    obs::MetricsRegistry reg;
+    engine.stats().export_metrics(reg);
+    return std::array<std::uint64_t, 3>{
+        reg.counter("dp.faults_analyzed").value(),
+        reg.counter("dp.gates_evaluated").value(),
+        reg.counter("dp.gates_skipped").value()};
+  };
+
+  const auto serial = sweep_counters(1);
+  const auto parallel = sweep_counters(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial[0], faults.size());
+  EXPECT_GT(serial[1], 0u);
+  EXPECT_GT(serial[2], 0u);  // selective trace must be skipping gates
+}
+
+TEST(ParallelEngineTest, SharedTraceBufferRecordsEveryFault) {
+  const Circuit circuit = netlist::make_alu181();
+  const Structure structure(circuit);
+  const std::vector<StuckAtFault> faults =
+      fault::collapse_checkpoint_faults(circuit);
+  obs::TraceBuffer trace(1u << 12);
+  ParallelEngine::Options opt;
+  opt.jobs = 3;
+  opt.dp.trace = &trace;
+  ParallelEngine engine(circuit, structure, opt);
+  (void)engine.analyze_all(faults);
+
+  EXPECT_EQ(trace.total_recorded(), faults.size());
+  EXPECT_EQ(trace.dropped(), 0u);
+  // The per-event payloads must reconcile with the engine's own totals.
+  std::int64_t evaluated = 0;
+  for (const obs::TraceEvent& e : trace.snapshot()) {
+    EXPECT_EQ(e.kind, obs::TraceKind::Fault);
+    evaluated += e.a;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(evaluated),
+            engine.stats().total_gates_evaluated());
 }
 
 TEST(ParallelEngineTest, JobsZeroMeansHardwareConcurrency) {
