@@ -5,6 +5,9 @@
 //   --jobs N            fault-parallel workers (0 = all hardware threads)
 //   --metrics-json PATH write a dp.metrics.v1 JSON document on exit
 //   --trace             keep a per-fault event trace (embedded in the JSON)
+//   --cache-dir PATH    content-addressed artifact cache: completed
+//                       profiles are served without rebuilding BDDs, and
+//                       interrupted sweeps resume from their last batch
 //
 // Unknown flags and flags missing their value are hard errors (usage on
 // stderr, exit 2) -- a typo must never silently run the default
@@ -25,6 +28,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
 
 namespace dp::bench {
 
@@ -43,6 +47,7 @@ namespace detail {
 struct CommonArgs {
   analysis::AnalysisOptions options;
   std::string metrics_json;
+  std::string cache_dir;  ///< --cache-dir or DP_BENCH_CACHE_DIR
   bool trace = false;
   bool jobs_set = false;  ///< --jobs or DP_BENCH_JOBS was given
   /// Unrecognized argv entries, kept only in passthrough mode (the
@@ -53,7 +58,7 @@ struct CommonArgs {
 inline void print_usage(std::ostream& os, const char* prog,
                         bool passthrough) {
   os << "usage: " << (prog && *prog ? prog : "bench")
-     << " [--jobs N] [--metrics-json PATH] [--trace]";
+     << " [--jobs N] [--metrics-json PATH] [--trace] [--cache-dir PATH]";
   if (passthrough) os << " [benchmark flags...]";
   os << "\n"
         "  --jobs N            fault-parallel workers; 0 = all hardware "
@@ -61,9 +66,12 @@ inline void print_usage(std::ostream& os, const char* prog,
         "  --metrics-json PATH write a dp.metrics.v1 JSON document on exit\n"
         "  --trace             record per-fault trace events into the JSON "
         "document\n"
+        "  --cache-dir PATH    artifact cache: reuse completed profiles, "
+        "resume interrupted sweeps\n"
         "env: DP_BENCH_BF_COUNT (bridging sample size), DP_BENCH_JOBS,\n"
         "     DP_BENCH_METRICS_DIR (write BENCH_<id>.json there when\n"
-        "     --metrics-json is absent)\n";
+        "     --metrics-json is absent), DP_BENCH_CACHE_DIR (as --cache-dir\n"
+        "     when the flag is absent)\n";
 }
 
 /// Parses the shared bench flags. Strict by default: an unknown flag or a
@@ -81,6 +89,9 @@ inline CommonArgs parse_common_args(int argc, char** argv,
   if (const char* env = std::getenv("DP_BENCH_JOBS")) {
     args.options.jobs = static_cast<std::size_t>(std::atoll(env));
     args.jobs_set = true;
+  }
+  if (const char* env = std::getenv("DP_BENCH_CACHE_DIR")) {
+    args.cache_dir = env;
   }
 
   const char* prog = argc > 0 ? argv[0] : nullptr;
@@ -110,6 +121,8 @@ inline CommonArgs parse_common_args(int argc, char** argv,
       args.jobs_set = true;
     } else if (a == "--metrics-json") {
       args.metrics_json = value_of();
+    } else if (a == "--cache-dir") {
+      args.cache_dir = value_of();
     } else if (a == "--trace") {
       args.trace = true;
     } else if (a == "--help" || a == "-h") {
@@ -169,6 +182,11 @@ class Session {
       trace_ = std::make_unique<obs::TraceBuffer>(1u << 16);
       args_.options.dp.trace = trace_.get();
     }
+    if (!args_.cache_dir.empty()) {
+      store_ = std::make_unique<store::ArtifactStore>(
+          args_.cache_dir, store::ArtifactStore::Options{}, &metrics_);
+      args_.options.persistence.store = store_.get();
+    }
   }
   ~Session() { finish(); }
   Session(const Session&) = delete;
@@ -179,6 +197,9 @@ class Session {
   obs::MetricsRegistry& metrics() { return metrics_; }
   /// Non-null only with --trace.
   obs::TraceBuffer* trace() { return trace_.get(); }
+  /// Non-null only with --cache-dir / DP_BENCH_CACHE_DIR (already wired
+  /// into options().persistence).
+  store::ArtifactStore* store() { return store_.get(); }
   bool metrics_requested() const { return !args_.metrics_json.empty(); }
   /// True when --jobs (or DP_BENCH_JOBS) was given explicitly, letting a
   /// bench keep its own default worker count otherwise.
@@ -244,10 +265,17 @@ class Session {
     doc["jobs"] = args_.options.jobs;
     doc["metrics"] = metrics_.to_json();
     doc["circuits"] = std::move(circuits_);
+    if (store_) {
+      obs::JsonValue& cache = doc["cache"];
+      cache["dir"] = store_->dir();
+      cache["bytes"] = store_->size_bytes();
+    }
     if (trace_) doc["trace"] = trace_->to_json();
 
+    // Atomic rename: a bench killed mid-write leaves the previous
+    // document (or nothing), never a torn half-file.
     std::string error;
-    if (!obs::write_json_file(args_.metrics_json, doc, &error)) {
+    if (!obs::write_json_file_atomic(args_.metrics_json, doc, &error)) {
       std::cerr << "[metrics] FAILED to write " << args_.metrics_json << ": "
                 << error << "\n";
       return false;
@@ -261,6 +289,7 @@ class Session {
   detail::CommonArgs args_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<store::ArtifactStore> store_;
   obs::JsonValue circuits_;
   std::chrono::steady_clock::time_point start_;
   bool finished_ = false;

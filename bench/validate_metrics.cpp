@@ -38,15 +38,24 @@ JsonValue validate(const std::string& file) {
     return JsonValue();
   }
 
+  // Schema gate first, and hard: a document from a different (or future)
+  // schema must be rejected outright, not best-effort scanned -- every
+  // downstream check here assumes the dp.metrics.v1 shape.
+  const JsonValue* schema = doc.find("schema");
+  if (!schema || !schema->is_string()) {
+    fail(file, "missing string key 'schema' (expected \"dp.metrics.v1\")");
+    return JsonValue();
+  }
+  if (schema->as_string() != "dp.metrics.v1") {
+    fail(file, "unsupported schema \"" + schema->as_string() +
+                   "\" (this validator understands \"dp.metrics.v1\")");
+    return JsonValue();
+  }
+
   // Benches write "bench", the example CLIs write "tool".
   const bool is_bench = doc.contains("bench");
   if (!is_bench && !doc.contains("tool")) {
     fail(file, "missing required key 'bench' (or 'tool')");
-  }
-  const JsonValue* schema = doc.find("schema");
-  if (!schema || !schema->is_string() ||
-      schema->as_string() != "dp.metrics.v1") {
-    fail(file, "schema is not \"dp.metrics.v1\"");
   }
   if (is_bench && !doc.contains("jobs")) fail(file, "missing key 'jobs'");
 
@@ -149,7 +158,7 @@ int main(int argc, char** argv) {
     summary["totals"] = std::move(totals);
     summary["benches"] = std::move(documents);
     std::string error;
-    if (!dp::obs::write_json_file(summary_path, summary, &error)) {
+    if (!dp::obs::write_json_file_atomic(summary_path, summary, &error)) {
       std::cerr << "FAIL writing summary " << summary_path << ": " << error
                 << "\n";
       ++g_failures;

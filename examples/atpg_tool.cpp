@@ -8,9 +8,13 @@
 //   $ ./atpg_tool c432
 //   $ ./atpg_tool c432 --jobs 4   # fault-parallel analysis sweep
 //   $ ./atpg_tool c432 --metrics-json atpg.json --trace
+//   $ ./atpg_tool c432 --cache-dir .dpcache
+//       # first run serializes the per-fault test-set forest; a warm
+//       # rerun loads it and skips BDD construction and DP entirely
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,8 @@
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
 #include "sim/fault_sim.hpp"
+#include "store/bdd_io.hpp"
+#include "store/hash.hpp"
 
 using namespace dp;
 
@@ -52,32 +58,82 @@ int main(int argc, char** argv) {
   std::cout << "ATPG for " << circuit.name() << ": " << faults.size()
             << " collapsed checkpoint faults\n";
 
-  // Analyze every fault (sharded over --jobs workers; the engine must stay
-  // alive below because the test-set BDDs live in its worker managers);
-  // sort hardest (smallest test set) first so scarce vectors are placed
-  // before flexible ones.
-  core::ParallelEngine::Options popt;
-  popt.jobs = jobs;
-  popt.dp.trace = tel.trace();
-  core::ParallelEngine engine(circuit, structure, popt);
-  std::vector<core::FaultAnalysis> analyses = engine.analyze_all(faults);
-  engine.stats().export_metrics(tel.metrics());
+  // Test-set forest cache: with --cache-dir the complete per-fault test
+  // sets are serialized after the sweep, keyed on the circuit's
+  // structural content. A warm rerun reloads them into `cache_mgr` and
+  // skips BDD construction and the DP sweep entirely; every downstream
+  // number is bit-identical because detectability is exactly the test
+  // set's density and the reconstructed BDDs are canonical.
+  bdd::Manager cache_mgr(0);
+  std::string forest_key;
+  if (tel.store()) {
+    store::KeyBuilder kb;
+    kb.str("dp.atpg.tests.v1");
+    kb.str(store::circuit_content_hash(circuit));
+    kb.u64(faults.size());
+    forest_key = kb.hex();
+  }
 
   struct Entry {
     const fault::StuckAtFault* fault;
-    core::FaultAnalysis analysis;
+    bdd::Bdd test_set;
+    double detectability;
   };
   std::vector<Entry> entries;
   std::size_t redundant = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (!analyses[i].detectable) {
-      ++redundant;  // proven untestable: excluded, not abandoned
-      continue;
+
+  // On the cold path the engine must stay alive until vector minting is
+  // done: the test-set BDDs live in its worker managers.
+  std::optional<core::ParallelEngine> engine;
+  bool from_cache = false;
+  if (tel.store()) {
+    if (auto roots =
+            tel.store()->load_forest(forest_key, "tests", cache_mgr)) {
+      if (roots->size() == faults.size()) {
+        from_cache = true;
+        std::cout << "[cache] test-set forest hit in " << tel.store()->dir()
+                  << "\n";
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+          const bdd::Bdd& ts = (*roots)[i];
+          if (!ts.valid() || ts.is_zero()) {
+            ++redundant;  // stored as an absent/empty test set
+            continue;
+          }
+          entries.push_back({&faults[i], ts,
+                             ts.density(circuit.num_inputs())});
+        }
+      }
     }
-    entries.push_back({&faults[i], std::move(analyses[i])});
+  }
+  if (!from_cache) {
+    // Analyze every fault (sharded over --jobs workers); sort hardest
+    // (smallest test set) first so scarce vectors are placed before
+    // flexible ones.
+    core::ParallelEngine::Options popt;
+    popt.jobs = jobs;
+    popt.dp.trace = tel.trace();
+    engine.emplace(circuit, structure, popt);
+    std::vector<core::FaultAnalysis> analyses = engine->analyze_all(faults);
+    engine->stats().export_metrics(tel.metrics());
+
+    std::vector<bdd::Bdd> roots(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!analyses[i].detectable) {
+        ++redundant;  // proven untestable: excluded, not abandoned
+        continue;
+      }
+      if (tel.store()) {
+        roots[i] = store::transfer(cache_mgr, analyses[i].test_set);
+      }
+      const double det = analyses[i].detectability;
+      entries.push_back({&faults[i], std::move(analyses[i].test_set), det});
+    }
+    if (tel.store()) {
+      tel.store()->store_forest(forest_key, "tests", cache_mgr, roots);
+    }
   }
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.analysis.detectability < b.analysis.detectability;
+    return a.detectability < b.detectability;
   });
   std::cout << "Provably redundant faults: " << redundant << "\n";
 
@@ -89,14 +145,14 @@ int main(int argc, char** argv) {
   for (const Entry& e : entries) {
     bool covered = false;
     for (const auto& v : vectors) {
-      if (e.analysis.test_set.eval(v)) {
+      if (e.test_set.eval(v)) {
         covered = true;
         ++reused;
         break;
       }
     }
     if (covered) continue;
-    const auto cube = e.analysis.test_set.sat_one();
+    const auto cube = e.test_set.sat_one();
     std::vector<bool> v(circuit.num_inputs(), false);
     for (std::size_t i = 0; i < v.size(); ++i) v[i] = cube[i] == 1;
     vectors.push_back(std::move(v));
@@ -125,7 +181,8 @@ int main(int argc, char** argv) {
   std::cout << (ok ? "OK: complete coverage of all testable faults\n"
                    : "WARNING: coverage gap\n");
   // Always shown (even serial) so refcount underflows can never hide.
-  std::cout << "\n" << engine.stats();
+  // A warm-cache run has no engine (that is the point), so nothing to show.
+  if (engine) std::cout << "\n" << engine->stats();
   const bool wrote = tel.write("atpg_tool");
   return ok && wrote ? 0 : 1;
 }

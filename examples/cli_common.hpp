@@ -1,7 +1,8 @@
-// Shared telemetry flags for the example CLIs: `--metrics-json PATH` and
-// `--trace` behave identically across dpcli, testability_report and
-// atpg_tool. The written document mirrors the bench schema
-// (dp.metrics.v1) so one validator handles both:
+// Shared telemetry and persistence flags for the example CLIs:
+// `--metrics-json PATH`, `--trace`, `--cache-dir PATH`, and
+// `--resume`/`--no-resume` behave identically across dpcli,
+// testability_report and atpg_tool. The written document mirrors the
+// bench schema (dp.metrics.v1) so one validator handles both:
 //
 //   { "tool": "<name>", "command": "<subcommand>",   // command optional
 //     "schema": "dp.metrics.v1",
@@ -18,6 +19,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
 
 namespace dp::cli {
 
@@ -40,31 +42,52 @@ inline std::size_t parse_count(const std::string& flag,
 /// the tool's own positional parsing; write() emits the JSON document.
 class Telemetry {
  public:
-  /// Removes `--metrics-json PATH` and `--trace` from `args`, exiting 2
-  /// when `--metrics-json` is the final token (a missing value must not
-  /// be swallowed as a path).
+  /// Removes the shared flags from `args`, exiting 2 when a flag that
+  /// needs a value is the final token (a missing value must not be
+  /// swallowed as a path). Handled: `--metrics-json PATH`, `--trace`,
+  /// `--cache-dir PATH` (opens the artifact store), `--resume` /
+  /// `--no-resume` (checkpoint consumption; on by default).
   void strip_flags(std::vector<std::string>& args) {
+    auto take_value = [&](std::size_t i) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << args[i] << " requires a value\n";
+        std::exit(2);
+      }
+      std::string v = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return v;
+    };
     for (std::size_t i = 0; i < args.size();) {
       if (args[i] == "--metrics-json") {
-        if (i + 1 >= args.size()) {
-          std::cerr << "error: --metrics-json requires a value\n";
-          std::exit(2);
-        }
-        path_ = args[i + 1];
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        path_ = take_value(i);
+      } else if (args[i] == "--cache-dir") {
+        cache_dir_ = take_value(i);
       } else if (args[i] == "--trace") {
         if (!buffer_) buffer_ = std::make_unique<obs::TraceBuffer>(1u << 16);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (args[i] == "--resume" || args[i] == "--no-resume") {
+        resume_ = args[i] == "--resume";
         args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
         ++i;
       }
+    }
+    if (!cache_dir_.empty()) {
+      store_ = std::make_unique<store::ArtifactStore>(
+          cache_dir_, store::ArtifactStore::Options{}, &metrics_);
     }
   }
 
   obs::MetricsRegistry& metrics() { return metrics_; }
   /// Non-null only with --trace; wire into DifferencePropagator options.
   obs::TraceBuffer* trace() { return buffer_.get(); }
+  /// Non-null only with --cache-dir; wire into
+  /// AnalysisOptions::persistence (or use directly for forest caching).
+  store::ArtifactStore* store() { return store_.get(); }
+  /// Whether --cache-dir runs may consume existing checkpoints
+  /// (--no-resume turns a warm start into a full recompute).
+  bool resume() const { return resume_; }
   bool requested() const { return !path_.empty(); }
 
   /// Writes the document when --metrics-json was given. Returns false
@@ -79,7 +102,7 @@ class Telemetry {
     doc["metrics"] = metrics_.to_json();
     if (buffer_) doc["trace"] = buffer_->to_json();
     std::string error;
-    if (!obs::write_json_file(path_, doc, &error)) {
+    if (!obs::write_json_file_atomic(path_, doc, &error)) {
       std::cerr << "[metrics] FAILED to write " << path_ << ": " << error
                 << "\n";
       return false;
@@ -90,8 +113,11 @@ class Telemetry {
 
  private:
   std::string path_;
+  std::string cache_dir_;
+  bool resume_ = true;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> buffer_;
+  std::unique_ptr<store::ArtifactStore> store_;
 };
 
 }  // namespace dp::cli

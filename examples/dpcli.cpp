@@ -14,6 +14,12 @@
 //                                         the exact fault dictionary
 //   dpcli write <circuit>               emit the netlist as .bench text
 //   dpcli dot <circuit> <net>           good-function BDD in dot syntax
+//   dpcli hash <circuit>                structural content hash (the
+//                                       artifact-cache key component);
+//                                       `dpcli <circuit> --hash` works too
+//
+// sa and bf also accept --cache-dir PATH (reuse cached profiles, resume
+// interrupted sweeps) and --resume/--no-resume.
 //
 // <circuit> is a built-in benchmark name or a path to a .bench file.
 #include <iostream>
@@ -31,6 +37,7 @@
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
 #include "sim/fault_sim.hpp"
+#include "store/hash.hpp"
 
 using namespace dp;
 
@@ -41,9 +48,10 @@ int usage() {
       << "usage: dpcli <command> [args]\n"
          "  list | info C | sa C [--full] | bf C [--count N]\n"
          "  fault C NET 0|1 | diagnose C NET 0|1 | syndrome C | atpg C\n"
-         "  write C | dot C NET\n"
+         "  write C | dot C NET | hash C (or: C --hash)\n"
          "  (C = benchmark name or .bench path; sa and bf take --jobs N)\n"
-         "  global: --metrics-json PATH (dp.metrics.v1 document), --trace\n";
+         "  global: --metrics-json PATH (dp.metrics.v1 document), --trace,\n"
+         "          --cache-dir PATH (artifact cache), --resume/--no-resume\n";
   return 2;
 }
 
@@ -90,6 +98,8 @@ int cmd_sa(const netlist::Circuit& c, bool full, std::size_t jobs,
   opt.collapse = !full;
   opt.jobs = jobs;
   opt.dp.trace = tel.trace();
+  opt.persistence.store = tel.store();
+  opt.persistence.resume = tel.resume();
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(c, opt);
   p.engine_stats.export_metrics(tel.metrics());
   std::cout << "stuck-at profile of " << c.name() << " ("
@@ -120,6 +130,8 @@ int cmd_bf(const netlist::Circuit& c, std::size_t count, std::size_t jobs,
   opt.sampling.target_count = count;
   opt.jobs = jobs;
   opt.dp.trace = tel.trace();
+  opt.persistence.store = tel.store();
+  opt.persistence.resume = tel.resume();
   analysis::TextTable t({"type", "faults", "detectable", "mean det",
                          "stuck-at-like"});
   analysis::CircuitProfile last;
@@ -330,12 +342,23 @@ int cmd_dot(const netlist::Circuit& c, const std::string& net) {
 
 namespace {
 
+int cmd_hash(const netlist::Circuit& c) {
+  std::cout << store::circuit_content_hash(c) << "\n";
+  return 0;
+}
+
 int dispatch(const std::vector<std::string>& args, std::size_t jobs,
              cli::Telemetry& tel) {
   const std::string cmd = args[0];
   if (cmd == "list") return cmd_list();
+  // `dpcli <circuit> --hash`: flag form of the hash command.
+  if (args.size() == 2 && args[1] == "--hash") {
+    return cmd_hash(load(args[0]));
+  }
   if (args.size() < 2) return usage();
   const netlist::Circuit circuit = load(args[1]);
+
+  if (cmd == "hash") return cmd_hash(circuit);
 
   if (cmd == "info") return cmd_info(circuit);
   if (cmd == "sa") {

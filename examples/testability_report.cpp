@@ -8,6 +8,9 @@
 //   $ ./testability_report c432 --jobs 4  # fault-parallel sweep
 //                                         # (bit-identical to serial)
 //   $ ./testability_report c432 --metrics-json report.json --trace
+//   $ ./testability_report c432 --cache-dir .dpcache
+//                                         # reuse a cached profile /
+//                                         # resume an interrupted sweep
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
     }
   }
   opt.dp.trace = tel.trace();
+  opt.persistence.store = tel.store();
+  opt.persistence.resume = tel.resume();
   netlist::Circuit circuit = load(arg);
 
   std::cout << "Stuck-at testability report: " << circuit.name() << "\n";

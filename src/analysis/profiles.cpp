@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/profile_io.hpp"
 #include "netlist/layout.hpp"
 
 namespace dp::analysis {
@@ -146,6 +147,82 @@ core::ParallelEngine::Options engine_options(const AnalysisOptions& options) {
   return popt;
 }
 
+/// Runs the fault sweep for `profile`, honoring options.persistence:
+/// serve a cached dp.profile.v1 when one matches, otherwise sweep in
+/// checkpoint_interval batches, durably recording the completed prefix
+/// after each batch and consuming a matching checkpoint on entry. With
+/// no store attached this degenerates to one batch over all faults.
+/// `make_record` maps (fault index, analysis) to the stored record; it
+/// runs concurrently for distinct indices.
+template <typename Fault, typename MakeRecord>
+void run_sweep(const Circuit& circuit, const Structure& structure,
+               const std::vector<Fault>& faults, const AnalysisOptions& options,
+               const std::string& kind, CircuitProfile& profile,
+               MakeRecord&& make_record) {
+  profile.faults.resize(faults.size());
+
+  store::ArtifactStore* cache = options.persistence.store;
+  std::string key;
+  if (cache) {
+    key = profile_cache_key(circuit, kind, options);
+    if (auto doc = cache->load_document(key, "profile")) {
+      if (auto cached = profile_from_json(*doc, key)) {
+        if (cached->faults.size() == faults.size()) {
+          // Hit: no engine, no BDDs. engine_stats stays default (zero
+          // faults analyzed), which downstream reporting prints as-is.
+          profile.faults = std::move(cached->faults);
+          return;
+        }
+      }
+    }
+  }
+
+  std::size_t completed = 0;
+  if (cache && options.persistence.resume) {
+    if (auto doc = cache->load_document(key, "ckpt")) {
+      if (auto ckpt = checkpoint_from_json(*doc, key, faults.size())) {
+        completed = ckpt->completed.size();
+        std::move(ckpt->completed.begin(), ckpt->completed.end(),
+                  profile.faults.begin());
+      }
+    }
+  }
+
+  core::ParallelEngine engine(circuit, structure, engine_options(options));
+  // Seed the totals with the freshly-built engine's stats so worker
+  // build telemetry survives the per-batch merges.
+  core::ParallelStats totals = engine.stats();
+  const std::size_t interval =
+      cache ? std::max<std::size_t>(1, options.persistence.checkpoint_interval)
+            : faults.size();
+  while (completed < faults.size()) {
+    const std::size_t end = std::min(faults.size(), completed + interval);
+    const std::size_t base = completed;
+    const std::vector<Fault> batch(faults.begin() + base, faults.begin() + end);
+    // Streaming sink: the test-set BDDs are dropped fault by fault
+    // (distinct indices, so concurrent writes into the pre-sized vector
+    // are safe).
+    engine.analyze_each(batch, [&](std::size_t i, core::FaultAnalysis&& a) {
+      profile.faults[base + i] = make_record(base + i, a);
+    });
+    totals.merge(engine.stats());
+    completed = end;
+    if (cache && completed < faults.size()) {
+      SweepCheckpoint ckpt;
+      ckpt.key = key;
+      ckpt.total_faults = faults.size();
+      ckpt.completed.assign(profile.faults.begin(),
+                            profile.faults.begin() + completed);
+      cache->store_document(key, "ckpt", checkpoint_to_json(ckpt));
+    }
+  }
+  profile.engine_stats = totals;
+  if (cache) {
+    cache->store_document(key, "profile", profile_to_json(profile, key));
+    cache->remove(key, "ckpt");  // the profile supersedes the checkpoint
+  }
+}
+
 }  // namespace
 
 CircuitProfile analyze_stuck_at(const Circuit& circuit,
@@ -156,17 +233,14 @@ CircuitProfile analyze_stuck_at(const Circuit& circuit,
                        : fault::checkpoint_faults(circuit);
 
   CircuitProfile profile = make_profile(circuit);
-  profile.faults.resize(faults.size());
-  // Streaming sink: the test-set BDDs are dropped fault by fault (distinct
-  // indices, so concurrent writes into the pre-sized vector are safe).
-  core::ParallelEngine engine(circuit, structure, engine_options(options));
-  engine.analyze_each(
-      faults, [&](std::size_t i, core::FaultAnalysis&& a) {
-        const auto [to_po, from_pi] = sa_site_distances(structure, faults[i]);
-        profile.faults[i] = to_record(a, to_po, from_pi);
-        profile.faults[i].branch_site = faults[i].branch.has_value();
-      });
-  profile.engine_stats = engine.stats();
+  run_sweep(circuit, structure, faults, options, "sa", profile,
+            [&](std::size_t i, const core::FaultAnalysis& a) {
+              const auto [to_po, from_pi] =
+                  sa_site_distances(structure, faults[i]);
+              FaultRecord r = to_record(a, to_po, from_pi);
+              r.branch_site = faults[i].branch.has_value();
+              return r;
+            });
   return profile;
 }
 
@@ -179,18 +253,17 @@ CircuitProfile analyze_bridging(const Circuit& circuit,
       circuit, structure, layout, type, options.sampling);
 
   CircuitProfile profile = make_profile(circuit);
-  profile.faults.resize(faults.size());
-  core::ParallelEngine engine(circuit, structure, engine_options(options));
-  engine.analyze_each(
-      faults, [&](std::size_t i, core::FaultAnalysis&& a) {
-        const fault::BridgingFault& f = faults[i];
-        const int to_po = std::max(structure.max_levels_to_po(f.a),
-                                   structure.max_levels_to_po(f.b));
-        const int from_pi = std::max(structure.level_from_pi(f.a),
-                                     structure.level_from_pi(f.b));
-        profile.faults[i] = to_record(a, to_po, from_pi);
-      });
-  profile.engine_stats = engine.stats();
+  const std::string kind =
+      type == fault::BridgeType::And ? "bf.and" : "bf.or";
+  run_sweep(circuit, structure, faults, options, kind, profile,
+            [&](std::size_t i, const core::FaultAnalysis& a) {
+              const fault::BridgingFault& f = faults[i];
+              const int to_po = std::max(structure.max_levels_to_po(f.a),
+                                         structure.max_levels_to_po(f.b));
+              const int from_pi = std::max(structure.level_from_pi(f.a),
+                                           structure.level_from_pi(f.b));
+              return to_record(a, to_po, from_pi);
+            });
   return profile;
 }
 

@@ -11,6 +11,7 @@
 #include "dp/parallel_engine.hpp"
 #include "fault/sampling.hpp"
 #include "fault/stuck_at.hpp"
+#include "store/artifact_store.hpp"
 
 namespace dp::analysis {
 
@@ -70,6 +71,24 @@ struct CircuitProfile {
   double bridge_stuck_at_fraction() const;
 };
 
+/// Durable-artifact wiring for one sweep. With a store attached the
+/// sweep (1) returns a cached dp.profile.v1 result when one exists for
+/// the derived cache key -- skipping BDD construction and DP entirely --
+/// (2) writes a dp.checkpoint.v1 document after every completed fault
+/// batch, and (3) on start consumes a matching checkpoint so an
+/// interrupted sweep resumes at the last completed batch. Per-fault
+/// results are independent and deterministically ordered, so a resumed
+/// sweep is bit-identical to an uninterrupted one.
+struct PersistenceOptions {
+  /// Not owned; nullptr disables all persistence (the default).
+  store::ArtifactStore* store = nullptr;
+  /// Faults per checkpoint batch (the resume granularity: at most this
+  /// many faults are recomputed after a crash).
+  std::size_t checkpoint_interval = 64;
+  /// When false, existing checkpoints are ignored (but still written).
+  bool resume = true;
+};
+
 struct AnalysisOptions {
   bool collapse = true;          ///< collapse the checkpoint set (paper §2.1)
   std::size_t bdd_node_limit = 32u * 1024 * 1024;
@@ -79,6 +98,7 @@ struct AnalysisOptions {
   std::size_t jobs = 1;
   core::DifferencePropagator::Options dp;
   fault::SamplingOptions sampling;  ///< bridging-fault sampling policy
+  PersistenceOptions persistence;   ///< artifact cache + checkpoint/resume
 };
 
 /// Full stuck-at study of one circuit (checkpoint faults, collapsed).

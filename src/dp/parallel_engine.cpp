@@ -90,6 +90,31 @@ double ParallelStats::cache_hit_rate() const {
              : 0.0;
 }
 
+void ParallelStats::merge(const ParallelStats& other) {
+  jobs = std::max(jobs, other.jobs);
+  faults += other.faults;
+  wall_seconds += other.wall_seconds;
+  if (workers.size() < other.workers.size()) {
+    workers.resize(other.workers.size());
+  }
+  for (std::size_t i = 0; i < other.workers.size(); ++i) {
+    WorkerStats& w = workers[i];
+    const WorkerStats& o = other.workers[i];
+    w.faults_analyzed += o.faults_analyzed;
+    w.gates_evaluated += o.gates_evaluated;
+    w.gates_skipped += o.gates_skipped;
+    w.analyze_seconds += o.analyze_seconds;
+    w.max_fault_seconds = std::max(w.max_fault_seconds, o.max_fault_seconds);
+    w.build_seconds = std::max(w.build_seconds, o.build_seconds);
+    w.live_nodes = o.live_nodes;  // end-of-sweep gauge: latest wins
+    w.peak_live_nodes = std::max(w.peak_live_nodes, o.peak_live_nodes);
+    w.gc_runs += o.gc_runs;
+    w.apply_calls += o.apply_calls;
+    w.cache_hits += o.cache_hits;
+    w.ref_underflows += o.ref_underflows;
+  }
+}
+
 void ParallelStats::print(std::ostream& os) const {
   os << "parallel DP sweep: " << faults << " faults on " << jobs
      << (jobs == 1 ? " worker, " : " workers, ") << std::fixed

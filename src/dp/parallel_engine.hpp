@@ -69,6 +69,14 @@ struct ParallelStats {
   std::uint64_t total_ref_underflows() const;
   double cache_hit_rate() const;
 
+  /// Folds another sweep's stats into this one (per-worker fields sum,
+  /// peaks take the max, node gauges take the latest) so a batched sweep
+  /// -- e.g. one checkpointed in fault-batch chunks -- reports one
+  /// aggregate indistinguishable in its deterministic totals from a
+  /// single uninterrupted sweep. Worker lists are matched by index;
+  /// `other` may have more workers than `this` (the list grows).
+  void merge(const ParallelStats& other);
+
   /// Human-readable block: one summary line plus one row per worker.
   void print(std::ostream& os) const;
 

@@ -1,5 +1,8 @@
 #include "obs/json.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -421,6 +424,46 @@ bool write_json_file(const std::string& path, const JsonValue& value,
     return false;
   }
   return true;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error) {
+  // Unique per process AND per call, so two concurrent writers of the
+  // same destination each stage their own temp file; the final renames
+  // race benignly (one complete file wins, never a torn mix).
+  static std::atomic<std::uint64_t> serial{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      if (error) *error = "cannot open '" + tmp + "' for writing";
+      return false;
+    }
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      if (error) *error = "write to '" + tmp + "' failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename '" + tmp + "' -> '" + path + "' failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_json_file_atomic(const std::string& path, const JsonValue& value,
+                            std::string* error) {
+  std::ostringstream os;
+  value.write(os, 2);
+  os << '\n';
+  return atomic_write_file(path, os.str(), error);
 }
 
 JsonValue read_json_file(const std::string& path) {

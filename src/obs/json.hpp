@@ -102,6 +102,20 @@ void write_json_string(std::ostream& os, std::string_view s);
 bool write_json_file(const std::string& path, const JsonValue& value,
                      std::string* error = nullptr);
 
+/// Writes `bytes` to `path` crash-safely: the content goes to a unique
+/// temp file in the same directory (so the rename cannot cross
+/// filesystems) and is moved into place with one atomic rename. Readers
+/// -- and concurrent writers of the same path -- therefore never observe
+/// a torn file; the worst outcome of a crash is a leftover *.tmp.* file.
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error = nullptr);
+
+/// write_json_file via the atomic temp-file + rename path above. Used by
+/// every writer whose output may be read by another process (the bench
+/// metrics documents, the artifact store, sweep checkpoints).
+bool write_json_file_atomic(const std::string& path, const JsonValue& value,
+                            std::string* error = nullptr);
+
 /// Reads and parses `path`; throws JsonError on I/O or parse failure.
 JsonValue read_json_file(const std::string& path);
 

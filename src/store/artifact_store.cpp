@@ -1,0 +1,194 @@
+#include "store/artifact_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/bdd_io.hpp"
+
+namespace dp::store {
+
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(std::string dir)
+    : ArtifactStore(std::move(dir), Options{}, nullptr) {}
+
+ArtifactStore::ArtifactStore(std::string dir, Options options,
+                             obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)), options_(options), metrics_(metrics) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // A failed mkdir surfaces naturally as load misses / store failures;
+  // the store itself stays usable (a cache is always optional).
+}
+
+std::string ArtifactStore::document_path(const std::string& key,
+                                         const std::string& kind) const {
+  return dir_ + "/" + key + "." + kind + ".json";
+}
+
+std::string ArtifactStore::forest_path(const std::string& key,
+                                       const std::string& kind) const {
+  return dir_ + "/" + key + "." + kind + ".bdd";
+}
+
+void ArtifactStore::count(const std::string& name, std::uint64_t n) {
+  if (metrics_) metrics_->counter(name).add(n);
+}
+
+std::optional<std::string> ArtifactStore::read_file(const std::string& path,
+                                                    const std::string& kind) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    count("store." + kind + ".misses");
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is && !is.eof()) {
+    count("store." + kind + ".corrupt");
+    return std::nullopt;
+  }
+  std::string bytes = buf.str();
+  count("store.bytes_read", bytes.size());
+  return bytes;
+}
+
+std::optional<obs::JsonValue> ArtifactStore::load_document(
+    const std::string& key, const std::string& kind) {
+  const auto timer =
+      metrics_ ? std::optional<obs::ScopedTimer>(
+                     metrics_->scoped_timer("store.load_seconds"))
+               : std::nullopt;
+  const auto bytes = read_file(document_path(key, kind), kind);
+  if (!bytes) return std::nullopt;
+  try {
+    obs::JsonValue doc = obs::JsonValue::parse(*bytes);
+    count("store." + kind + ".hits");
+    return doc;
+  } catch (const obs::JsonError&) {
+    count("store." + kind + ".corrupt");
+    return std::nullopt;
+  }
+}
+
+bool ArtifactStore::store_document(const std::string& key,
+                                   const std::string& kind,
+                                   const obs::JsonValue& doc,
+                                   std::string* error) {
+  const auto timer =
+      metrics_ ? std::optional<obs::ScopedTimer>(
+                     metrics_->scoped_timer("store.store_seconds"))
+               : std::nullopt;
+  std::ostringstream os;
+  doc.write(os, 2);
+  os << '\n';
+  const std::string bytes = os.str();
+  if (!obs::atomic_write_file(document_path(key, kind), bytes, error)) {
+    return false;
+  }
+  count("store.bytes_written", bytes.size());
+  count("store." + kind + ".stores");
+  prune();
+  return true;
+}
+
+std::optional<std::vector<bdd::Bdd>> ArtifactStore::load_forest(
+    const std::string& key, const std::string& kind, bdd::Manager& manager) {
+  const auto timer =
+      metrics_ ? std::optional<obs::ScopedTimer>(
+                     metrics_->scoped_timer("store.load_seconds"))
+               : std::nullopt;
+  const std::string path = forest_path(key, kind);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    count("store." + kind + ".misses");
+    return std::nullopt;
+  }
+  try {
+    std::vector<bdd::Bdd> roots = load_forest_file(path, manager);
+    std::error_code ec;
+    const auto sz = fs::file_size(path, ec);
+    if (!ec) count("store.bytes_read", sz);
+    count("store." + kind + ".hits");
+    return roots;
+  } catch (const StoreError&) {
+    count("store." + kind + ".corrupt");
+    return std::nullopt;
+  }
+}
+
+bool ArtifactStore::store_forest(const std::string& key,
+                                 const std::string& kind,
+                                 bdd::Manager& manager,
+                                 const std::vector<bdd::Bdd>& roots,
+                                 std::string* error) {
+  const auto timer =
+      metrics_ ? std::optional<obs::ScopedTimer>(
+                     metrics_->scoped_timer("store.store_seconds"))
+               : std::nullopt;
+  try {
+    const std::string path = forest_path(key, kind);
+    save_forest_file(path, manager, roots);
+    std::error_code ec;
+    const auto sz = fs::file_size(path, ec);
+    if (!ec) count("store.bytes_written", sz);
+    count("store." + kind + ".stores");
+    prune();
+    return true;
+  } catch (const StoreError& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+}
+
+void ArtifactStore::remove(const std::string& key, const std::string& kind) {
+  std::error_code ec;
+  fs::remove(document_path(key, kind), ec);
+  fs::remove(forest_path(key, kind), ec);
+}
+
+std::uintmax_t ArtifactStore::size_bytes() const {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+std::size_t ArtifactStore::prune() {
+  if (options_.max_bytes == 0) return 0;
+
+  struct File {
+    fs::path path;
+    std::uintmax_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<File> files;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    File f{entry.path(), entry.file_size(ec), entry.last_write_time(ec)};
+    total += f.size;
+    files.push_back(std::move(f));
+  }
+  if (total <= options_.max_bytes) return 0;
+
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.mtime < b.mtime; });
+  std::size_t evicted = 0;
+  for (const File& f : files) {
+    if (total <= options_.max_bytes) break;
+    if (fs::remove(f.path, ec)) {
+      total -= f.size;
+      ++evicted;
+    }
+  }
+  count("store.evictions", evicted);
+  return evicted;
+}
+
+}  // namespace dp::store

@@ -1,0 +1,102 @@
+// Content-addressed on-disk artifact cache.
+//
+// Artifacts are addressed by (key, kind): the key is a stable content
+// hash (store/hash.hpp) of everything the artifact depends on, the kind
+// names the artifact family ("profile", "ckpt", "tests", ...). Two
+// payload shapes are supported -- JSON documents (obs/json.hpp dialect,
+// file `<key>.<kind>.json`) and serialized BDD forests (store/bdd_io.hpp,
+// file `<key>.<kind>.bdd`). Every write goes through the temp-file +
+// atomic-rename path, so a crashed or killed writer can never leave a
+// torn artifact; a reader sees either the previous complete version or
+// the new one.
+//
+// Failure policy: a cache must never turn a recoverable problem into a
+// wrong answer or a crash. Load returns nullopt on missing, unreadable,
+// or corrupt artifacts (counting them), and store reports failure via
+// its return value; only programmer errors throw.
+//
+// Observability: when constructed with a MetricsRegistry the store
+// counts hits/misses/corrupt loads per kind (`store.<kind>.hits`, ...),
+// bytes moved (`store.bytes_read`/`store.bytes_written`), evictions
+// (`store.evictions`), and load/store wall clock (`store.load_seconds`,
+// `store.store_seconds` timers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace dp::store {
+
+class ArtifactStore {
+ public:
+  struct Options {
+    /// Soft size budget for the whole cache directory; 0 = unbounded.
+    /// When exceeded after a write, the oldest artifacts (by mtime) are
+    /// evicted until the directory fits again.
+    std::uintmax_t max_bytes = 0;
+  };
+
+  /// Creates `dir` (and parents) when missing. `metrics` is optional and
+  /// not owned; it must outlive the store.
+  explicit ArtifactStore(std::string dir);
+  ArtifactStore(std::string dir, Options options,
+                obs::MetricsRegistry* metrics = nullptr);
+
+  const std::string& dir() const { return dir_; }
+
+  // ---- JSON documents --------------------------------------------------
+
+  /// nullopt on miss or corrupt content (never throws on bad files).
+  std::optional<obs::JsonValue> load_document(const std::string& key,
+                                              const std::string& kind);
+  /// Atomic write; false (with a message on stderr-free `error`) on I/O
+  /// failure.
+  bool store_document(const std::string& key, const std::string& kind,
+                      const obs::JsonValue& doc, std::string* error = nullptr);
+
+  // ---- BDD forests -----------------------------------------------------
+
+  /// Loads a forest into `manager` (see bdd_io.hpp for the contract).
+  /// nullopt on miss or corrupt content.
+  std::optional<std::vector<bdd::Bdd>> load_forest(const std::string& key,
+                                                   const std::string& kind,
+                                                   bdd::Manager& manager);
+  bool store_forest(const std::string& key, const std::string& kind,
+                    bdd::Manager& manager, const std::vector<bdd::Bdd>& roots,
+                    std::string* error = nullptr);
+
+  // ---- maintenance -----------------------------------------------------
+
+  /// Deletes the artifact if present (used to retire consumed
+  /// checkpoints).
+  void remove(const std::string& key, const std::string& kind);
+
+  /// Enforces Options::max_bytes now; returns the number of files
+  /// evicted. No-op when the budget is 0 or already met.
+  std::size_t prune();
+
+  /// Total bytes currently held (regular files only).
+  std::uintmax_t size_bytes() const;
+
+  std::string document_path(const std::string& key,
+                            const std::string& kind) const;
+  std::string forest_path(const std::string& key,
+                          const std::string& kind) const;
+
+ private:
+  void count(const std::string& name, std::uint64_t n = 1);
+  std::optional<std::string> read_file(const std::string& path,
+                                       const std::string& kind);
+
+  std::string dir_;
+  Options options_;
+  obs::MetricsRegistry* metrics_;
+};
+
+}  // namespace dp::store

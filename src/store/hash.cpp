@@ -1,0 +1,87 @@
+#include "store/hash.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dp::store {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// splitmix64 finalizer: decorrelates the two FNV lanes before they are
+/// printed, so lane-local collision patterns do not line up.
+std::uint64_t avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(digits[(v >> shift) & 0xf]);
+  }
+}
+
+}  // namespace
+
+KeyBuilder& KeyBuilder::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    // Second lane sees the byte XORed with its position, so transposed
+    // chunks hash differently even when lane a collides.
+    b_ = (b_ ^ (p[i] + 0x9e) ^ (i & 0xff)) * kFnvPrime;
+  }
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+KeyBuilder& KeyBuilder::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return u64(bits);
+}
+
+KeyBuilder& KeyBuilder::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+std::string KeyBuilder::hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, avalanche(a_));
+  append_hex(out, avalanche(b_ ^ a_));
+  return out;
+}
+
+std::string circuit_content_hash(const netlist::Circuit& circuit) {
+  KeyBuilder k;
+  k.str("dp.circuit.v1");
+  k.u64(circuit.num_nets());
+  for (netlist::NetId id = 0; id < circuit.num_nets(); ++id) {
+    k.u64(static_cast<std::uint64_t>(circuit.type(id)));
+    const auto& fanins = circuit.fanins(id);
+    k.u64(fanins.size());
+    for (netlist::NetId fi : fanins) k.u64(fi);
+    k.flag(circuit.is_output(id));
+  }
+  k.u64(circuit.inputs().size());
+  for (netlist::NetId id : circuit.inputs()) k.u64(id);
+  k.u64(circuit.outputs().size());
+  for (netlist::NetId id : circuit.outputs()) k.u64(id);
+  return k.hex();
+}
+
+}  // namespace dp::store

@@ -1,0 +1,50 @@
+// Stable content hashing for the artifact store.
+//
+// Cache keys must be identical across runs, machines, and worker counts
+// for the same logical inputs, and must change whenever anything that
+// affects the cached result changes. KeyBuilder is a streaming 128-bit
+// hash (two decorrelated FNV-1a-64 lanes with a splitmix finalizer) with
+// typed, length-prefixed feeders so field boundaries can never alias;
+// circuit_content_hash() derives the canonical structural digest of a
+// netlist (names excluded: two netlists that differ only in net or
+// circuit names map to the same key, because no cached result depends
+// on a name).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace dp::store {
+
+/// Streaming 128-bit content hash. Not cryptographic -- it guards a
+/// cache against accidental key collisions, not against an adversary.
+class KeyBuilder {
+ public:
+  KeyBuilder& bytes(const void* data, std::size_t n);
+  KeyBuilder& u64(std::uint64_t v);
+  KeyBuilder& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  /// Hashes the exact bit pattern, so -0.0 != +0.0 and NaNs are stable.
+  KeyBuilder& f64(double v);
+  /// Length-prefixed, so str("ab").str("c") != str("a").str("bc").
+  KeyBuilder& str(std::string_view s);
+  KeyBuilder& flag(bool b) { return u64(b ? 1 : 0); }
+
+  /// 32 lowercase hex characters (128 bits). Stable across calls.
+  std::string hex() const;
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ull;  ///< FNV-1a offset basis
+  std::uint64_t b_ = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+};
+
+/// Canonical structural digest of a finalized-or-not circuit: per-net
+/// gate types, fanin lists, PI/PO order and output flags -- everything
+/// the fault sets and the good functions are derived from -- and nothing
+/// else (no names, no fanout caches, no topological order, which are all
+/// derived data).
+std::string circuit_content_hash(const netlist::Circuit& circuit);
+
+}  // namespace dp::store

@@ -1,0 +1,269 @@
+// Checkpoint/resume contract for persistent fault sweeps: a parallel
+// C432 sweep killed mid-run (SIGKILL, no destructors) resumes from its
+// last completed batch and produces records bit-identical to an
+// uninterrupted serial sweep; corrupt checkpoints and stale cache keys
+// degrade to a full recompute, never to a crash or a mixed result.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "analysis/profile_io.hpp"
+#include "analysis/profiles.hpp"
+#include "netlist/generators.hpp"
+#include "obs/metrics.hpp"
+#include "store/artifact_store.hpp"
+
+namespace dp::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            (std::string("dp_resume_test_") + info->name());
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Bit-identical comparison of two record lists (operator== on every
+/// scalar, doubles included -- resume must not perturb anything).
+void expect_identical(const std::vector<FaultRecord>& a,
+                      const std::vector<FaultRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].detectable, b[i].detectable) << i;
+    EXPECT_EQ(a[i].detectability, b[i].detectability) << i;
+    EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << i;
+    EXPECT_EQ(a[i].adherence, b[i].adherence) << i;
+    EXPECT_EQ(a[i].pos_fed, b[i].pos_fed) << i;
+    EXPECT_EQ(a[i].pos_observable, b[i].pos_observable) << i;
+    EXPECT_EQ(a[i].max_levels_to_po, b[i].max_levels_to_po) << i;
+    EXPECT_EQ(a[i].level_from_pi, b[i].level_from_pi) << i;
+    EXPECT_EQ(a[i].branch_site, b[i].branch_site) << i;
+    EXPECT_EQ(a[i].bridge_stuck_at, b[i].bridge_stuck_at) << i;
+    EXPECT_EQ(a[i].gates_evaluated, b[i].gates_evaluated) << i;
+    EXPECT_EQ(a[i].gates_skipped, b[i].gates_skipped) << i;
+  }
+}
+
+bool has_file_with_suffix(const fs::path& dir, const std::string& suffix) {
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ResumeTest, SigkilledParallelSweepResumesBitIdentical) {
+  const netlist::Circuit circuit = netlist::make_benchmark("c432");
+
+  // Ground truth: uninterrupted serial sweep, no persistence at all.
+  AnalysisOptions serial;
+  serial.jobs = 1;
+  const CircuitProfile baseline = analyze_stuck_at(circuit, serial);
+
+  TempDir dir;
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child: parallel checkpointed sweep. SIGKILL means no destructors,
+    // no atexit -- whatever reached the disk is all that survives, which
+    // is exactly the crash the store's atomic writes must tolerate.
+    store::ArtifactStore store(dir.str());
+    AnalysisOptions opt;
+    opt.jobs = 2;
+    opt.persistence.store = &store;
+    opt.persistence.checkpoint_interval = 4;  // many checkpoints = an
+                                              // early, reliable kill window
+    analyze_stuck_at(circuit, opt);
+    _exit(0);
+  }
+
+  // Parent: wait for the first durable checkpoint, then kill mid-sweep.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool saw_checkpoint = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (has_file_with_suffix(dir.path(), ".ckpt.json")) {
+      saw_checkpoint = true;
+      break;
+    }
+    // A fast child may have finished already (profile written, checkpoint
+    // retired); that still exercises the cache-hit path below.
+    if (has_file_with_suffix(dir.path(), ".profile.json")) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  kill(child, SIGKILL);
+  int status = 0;
+  waitpid(child, &status, 0);
+  ASSERT_TRUE(saw_checkpoint ||
+              has_file_with_suffix(dir.path(), ".profile.json"))
+      << "child produced no artifact within the deadline";
+
+  // Resume in-process: consumes the checkpoint (or the finished profile)
+  // and must reproduce the uninterrupted serial sweep bit for bit.
+  obs::MetricsRegistry metrics;
+  store::ArtifactStore store(dir.str(), store::ArtifactStore::Options{},
+                             &metrics);
+  AnalysisOptions opt;
+  opt.jobs = 2;
+  opt.persistence.store = &store;
+  opt.persistence.checkpoint_interval = 4;
+  const CircuitProfile resumed = analyze_stuck_at(circuit, opt);
+  expect_identical(baseline.faults, resumed.faults);
+  EXPECT_GE(metrics.counter("store.ckpt.hits").value() +
+                metrics.counter("store.profile.hits").value(),
+            1u)
+      << "resume consumed neither a checkpoint nor a cached profile";
+
+  // The completed sweep retires its checkpoint and persists the profile:
+  // a third run is a pure cache hit (zero engine work).
+  EXPECT_FALSE(has_file_with_suffix(dir.path(), ".ckpt.json"));
+  obs::MetricsRegistry metrics2;
+  store::ArtifactStore store2(dir.str(), store::ArtifactStore::Options{},
+                              &metrics2);
+  AnalysisOptions warm = opt;
+  warm.persistence.store = &store2;
+  const CircuitProfile cached = analyze_stuck_at(circuit, warm);
+  expect_identical(baseline.faults, cached.faults);
+  EXPECT_EQ(metrics2.counter("store.profile.hits").value(), 1u);
+  EXPECT_EQ(cached.engine_stats.faults, 0u);  // no DP ran at all
+}
+
+TEST(ResumeTest, CorruptCheckpointFallsBackToFullRecompute) {
+  const netlist::Circuit circuit = netlist::make_benchmark("c95");
+  AnalysisOptions plain;
+  const CircuitProfile baseline = analyze_stuck_at(circuit, plain);
+
+  TempDir dir;
+  obs::MetricsRegistry metrics;
+  store::ArtifactStore store(dir.str(), store::ArtifactStore::Options{},
+                             &metrics);
+  AnalysisOptions opt;
+  opt.persistence.store = &store;
+  const std::string key = profile_cache_key(circuit, "sa", opt);
+
+  // Garbage bytes where a checkpoint should be.
+  std::ofstream(store.document_path(key, "ckpt"))
+      << "\x00\xffnot json at all";
+  const CircuitProfile p = analyze_stuck_at(circuit, opt);
+  expect_identical(baseline.faults, p.faults);
+  EXPECT_EQ(metrics.counter("store.ckpt.corrupt").value(), 1u);
+  EXPECT_EQ(p.engine_stats.faults, baseline.faults.size());  // full sweep
+}
+
+TEST(ResumeTest, StaleKeyArtifactsAreIgnored) {
+  const netlist::Circuit circuit = netlist::make_benchmark("c95");
+  AnalysisOptions plain;
+  const CircuitProfile baseline = analyze_stuck_at(circuit, plain);
+
+  TempDir dir;
+  store::ArtifactStore store(dir.str());
+  AnalysisOptions opt;
+  opt.persistence.store = &store;
+  const std::string key = profile_cache_key(circuit, "sa", opt);
+
+  // Well-formed documents carrying a DIFFERENT embedded key, planted at
+  // this key's paths (as if the key derivation changed between versions).
+  CircuitProfile fake;
+  fake.circuit = "impostor";
+  fake.faults.resize(baseline.faults.size());
+  store.store_document(key, "profile", profile_to_json(fake, "stale-key"));
+  SweepCheckpoint ckpt;
+  ckpt.key = "stale-key";
+  ckpt.total_faults = baseline.faults.size();
+  ckpt.completed.resize(2);
+  store.store_document(key, "ckpt", checkpoint_to_json(ckpt));
+
+  const CircuitProfile p = analyze_stuck_at(circuit, opt);
+  expect_identical(baseline.faults, p.faults);
+  EXPECT_EQ(p.engine_stats.faults, baseline.faults.size());  // full sweep
+
+  // And the recompute overwrote the stale profile with a valid one.
+  const auto doc = store.load_document(key, "profile");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(profile_from_json(*doc, key).has_value());
+}
+
+TEST(ResumeTest, NoResumeFlagIgnoresCheckpoints) {
+  const netlist::Circuit circuit = netlist::make_benchmark("c95");
+  AnalysisOptions plain;
+  const CircuitProfile baseline = analyze_stuck_at(circuit, plain);
+
+  TempDir dir;
+  obs::MetricsRegistry metrics;
+  store::ArtifactStore store(dir.str(), store::ArtifactStore::Options{},
+                             &metrics);
+  AnalysisOptions opt;
+  opt.persistence.store = &store;
+  opt.persistence.resume = false;
+  const std::string key = profile_cache_key(circuit, "sa", opt);
+
+  // A perfectly valid checkpoint that must NOT be consumed.
+  SweepCheckpoint ckpt;
+  ckpt.key = key;
+  ckpt.total_faults = baseline.faults.size();
+  ckpt.completed.assign(baseline.faults.begin(),
+                        baseline.faults.begin() + 2);
+  store.store_document(key, "ckpt", checkpoint_to_json(ckpt));
+
+  const CircuitProfile p = analyze_stuck_at(circuit, opt);
+  expect_identical(baseline.faults, p.faults);
+  EXPECT_EQ(p.engine_stats.faults, baseline.faults.size());  // full sweep
+  EXPECT_EQ(metrics.counter("store.ckpt.hits").value(), 0u);
+}
+
+TEST(ResumeTest, BridgingSweepCachesUnderItsOwnKind) {
+  const netlist::Circuit circuit = netlist::make_benchmark("c17");
+  TempDir dir;
+  obs::MetricsRegistry metrics;
+  store::ArtifactStore store(dir.str(), store::ArtifactStore::Options{},
+                             &metrics);
+  AnalysisOptions opt;
+  opt.sampling.target_count = 20;
+  opt.persistence.store = &store;
+
+  const CircuitProfile cold =
+      analyze_bridging(circuit, fault::BridgeType::And, opt);
+  const CircuitProfile warm =
+      analyze_bridging(circuit, fault::BridgeType::And, opt);
+  expect_identical(cold.faults, warm.faults);
+  EXPECT_EQ(metrics.counter("store.profile.hits").value(), 1u);
+  EXPECT_EQ(warm.engine_stats.faults, 0u);
+
+  // The OR study must not collide with the AND study's artifact.
+  const CircuitProfile or_cold =
+      analyze_bridging(circuit, fault::BridgeType::Or, opt);
+  EXPECT_EQ(or_cold.engine_stats.faults, or_cold.faults.size());
+}
+
+}  // namespace
+}  // namespace dp::analysis
