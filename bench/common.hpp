@@ -216,35 +216,26 @@ class Session {
   /// Folds one analyzed circuit into the document: engine stats into the
   /// registry (counters/gauges/timers) plus a per-circuit JSON record.
   void record_profile(const analysis::CircuitProfile& p) {
-    p.engine_stats.export_metrics(metrics_);
-    metrics_.counter("bench.circuits").add(1);
-
-    const core::ParallelStats& es = p.engine_stats;
-    std::size_t peak = 0;
-    for (const core::WorkerStats& w : es.workers) {
-      peak = std::max(peak, w.peak_live_nodes);
-    }
-
-    obs::JsonValue c = obs::JsonValue::object();
-    c["circuit"] = p.circuit;
-    c["gates"] = p.netlist_size;
-    c["inputs"] = p.num_inputs;
-    c["outputs"] = p.num_outputs;
-    c["faults"] = p.faults.size();
+    obs::JsonValue c = start_circuit_record(p.circuit, p.netlist_size,
+                                            p.num_inputs, p.num_outputs,
+                                            p.faults.size(), p.engine_stats);
     c["detectable"] = p.detectable_count();
     c["mean_detectability_detectable"] = p.mean_detectability_detectable();
     c["mean_detectability_per_po"] = p.mean_detectability_per_po();
-    obs::JsonValue& e = c["engine"];
-    e["jobs"] = es.jobs;
-    e["wall_seconds"] = es.wall_seconds;
-    e["gates_evaluated"] = es.total_gates_evaluated();
-    e["gates_skipped"] = es.total_gates_skipped();
-    e["apply_calls"] = es.total_apply_calls();
-    e["cache_hits"] = es.total_cache_hits();
-    e["cache_hit_rate"] = es.cache_hit_rate();
-    e["gc_runs"] = es.total_gc_runs();
-    e["peak_live_nodes"] = peak;
-    e["ref_underflows"] = es.total_ref_underflows();
+    circuits_.push_back(std::move(c));
+  }
+
+  /// Per-circuit record for benches that verify results themselves and
+  /// only need the engine telemetry (throughput, peak nodes, cache hit
+  /// rate, wall clock) in the document. `ops_per_second` is the bench's
+  /// primary throughput (faults/s for the DP sweeps).
+  void record_engine(const std::string& circuit, std::size_t gates,
+                     std::size_t inputs, std::size_t outputs,
+                     std::size_t faults, double ops_per_second,
+                     const core::ParallelStats& es) {
+    obs::JsonValue c =
+        start_circuit_record(circuit, gates, inputs, outputs, faults, es);
+    c["ops_per_second"] = ops_per_second;
     circuits_.push_back(std::move(c));
   }
 
@@ -285,6 +276,42 @@ class Session {
   }
 
  private:
+  /// Shared identity + engine section of a per-circuit record; the caller
+  /// adds its result fields and pushes onto circuits_.
+  obs::JsonValue start_circuit_record(const std::string& circuit,
+                                      std::size_t gates, std::size_t inputs,
+                                      std::size_t outputs, std::size_t faults,
+                                      const core::ParallelStats& es) {
+    es.export_metrics(metrics_);
+    metrics_.counter("bench.circuits").add(1);
+
+    std::size_t peak = 0;
+    for (const core::WorkerStats& w : es.workers) {
+      peak = std::max(peak, w.peak_live_nodes);
+    }
+
+    obs::JsonValue c = obs::JsonValue::object();
+    c["circuit"] = circuit;
+    c["gates"] = gates;
+    c["inputs"] = inputs;
+    c["outputs"] = outputs;
+    c["faults"] = faults;
+    obs::JsonValue& e = c["engine"];
+    e["jobs"] = es.jobs;
+    e["wall_seconds"] = es.wall_seconds;
+    e["gates_evaluated"] = es.total_gates_evaluated();
+    e["gates_skipped"] = es.total_gates_skipped();
+    e["apply_calls"] = es.total_apply_calls();
+    e["cache_hits"] = es.total_cache_hits();
+    e["cache_hit_rate"] = es.cache_hit_rate();
+    e["negations_constant_time"] = es.total_negations_constant_time();
+    e["cache_canonical_swaps"] = es.total_cache_canonical_swaps();
+    e["gc_runs"] = es.total_gc_runs();
+    e["peak_live_nodes"] = peak;
+    e["ref_underflows"] = es.total_ref_underflows();
+    return c;
+  }
+
   std::string id_;
   detail::CommonArgs args_;
   obs::MetricsRegistry metrics_;

@@ -38,7 +38,9 @@ Scalars scalars(const core::FaultAnalysis& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Session session("perf_parallel_dp", argc, argv);
+  // Document id "parallel_dp" -> BENCH_parallel_dp.json under
+  // DP_BENCH_METRICS_DIR: the repo's parallel-sweep perf trajectory.
+  bench::Session session("parallel_dp", argc, argv);
   bench::banner("Perf -- fault-parallel Difference Propagation (C432-class)",
                 "Per-fault analyses are independent; a private-manager "
                 "worker pool scales the sweep with cores, bit-identically.");
@@ -95,7 +97,11 @@ int main(int argc, char** argv) {
   std::cout << "parallel sweep: " << analysis::TextTable::num(par_s, 3)
             << " s with --jobs " << jobs << "\n\n";
   engine.stats().print(std::cout);
-  engine.stats().export_metrics(session.metrics());
+  session.record_engine(circuit.name(), circuit.num_gates(),
+                        circuit.num_inputs(), circuit.num_outputs(),
+                        faults.size(),
+                        par_s > 0 ? faults.size() / par_s : 0.0,
+                        engine.stats());
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {

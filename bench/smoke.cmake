@@ -1,20 +1,45 @@
-# Runs every bench executable on a reduced workload with --metrics-json,
-# then validates the emitted dp.metrics.v1 documents and aggregates them
-# into BENCH_summary.json. Driven by the `bench_smoke` custom target:
+# Runs every bench executable on a reduced workload with
+# DP_BENCH_METRICS_DIR pointed at OUT_DIR (each bench names its own
+# BENCH_<id>.json), validates the emitted dp.metrics.v1 documents,
+# aggregates them into BENCH_summary.json, diffs BENCH_bdd_ops.json
+# against the checked-in perf baseline, and finally runs the bdd/store
+# test binaries under the `asan` preset. Driven by the `bench_smoke`
+# custom target:
 #
 #   cmake -DBENCH_DIR=<bindir>/bench -DOUT_DIR=<bindir>/bench_smoke \
 #         -DVALIDATOR=<bindir>/bench/validate_metrics \
-#         -DBENCHES="fig1_sa_histograms;..." -P smoke.cmake
+#         -DBENCHES="fig1_sa_histograms;..." \
+#         [-DBASELINE=<srcdir>/bench/baselines/BENCH_bdd_ops.json] \
+#         [-DTOLERANCE=3.0] [-DSTRICT=ON] [-DSOURCE_DIR=<srcdir>] \
+#         -P smoke.cmake
 #
 # DP_BENCH_BF_COUNT=50 keeps the bridging-fault samples small; the
 # google-benchmark benches are filtered to one cheap case each so the
 # smoke pass checks the telemetry plumbing, not steady-state performance.
+# The perf-regression guard warns by default (smoke runs share the
+# machine with the build); configure with -DDP_BENCH_STRICT=ON -- or set
+# the DP_BENCH_STRICT=ON environment variable -- to make guard
+# violations fail the target.
 if(NOT BENCH_DIR OR NOT OUT_DIR OR NOT VALIDATOR OR NOT BENCHES)
   message(FATAL_ERROR "smoke.cmake needs BENCH_DIR, OUT_DIR, VALIDATOR, BENCHES")
 endif()
+# BENCHES arrives comma-separated (see bench/CMakeLists.txt).
+string(REPLACE "," ";" BENCHES "${BENCHES}")
+if(DEFINED ENV{DP_BENCH_STRICT} AND "$ENV{DP_BENCH_STRICT}" STREQUAL "ON")
+  set(STRICT ON)
+endif()
+if(NOT TOLERANCE)
+  set(TOLERANCE 3.0)
+endif()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
-set(json_files "")
+# Stale documents from an earlier pass would otherwise survive into the
+# glob below and be re-validated as if fresh.
+file(GLOB _stale "${OUT_DIR}/BENCH_*.json")
+if(_stale)
+  file(REMOVE ${_stale})
+endif()
+
 foreach(bench IN LISTS BENCHES)
   set(extra "")
   if(bench STREQUAL "perf_bdd_ops")
@@ -22,26 +47,82 @@ foreach(bench IN LISTS BENCHES)
   elseif(bench STREQUAL "perf_dp_vs_exhaustive")
     set(extra "--benchmark_filter=BM_DifferencePropagation/1$")
   endif()
-  set(json "${OUT_DIR}/BENCH_${bench}.json")
   message(STATUS "bench_smoke: ${bench}")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" -E env DP_BENCH_BF_COUNT=50
-              "${BENCH_DIR}/${bench}" --metrics-json "${json}" ${extra}
+              "DP_BENCH_METRICS_DIR=${OUT_DIR}"
+              "${BENCH_DIR}/${bench}" ${extra}
       RESULT_VARIABLE rc
       OUTPUT_VARIABLE out
       ERROR_VARIABLE out)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "bench_smoke: ${bench} exited ${rc}:\n${out}")
   endif()
-  list(APPEND json_files "${json}")
 endforeach()
+
+file(GLOB json_files "${OUT_DIR}/BENCH_*.json")
+list(REMOVE_ITEM json_files "${OUT_DIR}/BENCH_summary.json")
+if(NOT json_files)
+  message(FATAL_ERROR "bench_smoke: no BENCH_*.json documents were emitted")
+endif()
+
+set(guard_args "")
+if(BASELINE)
+  if(NOT EXISTS "${BASELINE}")
+    message(FATAL_ERROR "bench_smoke: baseline ${BASELINE} does not exist")
+  endif()
+  set(guard_args --baseline "${BASELINE}" --tolerance "${TOLERANCE}")
+  if(STRICT)
+    list(APPEND guard_args --strict)
+  endif()
+endif()
 
 execute_process(
     COMMAND "${VALIDATOR}" --summary "${OUT_DIR}/BENCH_summary.json"
-            ${json_files}
+            ${guard_args} ${json_files}
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_smoke: metrics validation failed (${rc})")
 endif()
 message(STATUS "bench_smoke: all documents valid; summary at "
                "${OUT_DIR}/BENCH_summary.json")
+
+# ---- ASan pass over the kernel/store test binaries ----------------------
+# The complement-edge kernel and the v2 forest loader are the two places
+# where an off-by-one on the complement bit corrupts memory instead of
+# failing a test, so the smoke target reruns their suites under the
+# `asan` preset (ASan+UBSan, build-asan/).
+if(SOURCE_DIR)
+  set(asan_tests bdd_test bdd_reorder_test gc_stress_test store_test)
+  message(STATUS "bench_smoke: configuring asan preset")
+  execute_process(
+      COMMAND "${CMAKE_COMMAND}" --preset asan
+      WORKING_DIRECTORY "${SOURCE_DIR}"
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: asan configure failed (${rc}):\n${out}")
+  endif()
+  execute_process(
+      COMMAND "${CMAKE_COMMAND}" --build "${SOURCE_DIR}/build-asan"
+              --parallel --target ${asan_tests}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: asan build failed (${rc}):\n${out}")
+  endif()
+  foreach(test IN LISTS asan_tests)
+    message(STATUS "bench_smoke: asan ${test}")
+    execute_process(
+        COMMAND "${SOURCE_DIR}/build-asan/tests/${test}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE out)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "bench_smoke: asan ${test} failed (${rc}):\n${out}")
+    endif()
+  endforeach()
+  message(STATUS "bench_smoke: asan pass clean (${asan_tests})")
+endif()

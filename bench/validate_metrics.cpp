@@ -3,10 +3,22 @@
 // required keys, so a refactor that silently breaks the exporter fails
 // the smoke suite instead of producing unreadable telemetry.
 //
-//   validate_metrics [--summary PATH] FILE...
+//   validate_metrics [--summary PATH]
+//                    [--baseline PATH [--tolerance X] [--strict]] FILE...
 //
 // With --summary, an aggregate document (one record per input file plus
 // cross-bench totals) is written to PATH.
+//
+// With --baseline, every input document whose "bench" id matches the
+// baseline document's is additionally diffed against it as a perf
+// regression guard: lower-is-better gauges (ns_per_op, peak_live_nodes,
+// kernel wall clock) may grow at most `tolerance`-fold, higher-is-better
+// gauges (ops_per_second, cache_hit_rate) may shrink at most
+// `tolerance`-fold. The tolerance is deliberately generous (default 3x)
+// because smoke runs share the machine with the build; violations WARN by
+// default and only fail the run with --strict.
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -103,33 +115,144 @@ JsonValue validate(const std::string& file) {
       if (const JsonValue* c = counters->find(key)) rec[key] = *c;
     }
   }
+  // Complement-edge kernel gauges, summed across exporters (the DP
+  // engine's "dp." prefix, perf_bdd_ops's "bdd." prefix): O(1) negations
+  // and commutative cache canonicalization swaps.
+  if (const JsonValue* gauges = metrics->find("gauges")) {
+    for (const char* suffix :
+         {"negations_constant_time", "cache_canonical_swaps"}) {
+      double sum = 0.0;
+      bool present = false;
+      for (const auto& [key, value] : gauges->members()) {
+        if (!value.is_number()) continue;
+        const std::string want = std::string(".") + suffix;
+        if (key.size() > want.size() &&
+            key.compare(key.size() - want.size(), want.size(), want) == 0) {
+          sum += value.as_double();
+          present = true;
+        }
+      }
+      if (present) rec[suffix] = sum;
+    }
+  }
   return rec;
+}
+
+/// Suffix-based direction rules for the regression guard. Keys that match
+/// neither direction are not compared.
+enum class Direction { LowerBetter, HigherBetter, Skip };
+
+Direction direction_of(const std::string& key) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return key.size() >= s.size() &&
+           key.compare(key.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".ns_per_op") || ends_with(".peak_live_nodes") ||
+      ends_with(".total_nodes") || ends_with(".kernel_wall_seconds")) {
+    return Direction::LowerBetter;
+  }
+  if (ends_with(".ops_per_second") || ends_with(".cache_hit_rate")) {
+    return Direction::HigherBetter;
+  }
+  return Direction::Skip;
+}
+
+/// Diffs the comparable gauges of `fresh` against `baseline`. Returns the
+/// number of tolerance violations (all are printed either way).
+int compare_gauges(const std::string& file, const JsonValue& fresh,
+                   const JsonValue& baseline, double tolerance) {
+  const JsonValue* base_metrics = baseline.find("metrics");
+  const JsonValue* fresh_metrics = fresh.find("metrics");
+  const JsonValue* base_gauges =
+      base_metrics ? base_metrics->find("gauges") : nullptr;
+  const JsonValue* fresh_gauges =
+      fresh_metrics ? fresh_metrics->find("gauges") : nullptr;
+  if (!base_gauges || !base_gauges->is_object() || !fresh_gauges ||
+      !fresh_gauges->is_object()) {
+    fail(file, "baseline comparison needs metrics.gauges in both documents");
+    return 0;
+  }
+
+  int violations = 0, compared = 0;
+  for (const auto& [key, base_value] : base_gauges->members()) {
+    const Direction dir = direction_of(key);
+    if (dir == Direction::Skip || !base_value.is_number()) continue;
+    const JsonValue* fresh_value = fresh_gauges->find(key);
+    if (!fresh_value || !fresh_value->is_number()) continue;
+    const double base = base_value.as_double();
+    const double now = fresh_value->as_double();
+    if (!(base > 0.0)) continue;  // degenerate baseline: nothing to guard
+    ++compared;
+    const bool ok = dir == Direction::LowerBetter ? now <= base * tolerance
+                                                  : now >= base / tolerance;
+    std::cout << (ok ? "perf ok   " : "perf WARN ") << key << ": baseline "
+              << base << ", fresh " << now << " ("
+              << (dir == Direction::LowerBetter ? "lower" : "higher")
+              << " is better, tolerance " << tolerance << "x)\n";
+    if (!ok) ++violations;
+  }
+  if (compared == 0) {
+    fail(file, "baseline comparison matched no gauges (stale baseline?)");
+  }
+  return violations;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string summary_path;
+  std::string summary_path, baseline_path;
+  double tolerance = 3.0;
+  bool strict = false;
   std::vector<std::string> files;
+  auto value_of = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--summary") {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --summary requires a value\n";
+      summary_path = value_of(i, a);
+    } else if (a == "--baseline") {
+      baseline_path = value_of(i, a);
+    } else if (a == "--tolerance") {
+      tolerance = std::atof(value_of(i, a));
+      if (!(tolerance >= 1.0)) {
+        std::cerr << "error: --tolerance must be >= 1.0\n";
         return 2;
       }
-      summary_path = argv[++i];
+    } else if (a == "--strict") {
+      strict = true;
     } else {
       files.push_back(a);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: validate_metrics [--summary PATH] FILE...\n";
+    std::cerr << "usage: validate_metrics [--summary PATH] "
+                 "[--baseline PATH [--tolerance X] [--strict]] FILE...\n";
     return 2;
+  }
+
+  JsonValue baseline;
+  std::string baseline_bench;
+  if (!baseline_path.empty()) {
+    try {
+      baseline = dp::obs::read_json_file(baseline_path);
+      baseline_bench = baseline.at("bench").as_string();
+    } catch (const std::exception& e) {
+      std::cerr << "error: unreadable baseline " << baseline_path << ": "
+                << e.what() << "\n";
+      return 2;
+    }
   }
 
   JsonValue documents = JsonValue::array();
   long long faults = 0, evaluated = 0, skipped = 0;
+  double negations = 0.0, canonical_swaps = 0.0;
+  int perf_violations = 0;
   for (const std::string& file : files) {
     JsonValue rec = validate(file);
     if (rec.is_null()) continue;
@@ -142,8 +265,30 @@ int main(int argc, char** argv) {
     if (const JsonValue* v = rec.find("dp.gates_skipped")) {
       skipped += v->as_int();
     }
+    if (const JsonValue* v = rec.find("negations_constant_time")) {
+      negations += v->as_double();
+    }
+    if (const JsonValue* v = rec.find("cache_canonical_swaps")) {
+      canonical_swaps += v->as_double();
+    }
+    if (!baseline_bench.empty()) {
+      const JsonValue* bench = rec.find("bench");
+      if (bench && bench->is_string() &&
+          bench->as_string() == baseline_bench) {
+        perf_violations += compare_gauges(
+            file, dp::obs::read_json_file(file), baseline, tolerance);
+      }
+    }
     documents.push_back(std::move(rec));
     std::cout << "ok   " << file << "\n";
+  }
+
+  if (perf_violations > 0) {
+    std::cerr << perf_violations << " perf gauge(s) beyond " << tolerance
+              << "x of baseline " << baseline_path
+              << (strict ? "" : " (warning only; pass --strict to fail)")
+              << "\n";
+    if (strict) g_failures += perf_violations;
   }
 
   if (!summary_path.empty()) {
@@ -155,6 +300,8 @@ int main(int argc, char** argv) {
     totals["dp.faults_analyzed"] = faults;
     totals["dp.gates_evaluated"] = evaluated;
     totals["dp.gates_skipped"] = skipped;
+    totals["negations_constant_time"] = negations;
+    totals["cache_canonical_swaps"] = canonical_swaps;
     summary["totals"] = std::move(totals);
     summary["benches"] = std::move(documents);
     std::string error;

@@ -56,7 +56,7 @@ class Bdd {
   bool valid() const { return mgr_ != nullptr; }
   bool is_zero() const { return valid() && idx_ == kFalseNode; }
   bool is_one() const { return valid() && idx_ == kTrueNode; }
-  bool is_constant() const { return valid() && idx_ <= kTrueNode; }
+  bool is_constant() const { return valid() && edge_is_terminal(idx_); }
   NodeIndex index() const { return idx_; }
   Manager* manager() const { return mgr_; }
 

@@ -2,6 +2,13 @@
 //
 // Collisions silently evict: the cache is an accelerator, never a source of
 // truth, so a lost entry only costs recomputation.
+//
+// Keys are (op, a, b) with a and b full *edges* -- the complement bit is
+// part of the key, so f&g and f&¬g occupy distinct entries. Callers
+// canonicalize commutative operands (a <= b) before keying; the slot mix
+// below keeps `op` in its own bit range so an op id can never alias into
+// an operand's bits (the old packing XORed op into b's low byte, which
+// collided (op=And, b) with (op=Xor, b^2) systematically).
 #pragma once
 
 #include <cstddef>
@@ -47,12 +54,18 @@ class ComputedCache {
   };
 
   std::size_t slot(Op op, NodeIndex a, NodeIndex b) const {
-    // Fibonacci hashing over the packed triple.
-    std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) ^
-                        (static_cast<std::uint64_t>(b) << 8) ^
-                        static_cast<std::uint64_t>(op);
+    // The operands fill the low 64 bits; a first multiplicative mix
+    // diffuses them, then `op` lands in bits 56..63 -- a range no operand
+    // bit occupies pre-mix -- and a second multiply spreads it. Two
+    // finalizer-style rounds keep the high bits (the ones the slot index
+    // is drawn from) sensitive to every key bit.
+    std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) |
+                        static_cast<std::uint64_t>(b);
     key *= 0x9e3779b97f4a7c15ull;
-    return static_cast<std::size_t>(key >> 40) & mask_;
+    key ^= static_cast<std::uint64_t>(op) << 56;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key >> 32) & mask_;
   }
 
   std::vector<Entry> entries_;

@@ -16,21 +16,44 @@ void write_dot(std::ostream& os, const Bdd& f,
 
   os << "digraph bdd {\n";
   os << "  rankdir=TB;\n";
-  os << "  n0 [shape=box,label=\"0\"];\n";
-  os << "  n1 [shape=box,label=\"1\"];\n";
+  // Single terminal; the constant FALSE is a complemented (dotted) arc
+  // into it. The root pseudo-node makes the root edge's own polarity
+  // visible.
+  os << "  n0 [shape=box,label=\"1\"];\n";
+  os << "  f [shape=plaintext,label=\"f\"];\n";
 
-  std::unordered_set<NodeIndex> visited{kFalseNode, kTrueNode};
-  std::vector<NodeIndex> stack{f.index()};
+  auto arc = [&](std::ostream& o, const std::string& from, NodeIndex e,
+                 const char* base_style) {
+    o << "  " << from << " -> n" << edge_slot(e);
+    const bool dashed = base_style && *base_style;
+    const bool dotted = edge_complemented(e) != 0;
+    if (dashed || dotted) {
+      o << " [";
+      if (dashed) o << "style=dashed";
+      if (dashed && dotted) o << ",";
+      // Complement arcs render dotted (CUDD convention); a complemented
+      // else-arc never occurs below the root by the canonical form, but
+      // the attribute applies uniformly so the invariant is visible.
+      if (dotted) o << "arrowhead=odot";
+      o << "]";
+    }
+    o << ";\n";
+  };
+
+  arc(os, "f", f.index(), "");
+
+  std::unordered_set<NodeIndex> visited{0};
+  std::vector<NodeIndex> stack{edge_slot(f.index())};
   while (!stack.empty()) {
-    NodeIndex n = stack.back();
+    NodeIndex s = stack.back();
     stack.pop_back();
-    if (!visited.insert(n).second) continue;
-    const Node& nd = mgr->node(n);
-    os << "  n" << n << " [label=\"" << name(nd.var) << "\"];\n";
-    os << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n";
-    os << "  n" << n << " -> n" << nd.hi << ";\n";
-    stack.push_back(nd.lo);
-    stack.push_back(nd.hi);
+    if (!visited.insert(s).second) continue;
+    const Node& nd = mgr->node(s);
+    os << "  n" << s << " [label=\"" << name(nd.var) << "\"];\n";
+    arc(os, "n" + std::to_string(s), nd.lo, "dashed");
+    arc(os, "n" + std::to_string(s), nd.hi, "");
+    stack.push_back(edge_slot(nd.lo));
+    stack.push_back(edge_slot(nd.hi));
   }
   os << "}\n";
 }

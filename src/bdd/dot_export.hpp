@@ -11,7 +11,9 @@ namespace dp::bdd {
 
 /// Writes the DAG rooted at `f` in Graphviz dot syntax. `var_name` maps a
 /// variable id to a label; defaults to "x<id>". Dashed edges are the
-/// lo (var = 0) branches, solid edges the hi branches.
+/// lo (var = 0) branches, solid edges the hi branches; complemented edges
+/// carry an odot arrowhead and there is a single terminal box "1" (the
+/// constant 0 is a complemented arc into it).
 void write_dot(std::ostream& os, const Bdd& f,
                const std::function<std::string(Var)>& var_name = {});
 

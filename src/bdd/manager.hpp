@@ -1,10 +1,12 @@
 // ROBDD manager: node pool, unique table, computed cache, mark-sweep GC.
 //
-// All BDDs live inside one Manager and are identified by NodeIndex; the
-// strong-reduction invariant (no node with lo == hi, no duplicate
-// (var, lo, hi) triples) makes function equality a pointer comparison.
-// User code should hold nodes through the RAII `Bdd` handle (bdd.hpp),
-// which keeps them alive across garbage collections.
+// All BDDs live inside one Manager and are identified by NodeIndex *edges*
+// ((slot << 1) | complement, see bdd_types.hpp); the strong-reduction
+// invariant (no node with lo == hi, no duplicate (var, lo, hi) triples)
+// plus the regular-else canonical rule make function equality a single
+// edge comparison and negation a single bit flip. User code should hold
+// nodes through the RAII `Bdd` handle (bdd.hpp), which keeps them alive
+// across garbage collections.
 #pragma once
 
 #include <cstddef>
@@ -55,8 +57,15 @@ class Manager {
   /// node count after reordering.
   std::size_t sift_reorder(double max_growth = 2.0);
 
-  /// Nodes reachable from externally referenced roots (terminals incl.).
+  /// Nodes reachable from externally referenced roots (terminal incl.).
   std::size_t count_live_from_roots() const;
+
+  /// Test/debug oracle: walks every live pool slot and throws BddError on
+  /// the first violation of the canonical complement-edge invariants --
+  /// a complemented stored else-edge, lo == hi, a child at a level not
+  /// strictly below its parent, a dangling child slot, or a duplicate
+  /// (var, lo, hi) triple.
+  void check_canonical() const;
 
   // ---- handle factories ----------------------------------------------
 
@@ -64,13 +73,14 @@ class Manager {
   Bdd one();
   Bdd var(Var v);   ///< the function "v"
   Bdd nvar(Var v);  ///< the function "not v"
-  Bdd make(NodeIndex idx);  ///< wrap an existing node in a handle
+  Bdd make(NodeIndex idx);  ///< wrap an existing edge in a handle
 
   // ---- raw node-level operations (top-level entry points) -------------
   // These may trigger garbage collection before doing any work; operands
   // must be protected by external references (automatic via Bdd handles).
 
   NodeIndex apply(Op op, NodeIndex a, NodeIndex b);
+  /// O(1): flips the complement bit. Never allocates, never collects.
   NodeIndex negate(NodeIndex f);
   NodeIndex ite(NodeIndex f, NodeIndex g, NodeIndex h);
   NodeIndex restrict_var(NodeIndex f, Var v, bool value);
@@ -86,7 +96,8 @@ class Manager {
   /// Variables the function actually depends on, ascending.
   std::vector<Var> support(NodeIndex f) const;
 
-  /// Nodes in the DAG rooted at f, terminals included.
+  /// Nodes in the DAG rooted at f (pool slots, terminal included) --
+  /// complement polarity does not change the count.
   std::size_t dag_size(NodeIndex f) const;
 
   /// Evaluate under a complete assignment (indexed by Var).
@@ -118,18 +129,28 @@ class Manager {
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "bdd") const;
 
-  // ---- node accessors --------------------------------------------------
+  // ---- edge accessors --------------------------------------------------
+  // All three child/label accessors take *edges* and fold the edge's
+  // complement bit into the children, so lo(e)/hi(e) are the true cofactor
+  // edges of the function e denotes. Raw stored fields (canonical form,
+  // else always regular) are reachable via node(edge_slot(e)).
 
-  const Node& node(NodeIndex idx) const { return nodes_[idx]; }
-  Var var_of(NodeIndex idx) const { return nodes_[idx].var; }
-  NodeIndex lo(NodeIndex idx) const { return nodes_[idx].lo; }
-  NodeIndex hi(NodeIndex idx) const { return nodes_[idx].hi; }
-  bool is_terminal(NodeIndex idx) const { return idx <= kTrueNode; }
+  const Node& node(NodeIndex slot) const { return nodes_[slot]; }
+  Var var_of(NodeIndex e) const { return nodes_[edge_slot(e)].var; }
+  NodeIndex lo(NodeIndex e) const {
+    return nodes_[edge_slot(e)].lo ^ edge_complemented(e);
+  }
+  NodeIndex hi(NodeIndex e) const {
+    return nodes_[edge_slot(e)].hi ^ edge_complemented(e);
+  }
+  bool is_terminal(NodeIndex e) const { return edge_is_terminal(e); }
 
  private:
   friend class Bdd;
 
-  /// Find-or-insert the reduced node (v, lo_child, hi_child).
+  /// Find-or-insert the reduced node for cofactor edges (v, lo, hi);
+  /// canonicalizes so the stored else-edge is regular and returns the
+  /// (possibly complemented) edge denoting ite(v, hi, lo).
   NodeIndex mk(Var v, NodeIndex lo_child, NodeIndex hi_child);
 
   NodeIndex allocate_node();
@@ -138,15 +159,16 @@ class Manager {
   void maybe_gc();
 
   // Recursive workers (no GC inside).
-  std::size_t level_of_node(NodeIndex idx) const {
-    const Var v = nodes_[idx].var;
+  std::size_t level_of_node(NodeIndex e) const {
+    const Var v = nodes_[edge_slot(e)].var;
     return v == kTerminalVar ? num_vars_ : level_of_var_[v];
   }
   void mark_from_roots(std::vector<bool>& marked) const;
   void sift_one_var(Var v, double max_growth);
 
   NodeIndex apply_rec(Op op, NodeIndex a, NodeIndex b);
-  NodeIndex negate_rec(NodeIndex f);
+  NodeIndex and_rec(NodeIndex a, NodeIndex b);
+  NodeIndex xor_rec(NodeIndex a, NodeIndex b);
   NodeIndex restrict_rec(NodeIndex f, Var v, bool value);
   NodeIndex exists_rec(NodeIndex f, Var v);
 
@@ -159,9 +181,9 @@ class Manager {
   std::vector<Var> var_at_level_;        ///< level -> variable id
   std::vector<std::size_t> level_of_var_;  ///< variable id -> level
 
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> ext_refs_;  ///< external refcount per node
-  std::vector<NodeIndex> unique_;        ///< unique-table bucket heads
+  std::vector<Node> nodes_;              ///< indexed by slot
+  std::vector<std::uint32_t> ext_refs_;  ///< external refcount per slot
+  std::vector<NodeIndex> unique_;        ///< unique-table bucket heads (slots)
   std::size_t unique_mask_ = 0;
   NodeIndex free_list_ = kInvalidNode;
 

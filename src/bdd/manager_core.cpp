@@ -4,6 +4,7 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 
@@ -28,16 +29,17 @@ Manager::Manager(std::size_t num_vars, std::size_t max_nodes)
     level_of_var_[i] = i;
   }
   if (max_nodes_ < 16) max_nodes_ = 16;
+  // Edges spend one bit on the complement flag; slots must fit in 31 bits.
+  max_nodes_ = std::min<std::size_t>(max_nodes_, edge_slot(kInvalidNode));
   nodes_.reserve(1024);
   ext_refs_.reserve(1024);
 
-  // Terminal nodes occupy slots 0 (false) and 1 (true). They are labelled
-  // with kTerminalVar so every real variable tests before them, and they
-  // are never entered in the unique table nor swept by GC.
-  nodes_.push_back(Node{kTerminalVar, kFalseNode, kFalseNode, kInvalidNode});
+  // The single terminal (TRUE) occupies slot 0; FALSE is its complemented
+  // edge. It is labelled with kTerminalVar so every real variable tests
+  // before it, and it is never entered in the unique table nor swept.
   nodes_.push_back(Node{kTerminalVar, kTrueNode, kTrueNode, kInvalidNode});
-  ext_refs_.assign(2, 0);
-  live_nodes_ = 2;
+  ext_refs_.assign(1, 0);
+  live_nodes_ = 1;
   gc_threshold_floor_ = 1u << 22;
   gc_threshold_ = gc_threshold_floor_;
 
@@ -74,7 +76,7 @@ void Manager::rehash_unique(std::size_t bucket_count) {
   bucket_count = next_pow2(std::max<std::size_t>(bucket_count, 16));
   unique_.assign(bucket_count, kInvalidNode);
   unique_mask_ = bucket_count - 1;
-  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+  for (NodeIndex i = 1; i < nodes_.size(); ++i) {
     Node& n = nodes_[i];
     if (n.var == kTerminalVar) continue;  // free-list entry
     std::size_t b = unique_bucket(n.var, n.lo, n.hi);
@@ -100,11 +102,20 @@ NodeIndex Manager::allocate_node() {
 NodeIndex Manager::mk(Var v, NodeIndex lo_child, NodeIndex hi_child) {
   if (lo_child == hi_child) return lo_child;  // reduction rule
 
+  // Canonical regular-else form: a complemented else cofactor is factored
+  // out of the node -- ite(v, h, ¬l') = ¬ite(v, ¬h, l') -- so exactly one
+  // stored triple (and one complement bit) represents each function pair.
+  const NodeIndex out_c = edge_complemented(lo_child);
+  lo_child ^= out_c;
+  hi_child ^= out_c;
+
   ++stats_.unique_lookups;
   std::size_t b = unique_bucket(v, lo_child, hi_child);
   for (NodeIndex i = unique_[b]; i != kInvalidNode; i = nodes_[i].next) {
     const Node& n = nodes_[i];
-    if (n.var == v && n.lo == lo_child && n.hi == hi_child) return i;
+    if (n.var == v && n.lo == lo_child && n.hi == hi_child) {
+      return make_edge(i, out_c);
+    }
   }
 
   NodeIndex idx = allocate_node();
@@ -120,32 +131,36 @@ NodeIndex Manager::mk(Var v, NodeIndex lo_child, NodeIndex hi_child) {
   if (live_nodes_ > unique_.size()) {
     rehash_unique(unique_.size() * 2);
   }
-  return idx;
+  return make_edge(idx, out_c);
 }
 
 void Manager::inc_ref(NodeIndex idx) {
-  if (idx >= nodes_.size()) throw BddError("inc_ref(): bad node index");
-  ++ext_refs_[idx];
+  const NodeIndex slot = edge_slot(idx);
+  if (slot >= nodes_.size()) throw BddError("inc_ref(): bad node index");
+  ++ext_refs_[slot];
 }
 
 void Manager::dec_ref(NodeIndex idx) {
-  if (idx >= nodes_.size()) throw BddError("dec_ref(): bad node index");
+  const NodeIndex slot = edge_slot(idx);
+  if (slot >= nodes_.size()) throw BddError("dec_ref(): bad node index");
   // A release without a matching reference is a caller bug (double
   // release). The unsigned counter must never wrap: an underflowed
   // refcount pins the node -- and its whole cone -- forever, silently
   // leaking pool capacity. Clamp at zero and count the incident so tests
   // and the engine stats layer can fail loudly; dec_ref runs inside Bdd
   // destructors, where throwing would terminate during unwinding.
-  if (ext_refs_[idx] == 0) {
+  if (ext_refs_[slot] == 0) {
     ++stats_.ref_underflows;
     return;
   }
-  --ext_refs_[idx];
+  --ext_refs_[slot];
 }
 
 void Manager::mark_from_roots(std::vector<bool>& marked) const {
+  // Reachability is polarity-blind, so marking works on slots: both edges
+  // into a slot keep the same node alive.
   marked.assign(nodes_.size(), false);
-  marked[kFalseNode] = marked[kTrueNode] = true;
+  marked[0] = true;  // terminal
   std::vector<NodeIndex> stack;
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     if (ext_refs_[i] > 0 && !marked[i]) {
@@ -158,13 +173,15 @@ void Manager::mark_from_roots(std::vector<bool>& marked) const {
     stack.pop_back();
     const Node& n = nodes_[i];
     if (n.var == kTerminalVar) continue;
-    if (!marked[n.lo]) {
-      marked[n.lo] = true;
-      stack.push_back(n.lo);
+    const NodeIndex lo_slot = edge_slot(n.lo);
+    const NodeIndex hi_slot = edge_slot(n.hi);
+    if (!marked[lo_slot]) {
+      marked[lo_slot] = true;
+      stack.push_back(lo_slot);
     }
-    if (!marked[n.hi]) {
-      marked[n.hi] = true;
-      stack.push_back(n.hi);
+    if (!marked[hi_slot]) {
+      marked[hi_slot] = true;
+      stack.push_back(hi_slot);
     }
   }
 }
@@ -177,6 +194,50 @@ std::size_t Manager::count_live_from_roots() const {
   return count;
 }
 
+void Manager::check_canonical() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(live_nodes_ * 2);
+  for (NodeIndex i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kTerminalVar) continue;  // free-list entry
+    const std::string at = " (slot " + std::to_string(i) + ")";
+    if (n.var >= num_vars_) {
+      throw BddError("check_canonical(): variable id out of range" + at);
+    }
+    if (edge_complemented(n.lo)) {
+      throw BddError("check_canonical(): stored else-edge is complemented" +
+                     at);
+    }
+    if (n.lo == n.hi) {
+      throw BddError("check_canonical(): unreduced node (lo == hi)" + at);
+    }
+    if (edge_slot(n.lo) >= nodes_.size() ||
+        edge_slot(n.hi) >= nodes_.size()) {
+      throw BddError("check_canonical(): dangling child slot" + at);
+    }
+    for (const NodeIndex child : {n.lo, n.hi}) {
+      const Var cv = nodes_[edge_slot(child)].var;
+      if (cv != kTerminalVar && level_of_var_[cv] <= level_of_var_[n.var]) {
+        throw BddError(
+            "check_canonical(): child level not below parent level" + at);
+      }
+      if (cv == kTerminalVar && edge_slot(child) != 0) {
+        throw BddError("check_canonical(): edge into a free-list slot" + at);
+      }
+    }
+    // Triple uniqueness: hash the (var, lo, hi) triple; a collision on the
+    // 64-bit digest across a pool this size is vanishingly unlikely and
+    // only yields a spurious test failure, never a missed corruption.
+    std::uint64_t key = static_cast<std::uint64_t>(n.var);
+    key = key * 0x100000001b3ull ^ n.lo;
+    key = key * 0x100000001b3ull ^ n.hi;
+    key *= 0x9e3779b97f4a7c15ull;
+    if (!seen.insert(key).second) {
+      throw BddError("check_canonical(): duplicate (var, lo, hi) triple" + at);
+    }
+  }
+}
+
 std::size_t Manager::gc() {
   ++stats_.gc_runs;
 
@@ -187,7 +248,7 @@ std::size_t Manager::gc() {
   // Sweep phase: unmarked decision nodes go to the free list.
   std::size_t reclaimed = 0;
   free_list_ = kInvalidNode;
-  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+  for (NodeIndex i = 1; i < nodes_.size(); ++i) {
     if (marked[i] || nodes_[i].var == kTerminalVar) {
       // Still live, or already on the (old) free list.
       if (!marked[i] && nodes_[i].var == kTerminalVar) {

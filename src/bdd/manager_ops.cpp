@@ -1,6 +1,17 @@
-// Boolean operations: apply (AND/OR/XOR), negation, ITE, restriction,
+// Boolean operations: apply (AND/OR/XOR), O(1) negation, ITE, restriction,
 // existential quantification, and composition.
-#include <unordered_map>
+//
+// Complement edges concentrate all binary work into two recursions:
+//
+//   * and_rec -- AND over full edges. OR folds into it by De Morgan
+//     (a|b = ¬(¬a & ¬b)), so every OR the DP engine issues reuses the AND
+//     computed table instead of keying a second operation.
+//   * xor_rec -- XOR with operand complements stripped up front
+//     ((¬a)^b = ¬(a^b)): the cache is keyed on regular edges only and the
+//     result's polarity is recovered with one bit flip, collapsing the
+//     four polarity variants of every XOR pair into a single entry.
+//
+// Negation itself never recurses and never touches the cache.
 #include <utility>
 
 #include "bdd/bdd.hpp"
@@ -8,62 +19,44 @@
 
 namespace dp::bdd {
 
-namespace {
-
-/// Terminal-case evaluation for the binary apply. Returns kInvalidNode when
-/// the pair is not a terminal case. `negate_needed` is set when the result
-/// is the negation of the node stored in the return slot (XOR against one).
-struct TerminalHit {
-  NodeIndex result = kInvalidNode;
-  NodeIndex to_negate = kInvalidNode;
-};
-
-TerminalHit apply_terminal(Op op, NodeIndex a, NodeIndex b) {
-  TerminalHit hit;
-  switch (op) {
-    case Op::And:
-      if (a == kFalseNode || b == kFalseNode) hit.result = kFalseNode;
-      else if (a == kTrueNode) hit.result = b;
-      else if (b == kTrueNode) hit.result = a;
-      else if (a == b) hit.result = a;
-      break;
-    case Op::Or:
-      if (a == kTrueNode || b == kTrueNode) hit.result = kTrueNode;
-      else if (a == kFalseNode) hit.result = b;
-      else if (b == kFalseNode) hit.result = a;
-      else if (a == b) hit.result = a;
-      break;
-    case Op::Xor:
-      if (a == b) hit.result = kFalseNode;
-      else if (a == kFalseNode) hit.result = b;
-      else if (b == kFalseNode) hit.result = a;
-      else if (a == kTrueNode) hit.to_negate = b;
-      else if (b == kTrueNode) hit.to_negate = a;
-      break;
-    default:
-      throw BddError("apply(): not a binary Boolean op");
-  }
-  return hit;
-}
-
-}  // namespace
-
 NodeIndex Manager::apply(Op op, NodeIndex a, NodeIndex b) {
   maybe_gc();
   return apply_rec(op, a, b);
 }
 
 NodeIndex Manager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
+  switch (op) {
+    case Op::And:
+      return and_rec(a, b);
+    case Op::Or:
+      return edge_negate(and_rec(edge_negate(a), edge_negate(b)));
+    case Op::Xor:
+      return xor_rec(a, b);
+    default:
+      throw BddError("apply(): not a binary Boolean op");
+  }
+}
+
+NodeIndex Manager::and_rec(NodeIndex a, NodeIndex b) {
   ++stats_.apply_calls;
 
-  TerminalHit hit = apply_terminal(op, a, b);
-  if (hit.result != kInvalidNode) return hit.result;
-  if (hit.to_negate != kInvalidNode) return negate_rec(hit.to_negate);
+  // Terminal and identity rules over full edges. `a == ¬b` is the rule
+  // the recursive kernel could never see cheaply: with complement edges
+  // it is one XOR against the sign bit.
+  if (a == kFalseNode || b == kFalseNode) return kFalseNode;
+  if (a == kTrueNode) return b;
+  if (b == kTrueNode) return a;
+  if (a == b) return a;
+  if (a == edge_negate(b)) return kFalseNode;
 
-  // All three ops are commutative; canonicalize for better cache reuse.
-  if (a > b) std::swap(a, b);
+  // AND is commutative; canonicalize the operand order so (f, g) and
+  // (g, f) share one computed-table entry.
+  if (a > b) {
+    std::swap(a, b);
+    ++stats_.cache_canonical_swaps;
+  }
 
-  NodeIndex cached = cache_.lookup(op, a, b);
+  NodeIndex cached = cache_.lookup(Op::And, a, b);
   if (cached != kInvalidNode) {
     ++stats_.cache_hits;
     return cached;
@@ -72,46 +65,68 @@ NodeIndex Manager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
   // The top variable is the one earlier in the (possibly sifted) order.
   const std::size_t la = level_of_node(a);
   const std::size_t lb = level_of_node(b);
-  const Var v = la <= lb ? nodes_[a].var : nodes_[b].var;
+  const Var v = la <= lb ? var_of(a) : var_of(b);
 
-  const NodeIndex a0 = la <= lb ? nodes_[a].lo : a;
-  const NodeIndex a1 = la <= lb ? nodes_[a].hi : a;
-  const NodeIndex b0 = lb <= la ? nodes_[b].lo : b;
-  const NodeIndex b1 = lb <= la ? nodes_[b].hi : b;
+  const NodeIndex a0 = la <= lb ? lo(a) : a;
+  const NodeIndex a1 = la <= lb ? hi(a) : a;
+  const NodeIndex b0 = lb <= la ? lo(b) : b;
+  const NodeIndex b1 = lb <= la ? hi(b) : b;
 
-  const NodeIndex lo_res = apply_rec(op, a0, b0);
-  const NodeIndex hi_res = apply_rec(op, a1, b1);
+  const NodeIndex lo_res = and_rec(a0, b0);
+  const NodeIndex hi_res = and_rec(a1, b1);
   const NodeIndex result = mk(v, lo_res, hi_res);
 
-  cache_.insert(op, a, b, result);
+  cache_.insert(Op::And, a, b, result);
   return result;
+}
+
+NodeIndex Manager::xor_rec(NodeIndex a, NodeIndex b) {
+  ++stats_.apply_calls;
+
+  // XOR commutes with complement on either operand: (¬a)^b = ¬(a^b).
+  // Strip both sign bits, recurse on regular edges, and re-apply the
+  // combined polarity to the result -- the cache only ever sees regular
+  // operand pairs.
+  const NodeIndex out_c = (a ^ b) & 1u;
+  a = edge_regular(a);
+  b = edge_regular(b);
+
+  if (a == b) return kFalseNode ^ out_c;
+  // The only regular terminal edge is TRUE; x ^ 1 = ¬x.
+  if (a == kTrueNode) return edge_negate(b) ^ out_c;
+  if (b == kTrueNode) return edge_negate(a) ^ out_c;
+
+  if (a > b) {
+    std::swap(a, b);
+    ++stats_.cache_canonical_swaps;
+  }
+
+  NodeIndex cached = cache_.lookup(Op::Xor, a, b);
+  if (cached != kInvalidNode) {
+    ++stats_.cache_hits;
+    return cached ^ out_c;
+  }
+
+  const std::size_t la = level_of_node(a);
+  const std::size_t lb = level_of_node(b);
+  const Var v = la <= lb ? var_of(a) : var_of(b);
+
+  const NodeIndex a0 = la <= lb ? lo(a) : a;
+  const NodeIndex a1 = la <= lb ? hi(a) : a;
+  const NodeIndex b0 = lb <= la ? lo(b) : b;
+  const NodeIndex b1 = lb <= la ? hi(b) : b;
+
+  const NodeIndex lo_res = xor_rec(a0, b0);
+  const NodeIndex hi_res = xor_rec(a1, b1);
+  const NodeIndex result = mk(v, lo_res, hi_res);
+
+  cache_.insert(Op::Xor, a, b, result);
+  return result ^ out_c;
 }
 
 NodeIndex Manager::negate(NodeIndex f) {
-  maybe_gc();
-  return negate_rec(f);
-}
-
-NodeIndex Manager::negate_rec(NodeIndex f) {
-  ++stats_.apply_calls;
-  if (f == kFalseNode) return kTrueNode;
-  if (f == kTrueNode) return kFalseNode;
-
-  NodeIndex cached = cache_.lookup(Op::Not, f, 0);
-  if (cached != kInvalidNode) {
-    ++stats_.cache_hits;
-    return cached;
-  }
-
-  // Copy: recursive calls can reallocate the node pool.
-  const Node n = nodes_[f];
-  const NodeIndex neg_lo = negate_rec(n.lo);
-  const NodeIndex neg_hi = negate_rec(n.hi);
-  const NodeIndex result = mk(n.var, neg_lo, neg_hi);
-  cache_.insert(Op::Not, f, 0, result);
-  // Negation is an involution; prime the cache in the other direction too.
-  cache_.insert(Op::Not, result, 0, f);
-  return result;
+  ++stats_.negations_constant_time;
+  return edge_negate(f);
 }
 
 NodeIndex Manager::ite(NodeIndex f, NodeIndex g, NodeIndex h) {
@@ -119,12 +134,20 @@ NodeIndex Manager::ite(NodeIndex f, NodeIndex g, NodeIndex h) {
   if (f == kTrueNode) return g;
   if (f == kFalseNode) return h;
   if (g == h) return g;
+  if (g == kTrueNode && h == kFalseNode) return f;
+  if (g == kFalseNode && h == kTrueNode) return edge_negate(f);
+  // Standard-triple normalization: a regular predicate, so ite(¬f, g, h)
+  // and ite(f, h, g) resolve to the same recursion.
+  if (edge_complemented(f)) {
+    f = edge_negate(f);
+    std::swap(g, h);
+  }
   // (f & g) | (!f & h). Intermediates are pinned with handles so a GC
   // triggered between the applies cannot reclaim them.
-  Bdd fg = make(apply_rec(Op::And, f, g));
-  Bdd nf = make(negate_rec(f));
-  Bdd nfh = make(apply_rec(Op::And, nf.index(), h));
-  return apply_rec(Op::Or, fg.index(), nfh.index());
+  Bdd fg = make(and_rec(f, g));
+  Bdd nfh = make(and_rec(edge_negate(f), h));
+  return edge_negate(
+      and_rec(edge_negate(fg.index()), edge_negate(nfh.index())));
 }
 
 NodeIndex Manager::restrict_var(NodeIndex f, Var v, bool value) {
@@ -134,23 +157,28 @@ NodeIndex Manager::restrict_var(NodeIndex f, Var v, bool value) {
 }
 
 NodeIndex Manager::restrict_rec(NodeIndex f, Var v, bool value) {
+  // Restriction commutes with complement, so recurse and cache on the
+  // regular edge and re-apply the polarity on the way out: both polarities
+  // of a function share every cache entry below.
+  const NodeIndex c = edge_complemented(f);
+  const NodeIndex fr = edge_regular(f);
+  if (level_of_node(fr) > level_of_var_[v]) return f;  // v cannot occur below
   // Copy: recursive calls can reallocate the node pool.
-  const Node n = nodes_[f];
-  if (level_of_node(f) > level_of_var_[v]) return f;  // v cannot occur below
-  if (n.var == v) return value ? n.hi : n.lo;
+  const Node n = nodes_[edge_slot(fr)];
+  if (n.var == v) return (value ? n.hi : n.lo) ^ c;
 
   const NodeIndex key_b = static_cast<NodeIndex>(v * 2 + (value ? 1 : 0));
-  NodeIndex cached = cache_.lookup(Op::Restrict, f, key_b);
+  NodeIndex cached = cache_.lookup(Op::Restrict, fr, key_b);
   if (cached != kInvalidNode) {
     ++stats_.cache_hits;
-    return cached;
+    return cached ^ c;
   }
 
   const NodeIndex lo_res = restrict_rec(n.lo, v, value);
   const NodeIndex hi_res = restrict_rec(n.hi, v, value);
   const NodeIndex result = mk(n.var, lo_res, hi_res);
-  cache_.insert(Op::Restrict, f, key_b, result);
-  return result;
+  cache_.insert(Op::Restrict, fr, key_b, result);
+  return result ^ c;
 }
 
 NodeIndex Manager::exists_var(NodeIndex f, Var v) {
@@ -160,10 +188,13 @@ NodeIndex Manager::exists_var(NodeIndex f, Var v) {
 }
 
 NodeIndex Manager::exists_rec(NodeIndex f, Var v) {
-  // Copy: recursive calls can reallocate the node pool.
-  const Node n = nodes_[f];
+  // Quantification does NOT commute with complement (∃v.¬f ≠ ¬∃v.f), so
+  // the cache key must carry the full edge including its polarity.
   if (level_of_node(f) > level_of_var_[v]) return f;
-  if (n.var == v) return apply_rec(Op::Or, n.lo, n.hi);
+  const NodeIndex c = edge_complemented(f);
+  // Copy: recursive calls can reallocate the node pool.
+  const Node n = nodes_[edge_slot(f)];
+  if (n.var == v) return apply_rec(Op::Or, n.lo ^ c, n.hi ^ c);
 
   NodeIndex cached = cache_.lookup(Op::Exists, f, static_cast<NodeIndex>(v));
   if (cached != kInvalidNode) {
@@ -171,8 +202,8 @@ NodeIndex Manager::exists_rec(NodeIndex f, Var v) {
     return cached;
   }
 
-  const NodeIndex lo_res = exists_rec(n.lo, v);
-  const NodeIndex hi_res = exists_rec(n.hi, v);
+  const NodeIndex lo_res = exists_rec(n.lo ^ c, v);
+  const NodeIndex hi_res = exists_rec(n.hi ^ c, v);
   const NodeIndex result = mk(n.var, lo_res, hi_res);
   cache_.insert(Op::Exists, f, static_cast<NodeIndex>(v), result);
   return result;
@@ -187,9 +218,8 @@ NodeIndex Manager::compose(NodeIndex f, Var v, NodeIndex g) {
   Bdd f1 = make(restrict_rec(f, v, true));
   Bdd f0 = make(restrict_rec(f, v, false));
   Bdd gh = make(g);
-  Bdd t1 = make(apply_rec(Op::And, gh.index(), f1.index()));
-  Bdd ng = make(negate_rec(g));
-  Bdd t0 = make(apply_rec(Op::And, ng.index(), f0.index()));
+  Bdd t1 = make(and_rec(gh.index(), f1.index()));
+  Bdd t0 = make(and_rec(edge_negate(g), f0.index()));
   return apply_rec(Op::Or, t1.index(), t0.index());
 }
 

@@ -1,5 +1,10 @@
 // Read-only queries: satisfying-assignment counting, support, DAG size,
 // evaluation, and cube extraction. None of these allocate BDD nodes.
+//
+// Every traversal interprets complement parity along the path: an edge's
+// sign bit is folded into the children it exposes (Manager::lo/hi do this),
+// so a function and its negation share the same slots but enumerate
+// complementary terminals.
 #include <unordered_map>
 #include <unordered_set>
 
@@ -18,16 +23,18 @@ double pow2(std::uint64_t e) {
 }  // namespace
 
 double Manager::sat_count(NodeIndex f, std::size_t nvars) const {
-  // c(n) = number of solutions over the variables strictly below n's level,
-  // with terminals sitting at level `nvars`.
+  // c(e) = number of solutions over the variables strictly below e's level,
+  // with the terminal sitting at level `nvars`. The memo is keyed on full
+  // edges: the two polarities of a slot count complementary sets, so they
+  // get independent entries.
   std::unordered_map<NodeIndex, double> memo;
   memo.reserve(256);
 
   // Levels follow the current (possibly sifted) order; counting over
   // levels is equivalent to counting over variables since the order is a
   // permutation of [0, nvars).
-  auto level_of = [&](NodeIndex n) -> std::uint64_t {
-    Var v = nodes_[n].var;
+  auto level_of = [&](NodeIndex e) -> std::uint64_t {
+    Var v = nodes_[edge_slot(e)].var;
     return v == kTerminalVar ? nvars : level_of_var_[v];
   };
 
@@ -49,38 +56,41 @@ double Manager::sat_count(NodeIndex f, std::size_t nvars) const {
       stack.pop_back();
       continue;
     }
-    const Node& nd = nodes_[n];
+    const Node& nd = nodes_[edge_slot(n)];
     if (nd.var >= nvars) {
       throw BddError("sat_count(): function depends on a variable >= nvars");
     }
-    auto it_lo = memo.find(nd.lo);
-    auto it_hi = memo.find(nd.hi);
+    const NodeIndex lo_e = lo(n);
+    const NodeIndex hi_e = hi(n);
+    auto it_lo = memo.find(lo_e);
+    auto it_hi = memo.find(hi_e);
     if (it_lo != memo.end() && it_hi != memo.end()) {
       const std::uint64_t lvl = level_of(n);
-      double lo_c = it_lo->second * pow2(level_of(nd.lo) - lvl - 1);
-      double hi_c = it_hi->second * pow2(level_of(nd.hi) - lvl - 1);
+      double lo_c = it_lo->second * pow2(level_of(lo_e) - lvl - 1);
+      double hi_c = it_hi->second * pow2(level_of(hi_e) - lvl - 1);
       memo[n] = lo_c + hi_c;
       stack.pop_back();
     } else {
-      if (it_lo == memo.end()) stack.push_back(nd.lo);
-      if (it_hi == memo.end()) stack.push_back(nd.hi);
+      if (it_lo == memo.end()) stack.push_back(lo_e);
+      if (it_hi == memo.end()) stack.push_back(hi_e);
     }
   }
   return memo[f] * pow2(level_of(f));
 }
 
 std::vector<Var> Manager::support(NodeIndex f) const {
+  // Polarity cannot change the support; walk slots.
   std::vector<bool> present(num_vars_, false);
   std::unordered_set<NodeIndex> visited;
-  std::vector<NodeIndex> stack{f};
+  std::vector<NodeIndex> stack{edge_slot(f)};
   while (!stack.empty()) {
-    NodeIndex n = stack.back();
+    NodeIndex s = stack.back();
     stack.pop_back();
-    if (n <= kTrueNode || !visited.insert(n).second) continue;
-    const Node& nd = nodes_[n];
+    if (s == 0 || !visited.insert(s).second) continue;
+    const Node& nd = nodes_[s];
     present[nd.var] = true;
-    stack.push_back(nd.lo);
-    stack.push_back(nd.hi);
+    stack.push_back(edge_slot(nd.lo));
+    stack.push_back(edge_slot(nd.hi));
   }
   std::vector<Var> result;
   for (Var v = 0; v < num_vars_; ++v) {
@@ -90,45 +100,49 @@ std::vector<Var> Manager::support(NodeIndex f) const {
 }
 
 std::size_t Manager::dag_size(NodeIndex f) const {
+  // Shared-structure size: distinct pool slots (terminal included), i.e.
+  // what the DAG costs in memory -- both polarities of a child count once.
   std::unordered_set<NodeIndex> visited;
-  std::vector<NodeIndex> stack{f};
+  std::vector<NodeIndex> stack{edge_slot(f)};
   while (!stack.empty()) {
-    NodeIndex n = stack.back();
+    NodeIndex s = stack.back();
     stack.pop_back();
-    if (!visited.insert(n).second) continue;
-    if (n <= kTrueNode) continue;
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+    if (!visited.insert(s).second) continue;
+    if (s == 0) continue;
+    stack.push_back(edge_slot(nodes_[s].lo));
+    stack.push_back(edge_slot(nodes_[s].hi));
   }
   return visited.size();
 }
 
 bool Manager::eval(NodeIndex f, const std::vector<bool>& assignment) const {
-  NodeIndex n = f;
-  while (n > kTrueNode) {
-    const Node& nd = nodes_[n];
+  NodeIndex e = f;
+  while (!edge_is_terminal(e)) {
+    const Node& nd = nodes_[edge_slot(e)];
     if (nd.var >= assignment.size()) {
       throw BddError("eval(): assignment shorter than function support");
     }
-    n = assignment[nd.var] ? nd.hi : nd.lo;
+    e = (assignment[nd.var] ? nd.hi : nd.lo) ^ edge_complemented(e);
   }
-  return n == kTrueNode;
+  return e == kTrueNode;
 }
 
 std::vector<signed char> Manager::sat_one(NodeIndex f) const {
   if (f == kFalseNode) return {};
   std::vector<signed char> cube(num_vars_, -1);
-  NodeIndex n = f;
-  while (n > kTrueNode) {
-    const Node& nd = nodes_[n];
-    // In a reduced BDD every node distinct from the false terminal has a
-    // path to true, so any non-false child works.
-    if (nd.hi != kFalseNode) {
+  NodeIndex e = f;
+  while (!edge_is_terminal(e)) {
+    const Node& nd = nodes_[edge_slot(e)];
+    // In a canonical complement-edge BDD every edge other than the FALSE
+    // constant is satisfiable (lo != hi bars both cofactors from being
+    // FALSE at once), so any non-false child works.
+    const NodeIndex hi_e = nd.hi ^ edge_complemented(e);
+    if (hi_e != kFalseNode) {
       cube[nd.var] = 1;
-      n = nd.hi;
+      e = hi_e;
     } else {
       cube[nd.var] = 0;
-      n = nd.lo;
+      e = nd.lo ^ edge_complemented(e);
     }
   }
   return cube;
@@ -152,6 +166,10 @@ void Manager::export_metrics(obs::MetricsRegistry& registry,
   g("apply_calls", static_cast<double>(stats_.apply_calls));
   g("cache_hits", static_cast<double>(stats_.cache_hits));
   g("cache_hit_rate", stats_.cache_hit_rate());
+  g("negations_constant_time",
+    static_cast<double>(stats_.negations_constant_time));
+  g("cache_canonical_swaps",
+    static_cast<double>(stats_.cache_canonical_swaps));
   g("gc_runs", static_cast<double>(stats_.gc_runs));
   g("gc_reclaimed", static_cast<double>(stats_.gc_reclaimed));
   g("ref_underflows", static_cast<double>(stats_.ref_underflows));

@@ -1,7 +1,13 @@
 // Dynamic variable reordering: Rudell-style adjacent-level swap and
 // sifting. Node indices are stable across reordering -- a rewritten node
-// keeps its index and its function, only its (var, lo, hi) representation
+// keeps its slot and its function, only its (var, lo, hi) representation
 // changes -- so every live Bdd handle stays valid.
+//
+// Complement edges add one obligation: a rewritten node's stored else-edge
+// must stay regular. The swap preserves it structurally -- the new else
+// child is built from w=0 cofactors of the node's *stored* children, and
+// the stored else of a canonical node is regular, so the polarity folded
+// into those cofactors is always 0 (see the derivation at get_or_make_u).
 #include <algorithm>
 #include <unordered_map>
 #include <vector>
@@ -30,34 +36,46 @@ void Manager::swap_adjacent_levels(std::size_t level) {
   // front so an OutOfNodes can only fire while the manager is still
   // consistent; collect first if the pool is close to the budget.
 
-  // Partition the u-labeled nodes: those with a w-labeled child must be
+  // Partition the u-labeled slots: those with a w-labeled child must be
   // rewritten; the rest keep their representation (u simply sits one
-  // level lower now). The map below gives canonical u-nodes by children.
+  // level lower now). The map below gives canonical u-nodes by their
+  // stored (already regular-else) child pair.
   std::vector<NodeIndex> touched;
-  std::unordered_map<std::uint64_t, NodeIndex> u_nodes;
-  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.var != u) continue;
-    if (nodes_[n.lo].var == w || nodes_[n.hi].var == w) {
-      touched.push_back(i);
-    } else {
-      u_nodes.emplace(child_key(n.lo, n.hi), i);
+  std::unordered_map<std::uint64_t, NodeIndex> u_nodes;  // key -> slot
+  auto collect = [&] {
+    touched.clear();
+    u_nodes.clear();
+    for (NodeIndex i = 1; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      if (n.var != u) continue;
+      if (nodes_[edge_slot(n.lo)].var == w ||
+          nodes_[edge_slot(n.hi)].var == w) {
+        touched.push_back(i);
+      } else {
+        u_nodes.emplace(child_key(n.lo, n.hi), i);
+      }
     }
-  }
+  };
+  collect();
 
   // Fresh u-nodes bypass the global unique table (it is stale during the
-  // swap); canonicity within level u is kept through u_nodes.
+  // swap); canonicity within level u is kept through u_nodes, including
+  // the regular-else rule: a complemented else cofactor is factored out
+  // exactly as mk() would.
   auto get_or_make_u = [&](NodeIndex lo_child,
                            NodeIndex hi_child) -> NodeIndex {
     if (lo_child == hi_child) return lo_child;
+    const NodeIndex out_c = edge_complemented(lo_child);
+    lo_child ^= out_c;
+    hi_child ^= out_c;
     const std::uint64_t key = child_key(lo_child, hi_child);
     auto it = u_nodes.find(key);
-    if (it != u_nodes.end()) return it->second;
+    if (it != u_nodes.end()) return make_edge(it->second, out_c);
     const NodeIndex idx = allocate_node();
     nodes_[idx] = Node{u, lo_child, hi_child, kInvalidNode};
     ++stats_.nodes_created;
     u_nodes.emplace(key, idx);
-    return idx;
+    return make_edge(idx, out_c);
   };
 
   if (nodes_.size() + 2 * touched.size() > max_nodes_) {
@@ -72,34 +90,34 @@ void Manager::swap_adjacent_levels(std::size_t level) {
       throw OutOfNodes(max_nodes_);
     }
     // Some collected nodes may have been in our snapshots; re-collect.
-    touched.clear();
-    u_nodes.clear();
-    for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-      const Node& n = nodes_[i];
-      if (n.var != u) continue;
-      if (nodes_[n.lo].var == w || nodes_[n.hi].var == w) {
-        touched.push_back(i);
-      } else {
-        u_nodes.emplace(child_key(n.lo, n.hi), i);
-      }
-    }
+    collect();
   }
 
   for (NodeIndex t : touched) {
     const Node old = nodes_[t];
-    const bool lo_w = nodes_[old.lo].var == w;
-    const bool hi_w = nodes_[old.hi].var == w;
-    // Cofactors of the two children on w.
-    const NodeIndex lo0 = lo_w ? nodes_[old.lo].lo : old.lo;
-    const NodeIndex lo1 = lo_w ? nodes_[old.lo].hi : old.lo;
-    const NodeIndex hi0 = hi_w ? nodes_[old.hi].lo : old.hi;
-    const NodeIndex hi1 = hi_w ? nodes_[old.hi].hi : old.hi;
+    const bool lo_w = nodes_[edge_slot(old.lo)].var == w;
+    const bool hi_w = nodes_[edge_slot(old.hi)].var == w;
+    // Cofactors of the two children on w, with the child edge's polarity
+    // folded in. old.lo is regular (canonical form), so the lo-side
+    // cofactors are the w-child's stored edges unmodified -- in particular
+    // lo0 inherits a regular else, which keeps c0 below regular.
+    const NodeIndex lo_c = edge_complemented(old.lo);   // always 0
+    const NodeIndex hi_c = edge_complemented(old.hi);
+    const NodeIndex lo0 =
+        lo_w ? nodes_[edge_slot(old.lo)].lo ^ lo_c : old.lo;
+    const NodeIndex lo1 =
+        lo_w ? nodes_[edge_slot(old.lo)].hi ^ lo_c : old.lo;
+    const NodeIndex hi0 =
+        hi_w ? nodes_[edge_slot(old.hi)].lo ^ hi_c : old.hi;
+    const NodeIndex hi1 =
+        hi_w ? nodes_[edge_slot(old.hi)].hi ^ hi_c : old.hi;
     // f = ite(u, H, L) = ite(w, ite(u, H|w=1, L|w=1), ite(u, H|w=0, L|w=0)).
     const NodeIndex c0 = get_or_make_u(lo0, hi0);
     const NodeIndex c1 = get_or_make_u(lo1, hi1);
     // A node labeled u depends on u, and neither old w-child cofactor can
     // restore independence from w's side without also collapsing on u's,
-    // so the rewrite never degenerates (c0 != c1).
+    // so the rewrite never degenerates (c0 != c1). c0 is regular: lo0 is
+    // regular (shown above), so get_or_make_u factored out polarity 0.
     Node& n = nodes_[t];
     n.var = w;
     n.lo = c0;
@@ -110,7 +128,7 @@ void Manager::swap_adjacent_levels(std::size_t level) {
   std::swap(level_of_var_[u], level_of_var_[w]);
 
   // Labels and children changed: rebuild the unique table. Cached results
-  // still denote the same functions (indices are stable), but drop them
+  // still denote the same functions (edges are stable), but drop them
   // for hygiene -- reordering already dwarfs a cache refill.
   rehash_unique(unique_.size());
   cache_.clear();
@@ -168,7 +186,7 @@ std::size_t Manager::sift_reorder(double max_growth) {
   std::vector<std::size_t> population(num_vars_, 0);
   std::vector<bool> marked;
   mark_from_roots(marked);
-  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+  for (NodeIndex i = 1; i < nodes_.size(); ++i) {
     if (marked[i] && nodes_[i].var != kTerminalVar) {
       ++population[level_of_var_[nodes_[i].var]];
     }

@@ -76,6 +76,18 @@ std::uint64_t ParallelStats::total_cache_hits() const {
   return n;
 }
 
+std::uint64_t ParallelStats::total_negations_constant_time() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.negations_constant_time;
+  return n;
+}
+
+std::uint64_t ParallelStats::total_cache_canonical_swaps() const {
+  std::uint64_t n = 0;
+  for (const WorkerStats& w : workers) n += w.cache_canonical_swaps;
+  return n;
+}
+
 std::uint64_t ParallelStats::total_ref_underflows() const {
   std::uint64_t n = 0;
   for (const WorkerStats& w : workers) n += w.ref_underflows;
@@ -111,6 +123,8 @@ void ParallelStats::merge(const ParallelStats& other) {
     w.gc_runs += o.gc_runs;
     w.apply_calls += o.apply_calls;
     w.cache_hits += o.cache_hits;
+    w.negations_constant_time += o.negations_constant_time;
+    w.cache_canonical_swaps += o.cache_canonical_swaps;
     w.ref_underflows += o.ref_underflows;
   }
 }
@@ -170,6 +184,10 @@ void ParallelStats::export_metrics(obs::MetricsRegistry& registry,
   hits.add(static_cast<double>(total_cache_hits()));
   registry.gauge(prefix + ".cache_hit_rate")
       .set(apply.value() > 0.0 ? hits.value() / apply.value() : 0.0);
+  registry.gauge(prefix + ".negations_constant_time")
+      .add(static_cast<double>(total_negations_constant_time()));
+  registry.gauge(prefix + ".cache_canonical_swaps")
+      .add(static_cast<double>(total_cache_canonical_swaps()));
   registry.gauge(prefix + ".gc_runs")
       .add(static_cast<double>(total_gc_runs()));
   registry.gauge(prefix + ".ref_underflows")
@@ -312,6 +330,10 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
     ws.gc_runs = after.gc_runs - before.gc_runs;
     ws.apply_calls = after.apply_calls - before.apply_calls;
     ws.cache_hits = after.cache_hits - before.cache_hits;
+    ws.negations_constant_time =
+        after.negations_constant_time - before.negations_constant_time;
+    ws.cache_canonical_swaps =
+        after.cache_canonical_swaps - before.cache_canonical_swaps;
     ws.ref_underflows = after.ref_underflows - before.ref_underflows;
     ws.live_nodes = w.manager->live_nodes();
     ws.peak_live_nodes = after.peak_live_nodes;

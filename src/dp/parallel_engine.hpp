@@ -43,6 +43,8 @@ struct WorkerStats {
   std::uint64_t gc_runs = 0;
   std::uint64_t apply_calls = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t negations_constant_time = 0;
+  std::uint64_t cache_canonical_swaps = 0;
   std::uint64_t ref_underflows = 0;
 
   double cache_hit_rate() const {
@@ -66,6 +68,8 @@ struct ParallelStats {
   std::uint64_t total_gc_runs() const;
   std::uint64_t total_apply_calls() const;
   std::uint64_t total_cache_hits() const;
+  std::uint64_t total_negations_constant_time() const;
+  std::uint64_t total_cache_canonical_swaps() const;
   std::uint64_t total_ref_underflows() const;
   double cache_hit_rate() const;
 

@@ -15,7 +15,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x46424450u;      // "DPBF" little-endian
 constexpr std::uint32_t kEndianTag = 0x01020304u;  // rejects foreign endianness
-constexpr std::uint32_t kVersion = 1u;
+// v2: complement-edge refs ((id << 1) | complement, single TRUE terminal
+// at id 0). v1 files (two-terminal ids) are rejected as unsupported.
+constexpr std::uint32_t kVersion = 2u;
 constexpr std::uint32_t kInvalidRoot = 0xffffffffu;
 
 std::uint64_t fnv1a(const std::string& bytes) {
@@ -75,12 +77,17 @@ void save_forest(std::ostream& os, bdd::Manager& manager,
   }
 
   // Child-before-parent emission order over the shared DAG (iterative
-  // post-order; terminals are implicit ids 0 and 1).
-  std::unordered_map<bdd::NodeIndex, std::uint32_t> id;
+  // post-order). The walk is over *regular* edges -- both polarities of a
+  // node serialize once -- and refs re-attach the complement bit, so the
+  // file mirrors the in-memory sharing exactly (terminal refs 0/1 equal
+  // the in-memory kTrueNode/kFalseNode edges).
+  std::unordered_map<bdd::NodeIndex, std::uint32_t> id;  // regular edge -> id
   std::vector<bdd::NodeIndex> order;
   std::vector<bdd::NodeIndex> stack;
   for (const bdd::Bdd& r : roots) {
-    if (r.valid() && !manager.is_terminal(r.index())) stack.push_back(r.index());
+    if (r.valid() && !manager.is_terminal(r.index())) {
+      stack.push_back(bdd::edge_regular(r.index()));
+    }
   }
   while (!stack.empty()) {
     const bdd::NodeIndex n = stack.back();
@@ -90,20 +97,22 @@ void save_forest(std::ostream& os, bdd::Manager& manager,
     }
     bool ready = true;
     for (const bdd::NodeIndex c : {manager.lo(n), manager.hi(n)}) {
-      if (!manager.is_terminal(c) && !id.count(c)) {
-        stack.push_back(c);
+      const bdd::NodeIndex cr = bdd::edge_regular(c);
+      if (!manager.is_terminal(cr) && !id.count(cr)) {
+        stack.push_back(cr);
         ready = false;
       }
     }
     if (ready) {
-      id.emplace(n, static_cast<std::uint32_t>(2 + order.size()));
+      id.emplace(n, static_cast<std::uint32_t>(1 + order.size()));
       order.push_back(n);
       stack.pop_back();
     }
   }
 
-  auto id_of = [&](bdd::NodeIndex n) -> std::uint32_t {
-    return manager.is_terminal(n) ? static_cast<std::uint32_t>(n) : id.at(n);
+  auto ref_of = [&](bdd::NodeIndex e) -> std::uint32_t {
+    if (manager.is_terminal(e)) return static_cast<std::uint32_t>(e);
+    return (id.at(bdd::edge_regular(e)) << 1) | bdd::edge_complemented(e);
   };
 
   std::string buf;
@@ -117,12 +126,14 @@ void save_forest(std::ostream& os, bdd::Manager& manager,
   put_u64(buf, order.size());
   put_u64(buf, roots.size());
   for (const bdd::NodeIndex n : order) {
+    // n is regular, so lo(n)/hi(n) are the stored child edges and the lo
+    // ref inherits the canonical regular-else form.
     put_u32(buf, manager.var_of(n));
-    put_u32(buf, id_of(manager.lo(n)));
-    put_u32(buf, id_of(manager.hi(n)));
+    put_u32(buf, ref_of(manager.lo(n)));
+    put_u32(buf, ref_of(manager.hi(n)));
   }
   for (const bdd::Bdd& r : roots) {
-    put_u32(buf, r.valid() ? id_of(r.index()) : kInvalidRoot);
+    put_u32(buf, r.valid() ? ref_of(r.index()) : kInvalidRoot);
   }
   put_u64(buf, fnv1a(buf));
 
@@ -181,16 +192,20 @@ std::vector<bdd::Bdd> load_forest(std::istream& is, bdd::Manager& manager,
     apply_variable_order(manager, saved_order);
   }
 
-  // built[id] = reconstructed handle; ids 0/1 are the terminals. ITE
-  // through the unique table re-canonicalizes every node under the
+  // built[id] = reconstructed handle for the *regular* polarity; id 0 is
+  // the TRUE terminal and a ref's complement bit negates on use (O(1)).
+  // ITE through the unique table re-canonicalizes every node under the
   // TARGET manager's order, so functions survive order changes.
   std::vector<bdd::Bdd> built;
-  built.reserve(2 + node_count);
-  built.push_back(manager.zero());
+  built.reserve(1 + node_count);
   built.push_back(manager.one());
-  std::vector<bdd::Var> var_of(2 + node_count, bdd::kTerminalVar);
+  std::vector<bdd::Var> var_of(1 + node_count, bdd::kTerminalVar);
+  auto deref = [&](std::uint32_t ref) -> bdd::Bdd {
+    const bdd::Bdd& b = built[ref >> 1];
+    return (ref & 1u) ? !b : b;
+  };
   for (std::uint64_t i = 0; i < node_count; ++i) {
-    const std::uint32_t self = static_cast<std::uint32_t>(2 + i);
+    const std::uint32_t self = static_cast<std::uint32_t>(1 + i);
     const bdd::Var var = cur.u32();
     const std::uint32_t lo = cur.u32();
     const std::uint32_t hi = cur.u32();
@@ -198,15 +213,19 @@ std::vector<bdd::Bdd> load_forest(std::istream& is, bdd::Manager& manager,
       throw StoreError("BDD forest node " + std::to_string(self) +
                        " has out-of-range variable " + std::to_string(var));
     }
-    if (lo >= self || hi >= self) {
+    if ((lo >> 1) >= self || (hi >> 1) >= self) {
       throw StoreError("BDD forest node " + std::to_string(self) +
                        " has a forward or self reference");
+    }
+    if ((lo & 1u) != 0) {
+      throw StoreError("BDD forest node " + std::to_string(self) +
+                       " has a complemented else ref (non-canonical)");
     }
     if (lo == hi) {
       throw StoreError("BDD forest node " + std::to_string(self) +
                        " is unreduced (lo == hi)");
     }
-    for (const std::uint32_t child : {lo, hi}) {
+    for (const std::uint32_t child : {lo >> 1, hi >> 1}) {
       if (var_of[child] != bdd::kTerminalVar &&
           saved_level[var_of[child]] <= saved_level[var]) {
         throw StoreError("BDD forest node " + std::to_string(self) +
@@ -214,7 +233,7 @@ std::vector<bdd::Bdd> load_forest(std::istream& is, bdd::Manager& manager,
       }
     }
     var_of[self] = var;
-    built.push_back(manager.var(var).ite(built[hi], built[lo]));
+    built.push_back(manager.var(var).ite(deref(hi), deref(lo)));
   }
 
   std::vector<bdd::Bdd> roots;
@@ -223,8 +242,8 @@ std::vector<bdd::Bdd> load_forest(std::istream& is, bdd::Manager& manager,
     const std::uint32_t r = cur.u32();
     if (r == kInvalidRoot) {
       roots.emplace_back();
-    } else if (r < built.size()) {
-      roots.push_back(built[r]);
+    } else if ((r >> 1) < built.size()) {
+      roots.push_back(deref(r));
     } else {
       throw StoreError("BDD forest root " + std::to_string(i) +
                        " references a missing node");
@@ -258,15 +277,18 @@ namespace {
 
 bdd::Bdd transfer_rec(bdd::Manager& dst, bdd::Manager& src, bdd::NodeIndex n,
                       std::unordered_map<bdd::NodeIndex, bdd::Bdd>& memo) {
-  if (n == bdd::kFalseNode) return dst.zero();
-  if (n == bdd::kTrueNode) return dst.one();
-  const auto it = memo.find(n);
-  if (it != memo.end()) return it->second;
-  const bdd::Bdd lo = transfer_rec(dst, src, src.lo(n), memo);
-  const bdd::Bdd hi = transfer_rec(dst, src, src.hi(n), memo);
-  bdd::Bdd r = dst.var(src.var_of(n)).ite(hi, lo);
-  memo.emplace(n, r);
-  return r;
+  // Memoize on the regular edge and re-apply the polarity on exit, so
+  // both polarities of a shared node translate through one entry.
+  const bool c = bdd::edge_complemented(n) != 0;
+  const bdd::NodeIndex nr = bdd::edge_regular(n);
+  if (nr == bdd::kTrueNode) return c ? dst.zero() : dst.one();
+  const auto it = memo.find(nr);
+  if (it != memo.end()) return c ? !it->second : it->second;
+  const bdd::Bdd lo = transfer_rec(dst, src, src.lo(nr), memo);
+  const bdd::Bdd hi = transfer_rec(dst, src, src.hi(nr), memo);
+  bdd::Bdd r = dst.var(src.var_of(nr)).ite(hi, lo);
+  memo.emplace(nr, r);
+  return c ? !r : r;
 }
 
 }  // namespace

@@ -12,19 +12,28 @@
 // Layout (host-endian; an endianness tag in the header rejects foreign
 // files), all integers fixed-width:
 //
-//   u32 magic 'DPBF'   u32 endian tag 0x01020304   u32 version (=1)
+//   u32 magic 'DPBF'   u32 endian tag 0x01020304   u32 version (=2)
 //   u64 num_vars       num_vars x u32 variable order (level -> var)
 //   u64 node_count     u64 root_count
-//   node_count x { u32 var, u32 lo, u32 hi }   -- serialized ids:
-//       0 = FALSE terminal, 1 = TRUE terminal, 2.. = nodes in file order;
-//       children always precede parents
-//   root_count x u32   -- 0xFFFFFFFF encodes an empty/invalid handle
+//   node_count x { u32 var, u32 lo, u32 hi }   -- lo/hi/root values are
+//       *refs* mirroring the in-memory complement-edge encoding:
+//       ref = (id << 1) | complement, where id 0 is the single TRUE
+//       terminal (so ref 0 = TRUE, ref 1 = FALSE) and ids 1.. are nodes
+//       in file order; children always precede parents, and the lo ref
+//       of every node is regular (complement bit clear), mirroring the
+//       canonical regular-else invariant
+//   root_count x u32 refs  -- 0xFFFFFFFF encodes an empty/invalid handle
 //   u64 checksum       -- FNV-1a-64 over every preceding byte
+//
+// Version 1 (two-terminal, polarity-free ids) is NOT readable by this
+// loader; it throws the same "unsupported version" StoreError any foreign
+// format hits, which the ArtifactStore layer degrades to a counted
+// corrupt-miss and a recompute -- stale caches self-heal.
 //
 // Loading is strict: truncation, checksum mismatch, unknown version,
 // non-permutation orders, forward/self references, unreduced nodes
-// (lo == hi), and level-order violations all throw StoreError rather
-// than yielding a silently wrong BDD.
+// (lo == hi), complemented else refs, and level-order violations all
+// throw StoreError rather than yielding a silently wrong BDD.
 #pragma once
 
 #include <iosfwd>

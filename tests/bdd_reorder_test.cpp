@@ -142,7 +142,10 @@ TEST(SiftTest, ParityIsOrderInsensitive) {
   mgr.gc();
   const std::size_t before = f.dag_size();
   mgr.sift_reorder();
-  EXPECT_EQ(f.dag_size(), before);  // 2n+1 under every order
+  // n+1 slots under every order: complement edges collapse the even/odd
+  // parity chains into one.
+  EXPECT_EQ(f.dag_size(), before);
+  EXPECT_EQ(before, 11u);
   EXPECT_DOUBLE_EQ(f.sat_count(10), 512.0);
 }
 
@@ -167,6 +170,82 @@ TEST(SiftTest, RejectsBadGrowthBound) {
   Manager mgr(4);
   EXPECT_THROW(mgr.sift_reorder(0.5), BddError);
 }
+
+/// Randomized property test: random expression pools -- explicitly
+/// including negated handles, so complemented root edges are live across
+/// the reorder -- must survive arbitrary adjacent swaps and a full sift
+/// with their semantics intact and the pool canonical (regular else-edges
+/// everywhere) afterwards.
+class ReorderPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderPropertyTest, SwapsAndSiftPreserveSemanticsAndInvariants) {
+  constexpr std::size_t kVars = 7;
+  std::mt19937_64 rng(GetParam());
+  Manager mgr(kVars);
+
+  // Grow a pool of random functions; every third step keeps a negation,
+  // so roughly a third of the roots are complemented edges.
+  std::vector<Bdd> pool;
+  for (Var v = 0; v < kVars; ++v) pool.push_back(mgr.var(v));
+  for (int step = 0; step < 60; ++step) {
+    const Bdd& a = pool[rng() % pool.size()];
+    const Bdd& b = pool[rng() % pool.size()];
+    switch (rng() % 4) {
+      case 0: pool.push_back(a & b); break;
+      case 1: pool.push_back(a | b); break;
+      case 2: pool.push_back(a ^ b); break;
+      default: pool.push_back(!a); break;
+    }
+  }
+
+  // Snapshot semantics on random assignments (plus a few corners).
+  std::vector<std::vector<bool>> points;
+  for (int k = 0; k < 48; ++k) {
+    const std::uint64_t p = rng();
+    std::vector<bool> point(kVars);
+    for (std::size_t v = 0; v < kVars; ++v) point[v] = (p >> v) & 1;
+    points.push_back(std::move(point));
+  }
+  points.push_back(std::vector<bool>(kVars, false));
+  points.push_back(std::vector<bool>(kVars, true));
+  std::vector<std::vector<bool>> expected;
+  for (const Bdd& f : pool) {
+    std::vector<bool> row;
+    row.reserve(points.size());
+    for (const auto& pt : points) row.push_back(f.eval(pt));
+    expected.push_back(std::move(row));
+  }
+
+  auto verify = [&](const char* where) {
+    ASSERT_NO_THROW(mgr.check_canonical()) << where;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        ASSERT_EQ(pool[i].eval(points[k]), expected[i][k])
+            << where << ": function " << i << " point " << k << " seed "
+            << GetParam();
+      }
+    }
+  };
+
+  // Random adjacent swaps, verifying after each batch.
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int s = 0; s < 6; ++s) {
+      mgr.swap_adjacent_levels(rng() % (kVars - 1));
+    }
+    verify("after swap batch");
+  }
+
+  // Full sift, then one more swap pass on the sifted order.
+  mgr.sift_reorder();
+  verify("after sift_reorder");
+  for (int s = 0; s < 5; ++s) {
+    mgr.swap_adjacent_levels(rng() % (kVars - 1));
+  }
+  verify("after post-sift swaps");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
 
 TEST(SiftTest, OperationsKeepWorkingAfterSift) {
   Manager mgr(12);

@@ -160,10 +160,47 @@ TEST_F(BddTest, ImpliesPredicate) {
 }
 
 TEST_F(BddTest, DagSizeCountsNodes) {
-  EXPECT_EQ(mgr.zero().dag_size(), 1u);
-  EXPECT_EQ(x0.dag_size(), 3u);  // node + both terminals
-  Bdd f = x0 ^ x1 ^ x2;          // parity: 2 nodes per level + terminals
-  EXPECT_EQ(f.dag_size(), 1 + 2 + 2 + 2u);
+  EXPECT_EQ(mgr.zero().dag_size(), 1u);  // just the shared terminal
+  EXPECT_EQ(x0.dag_size(), 2u);          // node + terminal
+  // Parity needs ONE node per level under complement edges (the classic
+  // 2x saving: even and odd parity share slots, differing only in edge
+  // polarity) plus the terminal.
+  Bdd f = x0 ^ x1 ^ x2;
+  EXPECT_EQ(f.dag_size(), 3 + 1u);
+}
+
+TEST_F(BddTest, NegationSharesSlotsAndIsConstantTime) {
+  // A function and its negation are the same DAG, opposite root polarity.
+  Bdd f = (x0 & x1) | x2;
+  Bdd g = !f;
+  EXPECT_EQ(f.dag_size(), g.dag_size());
+  EXPECT_EQ(f.index() ^ 1u, g.index());
+  const std::uint64_t applies_before = mgr.stats().apply_calls;
+  const std::uint64_t negs_before = mgr.stats().negations_constant_time;
+  Bdd h = !g;
+  EXPECT_EQ(h, f);
+  // negate() must not enter the recursive apply path at all.
+  EXPECT_EQ(mgr.stats().apply_calls, applies_before);
+  EXPECT_EQ(mgr.stats().negations_constant_time, negs_before + 1);
+}
+
+TEST_F(BddTest, CommutativeCacheCanonicalization) {
+  // f&g then g&f: the second call must be answered from the computed
+  // cache via the a<=b operand swap, not recomputed.
+  Bdd f = (x0 ^ x1) | x2;
+  Bdd g = (x1 & x2) ^ x0;
+  mgr.reset_stats();
+  Bdd fg = f & g;
+  const std::uint64_t hits_after_first = mgr.stats().cache_hits;
+  const std::uint64_t applies_after_first = mgr.stats().apply_calls;
+  Bdd gf = g & f;
+  EXPECT_EQ(fg, gf);
+  // One top-level apply call, answered by one cache hit (plus the swap
+  // counter recording the canonicalization).
+  EXPECT_EQ(mgr.stats().apply_calls, applies_after_first + 1);
+  EXPECT_EQ(mgr.stats().cache_hits, hits_after_first + 1);
+  EXPECT_GT(mgr.stats().cache_canonical_swaps, 0u);
+  EXPECT_GT(mgr.stats().cache_hit_rate(), 0.0);
 }
 
 TEST_F(BddTest, MixingManagersThrows) {
@@ -196,10 +233,10 @@ TEST(BddMemoryTest, GcReclaimsUnreferencedNodes) {
     for (Var v = 0; v < 16; ++v) acc = acc & mgr.var(v);
     EXPECT_GT(mgr.live_nodes(), 16u);
   }
-  // All handles dropped: everything but terminals is garbage.
+  // All handles dropped: everything but the terminal is garbage.
   const std::size_t reclaimed = mgr.gc();
   EXPECT_GT(reclaimed, 0u);
-  EXPECT_EQ(mgr.live_nodes(), 2u);
+  EXPECT_EQ(mgr.live_nodes(), 1u);
 }
 
 TEST(BddMemoryTest, GcKeepsReferencedNodes) {
@@ -298,6 +335,9 @@ TEST_P(BddRandomTest, MatchesTruthTableSemantics) {
     }
     pool.push_back(std::move(out));
   }
+  // The whole pool must satisfy the canonical complement-edge invariants
+  // (regular else-edges, reduction, level order, triple uniqueness).
+  EXPECT_NO_THROW(mgr.check_canonical());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest,

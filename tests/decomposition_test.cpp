@@ -34,7 +34,7 @@ TEST(DecompositionTest, CutsIntroduceVariablesAndShrinkFunctions) {
   EXPECT_LT(cut.total_nodes(), exact.total_nodes());
   // Every cut net is literally a single fresh variable now.
   for (netlist::NetId id : cut.cut_nets()) {
-    EXPECT_EQ(cut.at(id).dag_size(), 3u);  // one node + two terminals
+    EXPECT_EQ(cut.at(id).dag_size(), 2u);  // one node + the terminal
     EXPECT_EQ(cut.at(id).support().size(), 1u);
   }
 }

@@ -27,23 +27,25 @@ std::vector<bool> truth_table(const Bdd& f) {
   return t;
 }
 
-/// (var, lo, hi) triples of the DAG under `root`, in DFS order. Stable
-/// across GC iff no node of the DAG is swept or clobbered.
+/// (var, lo, hi) triples of the DAG under `root`, in DFS order over pool
+/// slots (regular edges, so the accessors surface the stored fields).
+/// Stable across GC iff no node of the DAG is swept or clobbered.
 std::vector<std::uint64_t> dag_snapshot(const Manager& mgr, NodeIndex root) {
   std::vector<std::uint64_t> triples;
-  std::vector<NodeIndex> stack{root};
+  std::vector<NodeIndex> stack{edge_regular(root)};
   std::vector<bool> seen(mgr.pool_size(), false);
   while (!stack.empty()) {
-    const NodeIndex i = stack.back();
+    const NodeIndex e = stack.back();  // always a regular edge
     stack.pop_back();
-    if (i >= seen.size() || seen[i]) continue;
-    seen[i] = true;
-    triples.push_back((static_cast<std::uint64_t>(mgr.var_of(i)) << 48) ^
-                      (static_cast<std::uint64_t>(mgr.lo(i)) << 24) ^
-                      mgr.hi(i));
-    if (!mgr.is_terminal(i)) {
-      stack.push_back(mgr.lo(i));
-      stack.push_back(mgr.hi(i));
+    const NodeIndex s = edge_slot(e);
+    if (s >= seen.size() || seen[s]) continue;
+    seen[s] = true;
+    triples.push_back((static_cast<std::uint64_t>(mgr.var_of(e)) << 48) ^
+                      (static_cast<std::uint64_t>(mgr.lo(e)) << 24) ^
+                      mgr.hi(e));
+    if (!mgr.is_terminal(e)) {
+      stack.push_back(edge_regular(mgr.lo(e)));
+      stack.push_back(edge_regular(mgr.hi(e)));
     }
   }
   return triples;

@@ -5,7 +5,9 @@
 // dp.checkpoint.v1 documents reproduce every scalar bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -190,6 +192,75 @@ TEST(BddIoTest, RejectsTruncationCorruptionAndTrailingBytes) {
     std::stringstream t(corrupt);
     bdd::Manager m(0);
     EXPECT_THROW(load_forest(t, m), StoreError);
+  }
+}
+
+/// Rewrites the version field of serialized forest bytes and restamps the
+/// trailing FNV-1a checksum, simulating an artifact written by an older
+/// kernel (v1 used two-terminal node ids; v2 uses complement-edge refs).
+std::string with_format_version(std::string bytes, std::uint32_t version) {
+  // Header layout: magic u32, endian u32, version u32 (offset 8).
+  std::memcpy(bytes.data() + 8, &version, sizeof version);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i + 8 < bytes.size(); ++i) {
+    h = (h ^ static_cast<unsigned char>(bytes[i])) * 0x100000001b3ull;
+  }
+  std::memcpy(bytes.data() + bytes.size() - 8, &h, sizeof h);
+  return bytes;
+}
+
+TEST(BddIoTest, RejectsV1FormatVersion) {
+  // A v1 artifact's node ids mean something different (two terminals, no
+  // complement bit), so the loader must refuse the version outright
+  // rather than misinterpret the refs.
+  bdd::Manager src(4);
+  const auto roots = small_forest(src);
+  std::stringstream buf;
+  save_forest(buf, src, roots);
+
+  std::stringstream v1(with_format_version(buf.str(), 1));
+  bdd::Manager m(0);
+  try {
+    load_forest(v1, m);
+    FAIL() << "v1 forest bytes were accepted";
+  } catch (const StoreError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos);
+  }
+}
+
+TEST(ArtifactStoreTest, V1ForestDegradesToCountedCorruptMiss) {
+  // A warm cache directory written before the complement-edge kernel must
+  // self-heal: the v1 artifact is a counted corrupt miss (no crash), and
+  // the recomputed v2 artifact then round-trips.
+  TempDir dir("v1cache");
+  obs::MetricsRegistry metrics;
+  ArtifactStore store(dir.str(), ArtifactStore::Options{}, &metrics);
+
+  bdd::Manager src(4);
+  const auto roots = small_forest(src);
+  ASSERT_TRUE(store.store_forest("k", "good", src, roots));
+
+  // Downgrade the cached artifact in place to format version 1.
+  const std::string path = store.forest_path("k", "good");
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream raw;
+  raw << in.rdbuf();
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << with_format_version(raw.str(), 1);
+
+  bdd::Manager dst(0);
+  EXPECT_FALSE(store.load_forest("k", "good", dst).has_value());
+  EXPECT_EQ(metrics.counter("store.good.corrupt").value(), 1u);
+
+  // The recompute path overwrites the stale artifact with v2 bytes.
+  ASSERT_TRUE(store.store_forest("k", "good", src, roots));
+  bdd::Manager dst2(0);
+  const auto reloaded = store.load_forest("k", "good", dst2);
+  ASSERT_TRUE(reloaded.has_value());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(same_function(roots[i], (*reloaded)[i], 4)) << "root " << i;
   }
 }
 
