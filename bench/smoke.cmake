@@ -2,9 +2,11 @@
 # DP_BENCH_METRICS_DIR pointed at OUT_DIR (each bench names its own
 # BENCH_<id>.json), validates the emitted dp.metrics.v1 documents,
 # aggregates them into BENCH_summary.json, diffs BENCH_bdd_ops.json
-# against the checked-in perf baseline, and finally runs the bdd/store
-# test binaries under the `asan` preset. Driven by the `bench_smoke`
-# custom target:
+# against the checked-in perf baseline, runs the dpfuzz differential
+# fuzz corpus (DP_FUZZ_BUDGET env var scales the case count), and
+# finally runs the bdd/store/verify test binaries plus a reduced fuzz
+# corpus under the `asan` preset. Driven by the `bench_smoke` custom
+# target:
 #
 #   cmake -DBENCH_DIR=<bindir>/bench -DOUT_DIR=<bindir>/bench_smoke \
 #         -DVALIDATOR=<bindir>/bench/validate_metrics \
@@ -87,13 +89,60 @@ endif()
 message(STATUS "bench_smoke: all documents valid; summary at "
                "${OUT_DIR}/BENCH_summary.json")
 
+# ---- Differential fuzz corpus -------------------------------------------
+# The dpfuzz oracle matrix over a fixed-seed corpus, at --jobs 1 and
+# --jobs 4, plus the mutation self-test. Set the DP_FUZZ_BUDGET
+# environment variable to a case count to turn the default 50-case smoke
+# corpus into a long campaign (e.g. DP_FUZZ_BUDGET=10000).
+if(DPFUZZ)
+  set(fuzz_cases 50)
+  if(DEFINED ENV{DP_FUZZ_BUDGET} AND NOT "$ENV{DP_FUZZ_BUDGET}" STREQUAL "")
+    set(fuzz_cases "$ENV{DP_FUZZ_BUDGET}")
+  endif()
+  message(STATUS "bench_smoke: dpfuzz mutation self-test")
+  execute_process(
+      COMMAND "${DPFUZZ}" --seed 1 --cases 2 --max-inputs 6 --max-gates 20
+              --jobs 2 --no-store --self-test --quiet
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: dpfuzz self-test failed (${rc}):\n${out}")
+  endif()
+  foreach(jobs IN ITEMS 1 4)
+    message(STATUS
+            "bench_smoke: dpfuzz corpus (${fuzz_cases} cases, jobs ${jobs})")
+    execute_process(
+        COMMAND "${DPFUZZ}" --seed 42 --cases ${fuzz_cases} --jobs ${jobs}
+                --quiet --scratch-dir "${OUT_DIR}/fuzz_scratch_j${jobs}"
+                --repro-dir "${OUT_DIR}/fuzz_repro_j${jobs}"
+                --metrics-json "${OUT_DIR}/FUZZ_jobs${jobs}.json"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE out)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "bench_smoke: dpfuzz --jobs ${jobs} failed (${rc}):\n${out}")
+    endif()
+    execute_process(
+        COMMAND "${VALIDATOR}" "${OUT_DIR}/FUZZ_jobs${jobs}.json"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "bench_smoke: fuzz report validation failed (${rc})")
+    endif()
+  endforeach()
+  message(STATUS "bench_smoke: fuzz corpus clean (${fuzz_cases} cases)")
+endif()
+
 # ---- ASan pass over the kernel/store test binaries ----------------------
 # The complement-edge kernel and the v2 forest loader are the two places
 # where an off-by-one on the complement bit corrupts memory instead of
 # failing a test, so the smoke target reruns their suites under the
 # `asan` preset (ASan+UBSan, build-asan/).
 if(SOURCE_DIR)
-  set(asan_tests bdd_test bdd_reorder_test gc_stress_test store_test)
+  set(asan_tests bdd_test bdd_reorder_test gc_stress_test store_test
+      verify_test)
   message(STATUS "bench_smoke: configuring asan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset asan
@@ -106,7 +155,7 @@ if(SOURCE_DIR)
   endif()
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --build "${SOURCE_DIR}/build-asan"
-              --parallel --target ${asan_tests}
+              --parallel --target ${asan_tests} dpfuzz
       RESULT_VARIABLE rc
       OUTPUT_VARIABLE out
       ERROR_VARIABLE out)
@@ -124,5 +173,19 @@ if(SOURCE_DIR)
       message(FATAL_ERROR "bench_smoke: asan ${test} failed (${rc}):\n${out}")
     endif()
   endforeach()
-  message(STATUS "bench_smoke: asan pass clean (${asan_tests})")
+  # The fixed-seed fuzz corpus again, instrumented: the oracle matrix
+  # stresses the engines with adversarial shapes, so a clean functional
+  # pass can still hide latent memory errors ASan would catch. A reduced
+  # case count keeps the (roughly 10x slower) instrumented run bounded.
+  message(STATUS "bench_smoke: asan dpfuzz corpus")
+  execute_process(
+      COMMAND "${SOURCE_DIR}/build-asan/examples/dpfuzz"
+              --seed 42 --cases 25 --jobs 2 --quiet
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: asan dpfuzz failed (${rc}):\n${out}")
+  endif()
+  message(STATUS "bench_smoke: asan pass clean (${asan_tests} dpfuzz)")
 endif()

@@ -1,7 +1,10 @@
-// Validator/aggregator for dp.metrics.v1 documents (the bench_smoke
-// backstop): every file must parse with the obs JSON parser and carry the
-// required keys, so a refactor that silently breaks the exporter fails
-// the smoke suite instead of producing unreadable telemetry.
+// Validator/aggregator for dp.metrics.v1 and dp.fuzzreport.v1 documents
+// (the bench_smoke backstop): every file must parse with the obs JSON
+// parser and carry the required keys, so a refactor that silently breaks
+// an exporter fails the smoke suite instead of producing unreadable
+// telemetry. A fuzz report additionally fails validation outright when
+// it records any discrepancy — a red fuzz campaign must never pass the
+// smoke tier just because its JSON was well-formed.
 //
 //   validate_metrics [--summary PATH]
 //                    [--baseline PATH [--tolerance X] [--strict]] FILE...
@@ -36,6 +39,55 @@ void fail(const std::string& file, const std::string& what) {
   ++g_failures;
 }
 
+/// dp.fuzzreport.v1: the dpfuzz campaign document. Shape-checked key by
+/// key, and the discrepancy count doubles as a result gate.
+JsonValue validate_fuzz_report(const std::string& file,
+                               const JsonValue& doc) {
+  for (const char* key : {"tool", "seed", "cases", "cases_run",
+                          "faults_checked", "vectors_checked",
+                          "discrepancies", "jobs"}) {
+    const JsonValue* v = doc.find(key);
+    if (!v) {
+      fail(file, std::string("missing required key '") + key + "'");
+    } else if (key == std::string("tool") ? !v->is_string()
+                                          : !v->is_number()) {
+      fail(file, std::string("key '") + key + "' has the wrong type");
+    }
+  }
+  const JsonValue* failures = doc.find("failures");
+  if (!failures || !failures->is_array()) {
+    fail(file, "missing 'failures' array");
+  }
+  const JsonValue* oracles = doc.find("oracles");
+  if (!oracles || !oracles->is_object()) {
+    fail(file, "missing 'oracles' object");
+  }
+
+  long long discrepancies = 0;
+  if (const JsonValue* d = doc.find("discrepancies")) {
+    if (d->is_number()) discrepancies = d->as_int();
+  }
+  if (discrepancies > 0) {
+    fail(file, "fuzz campaign recorded " + std::to_string(discrepancies) +
+                   " discrepancy(ies)");
+  }
+  if (failures && failures->is_array() && failures->size() > 0 &&
+      discrepancies == 0) {
+    fail(file, "failures present but discrepancy count is zero");
+  }
+
+  JsonValue rec = JsonValue::object();
+  rec["file"] = file;
+  if (const JsonValue* tool = doc.find("tool")) rec["tool"] = *tool;
+  for (const char* key :
+       {"cases_run", "faults_checked", "vectors_checked", "discrepancies"}) {
+    if (const JsonValue* v = doc.find(key)) {
+      rec[std::string("fuzz.") + key] = *v;
+    }
+  }
+  return rec;
+}
+
 /// Checks one document; returns a summary record (null on hard failure).
 JsonValue validate(const std::string& file) {
   JsonValue doc;
@@ -58,9 +110,13 @@ JsonValue validate(const std::string& file) {
     fail(file, "missing string key 'schema' (expected \"dp.metrics.v1\")");
     return JsonValue();
   }
+  if (schema->as_string() == "dp.fuzzreport.v1") {
+    return validate_fuzz_report(file, doc);
+  }
   if (schema->as_string() != "dp.metrics.v1") {
     fail(file, "unsupported schema \"" + schema->as_string() +
-                   "\" (this validator understands \"dp.metrics.v1\")");
+                   "\" (this validator understands \"dp.metrics.v1\" and "
+                   "\"dp.fuzzreport.v1\")");
     return JsonValue();
   }
 
@@ -251,11 +307,22 @@ int main(int argc, char** argv) {
 
   JsonValue documents = JsonValue::array();
   long long faults = 0, evaluated = 0, skipped = 0;
+  long long fuzz_cases = 0, fuzz_faults = 0, fuzz_discrepancies = 0;
   double negations = 0.0, canonical_swaps = 0.0;
   int perf_violations = 0;
   for (const std::string& file : files) {
+    const int failures_before = g_failures;
     JsonValue rec = validate(file);
     if (rec.is_null()) continue;
+    if (const JsonValue* v = rec.find("fuzz.cases_run")) {
+      fuzz_cases += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("fuzz.faults_checked")) {
+      fuzz_faults += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("fuzz.discrepancies")) {
+      fuzz_discrepancies += v->as_int();
+    }
     if (const JsonValue* v = rec.find("dp.faults_analyzed")) {
       faults += v->as_int();
     }
@@ -280,7 +347,7 @@ int main(int argc, char** argv) {
       }
     }
     documents.push_back(std::move(rec));
-    std::cout << "ok   " << file << "\n";
+    if (g_failures == failures_before) std::cout << "ok   " << file << "\n";
   }
 
   if (perf_violations > 0) {
@@ -302,6 +369,9 @@ int main(int argc, char** argv) {
     totals["dp.gates_skipped"] = skipped;
     totals["negations_constant_time"] = negations;
     totals["cache_canonical_swaps"] = canonical_swaps;
+    totals["fuzz.cases_run"] = fuzz_cases;
+    totals["fuzz.faults_checked"] = fuzz_faults;
+    totals["fuzz.discrepancies"] = fuzz_discrepancies;
     summary["totals"] = std::move(totals);
     summary["benches"] = std::move(documents);
     std::string error;

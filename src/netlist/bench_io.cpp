@@ -77,7 +77,12 @@ Circuit read_bench(std::istream& is, const std::string& name) {
       }
       if (call.keyword == "INPUT") {
         NetId id = circuit.declare(call.args[0]);
-        circuit.define_input(id);
+        try {
+          circuit.define_input(id);
+        } catch (const NetlistError& e) {
+          // e.g. duplicate INPUT(x): keep the line number in the report.
+          throw BenchParseError(line_no, e.what());
+        }
       } else if (call.keyword == "OUTPUT") {
         output_ids.push_back(circuit.declare(call.args[0]));
       } else {

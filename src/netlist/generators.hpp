@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,10 +60,41 @@ Circuit make_parity_tree(int bits, bool balanced);
 /// node budget and cut-point decomposition.
 Circuit make_multiplier(int bits);
 
+/// Topology presets for make_random_circuit. Mixed is the historical
+/// recency-biased DAG; the others steer the generator toward circuit
+/// shapes the fixed benchmark suite under-represents (the differential
+/// fuzzer sweeps all of them):
+///   FanoutHeavy  -- a small hub set of nets collects very large fanout,
+///                   so branch faults and checkpoint stems dominate.
+///   XorRich      -- ~60% XOR/XNOR gates (C499-like parity logic, the
+///                   worst case for difference propagation shortcuts).
+///   Reconvergent -- gates come in stem/branch/branch/merge quadruples,
+///                   maximizing reconvergent fanout per gate.
+///   DeepChain    -- every gate consumes the previous gate's output, so
+///                   depth grows linearly with gate count.
+enum class CircuitShape : std::uint8_t {
+  Mixed,
+  FanoutHeavy,
+  XorRich,
+  Reconvergent,
+  DeepChain,
+};
+
+std::string_view to_string(CircuitShape shape);
+/// Accepts the to_string() names ("mixed", "fanout", "xor",
+/// "reconvergent", "chain"); nullopt for anything else.
+std::optional<CircuitShape> circuit_shape_from_string(std::string_view s);
+/// Every preset, in declaration order.
+const std::vector<CircuitShape>& all_circuit_shapes();
+
 /// Seeded random combinational DAG with mixed gate types; every net is
 /// reachable from some PI, and all sink nets become POs.
 Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
                             int num_outputs);
+/// Shape-steered variant. Identical seeds give identical circuits per
+/// shape; Mixed reproduces the four-argument overload exactly.
+Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
+                            int num_outputs, CircuitShape shape);
 
 // ---- suite ---------------------------------------------------------------
 

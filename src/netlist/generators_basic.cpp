@@ -95,26 +95,65 @@ Circuit make_parity_tree(int bits, bool balanced) {
   return c;
 }
 
-Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
-                            int num_outputs) {
-  if (num_inputs < 1 || num_gates < 1 || num_outputs < 1) {
-    throw NetlistError("make_random_circuit: all counts must be >= 1");
+std::string_view to_string(CircuitShape shape) {
+  switch (shape) {
+    case CircuitShape::Mixed: return "mixed";
+    case CircuitShape::FanoutHeavy: return "fanout";
+    case CircuitShape::XorRich: return "xor";
+    case CircuitShape::Reconvergent: return "reconvergent";
+    case CircuitShape::DeepChain: return "chain";
   }
-  std::mt19937_64 rng(seed);
-  Circuit c("rand" + std::to_string(seed));
+  return "mixed";
+}
 
-  std::vector<NetId> nets;
-  for (int i = 0; i < num_inputs; ++i) {
-    nets.push_back(c.add_input("i" + std::to_string(i)));
+std::optional<CircuitShape> circuit_shape_from_string(std::string_view s) {
+  for (CircuitShape shape : all_circuit_shapes()) {
+    if (s == to_string(shape)) return shape;
   }
+  return std::nullopt;
+}
 
-  static constexpr GateType kTypes[] = {
-      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
-      GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf};
+const std::vector<CircuitShape>& all_circuit_shapes() {
+  static const std::vector<CircuitShape> kShapes = {
+      CircuitShape::Mixed, CircuitShape::FanoutHeavy, CircuitShape::XorRich,
+      CircuitShape::Reconvergent, CircuitShape::DeepChain};
+  return kShapes;
+}
+
+namespace {
+
+/// Marks POs (sinks first, topped up from the back) and finalizes.
+void finish_random_circuit(Circuit& c, int num_outputs) {
+  std::vector<bool> used(c.num_nets(), false);
+  for (NetId id = 0; id < c.num_nets(); ++id) {
+    for (NetId f : c.fanins(id)) used[f] = true;
+  }
+  std::vector<NetId> pos;
+  for (NetId id = c.num_nets(); id-- > 0;) {
+    if (!used[id] && c.type(id) != GateType::Input) pos.push_back(id);
+  }
+  for (NetId id = c.num_nets();
+       id-- > 0 && pos.size() < static_cast<std::size_t>(num_outputs);) {
+    if (c.type(id) != GateType::Input &&
+        std::find(pos.begin(), pos.end(), id) == pos.end()) {
+      pos.push_back(id);
+    }
+  }
+  for (NetId id : pos) c.mark_output(id);
+  c.finalize();
+}
+
+constexpr GateType kRandomTypes[] = {
+    GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+    GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf};
+
+/// The historical generator, unchanged: recency-biased fanin picks over a
+/// uniform type mix. Seeds reproduce the exact pre-preset circuits.
+void grow_mixed(Circuit& c, std::vector<NetId>& nets, std::mt19937_64& rng,
+                int num_gates) {
   std::uniform_int_distribution<int> type_dist(0, 7);
-
   for (int g = 0; g < num_gates; ++g) {
-    GateType t = kTypes[type_dist(rng)];
+    GateType t = kRandomTypes[type_dist(rng)];
     // Bias fanins toward recent nets so depth grows with gate count.
     auto pick = [&]() -> NetId {
       std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
@@ -139,25 +178,140 @@ Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
     }
     nets.push_back(c.add_gate(t, fi, "g" + std::to_string(g)));
   }
+}
 
-  // Sinks (nets with no fanout yet) become POs first; top up from the back.
-  std::vector<bool> used(c.num_nets(), false);
-  for (NetId id = 0; id < c.num_nets(); ++id) {
-    for (NetId f : c.fanins(id)) used[f] = true;
+/// Two distinct fanins, the first fixed to `a` (arity-2 builder shared by
+/// the shaped generators; falls back to an inverter when the pool cannot
+/// supply a second distinct net).
+void add_gate2(Circuit& c, std::vector<NetId>& nets, GateType t, NetId a,
+               NetId b, int g) {
+  const std::string name = "g" + std::to_string(g);
+  if (a == b) {
+    nets.push_back(c.add_gate(GateType::Not, {a}, name));
+  } else {
+    nets.push_back(c.add_gate(t, {a, b}, name));
   }
-  std::vector<NetId> pos;
-  for (NetId id = c.num_nets(); id-- > 0;) {
-    if (!used[id] && c.type(id) != GateType::Input) pos.push_back(id);
-  }
-  for (NetId id = c.num_nets();
-       id-- > 0 && pos.size() < static_cast<std::size_t>(num_outputs);) {
-    if (c.type(id) != GateType::Input &&
-        std::find(pos.begin(), pos.end(), id) == pos.end()) {
-      pos.push_back(id);
+}
+
+void grow_fanout_heavy(Circuit& c, std::vector<NetId>& nets,
+                       std::mt19937_64& rng, int num_gates) {
+  std::uniform_int_distribution<int> type_dist(0, 7);
+  for (int g = 0; g < num_gates; ++g) {
+    GateType t = kRandomTypes[type_dist(rng)];
+    // Half of all picks land in a small hub prefix, so those nets
+    // accumulate fanout linear in the gate count.
+    const std::size_t hubs = std::max<std::size_t>(2, nets.size() / 8);
+    auto pick = [&]() -> NetId {
+      if (rng() & 1) return nets[rng() % hubs];
+      std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
+      std::size_t a = d(rng), b = d(rng);
+      return nets[std::max(a, b)];
+    };
+    if (fixed_arity(t) == 1) {
+      nets.push_back(c.add_gate(t, {pick()}, "g" + std::to_string(g)));
+    } else {
+      add_gate2(c, nets, t, pick(), pick(), g);
     }
   }
-  for (NetId id : pos) c.mark_output(id);
-  c.finalize();
+}
+
+void grow_xor_rich(Circuit& c, std::vector<NetId>& nets, std::mt19937_64& rng,
+                   int num_gates) {
+  std::uniform_int_distribution<int> type_dist(0, 7);
+  for (int g = 0; g < num_gates; ++g) {
+    // ~60% parity gates, remainder the uniform mix.
+    const int roll = static_cast<int>(rng() % 10);
+    GateType t = roll < 5   ? GateType::Xor
+                 : roll < 6 ? GateType::Xnor
+                            : kRandomTypes[type_dist(rng)];
+    auto pick = [&]() -> NetId {
+      std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
+      std::size_t a = d(rng), b = d(rng);
+      return nets[std::max(a, b)];
+    };
+    if (fixed_arity(t) == 1) {
+      nets.push_back(c.add_gate(t, {pick()}, "g" + std::to_string(g)));
+    } else {
+      add_gate2(c, nets, t, pick(), pick(), g);
+    }
+  }
+}
+
+void grow_reconvergent(Circuit& c, std::vector<NetId>& nets,
+                       std::mt19937_64& rng, int num_gates) {
+  std::uniform_int_distribution<int> type_dist(0, 5);  // binary types only
+  int g = 0;
+  while (g < num_gates) {
+    // One quadruple: stem s fans out into two branch gates which
+    // reconverge in a merge gate (g3 sees s through both paths).
+    std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
+    const NetId s = nets[std::max(d(rng), d(rng))];
+    const NetId x = nets[d(rng)];
+    const NetId y = nets[d(rng)];
+    add_gate2(c, nets, kRandomTypes[type_dist(rng)], s, x, g++);
+    const NetId b1 = nets.back();
+    if (g >= num_gates) break;
+    add_gate2(c, nets, kRandomTypes[type_dist(rng)], s, y, g++);
+    const NetId b2 = nets.back();
+    if (g >= num_gates) break;
+    add_gate2(c, nets, kRandomTypes[type_dist(rng)], b1, b2, g++);
+  }
+}
+
+void grow_deep_chain(Circuit& c, std::vector<NetId>& nets,
+                     std::mt19937_64& rng, int num_gates) {
+  std::uniform_int_distribution<int> type_dist(0, 5);  // binary types only
+  for (int g = 0; g < num_gates; ++g) {
+    // The previous net is always the first fanin: depth == gate count.
+    std::uniform_int_distribution<std::size_t> d(0, nets.size() - 1);
+    add_gate2(c, nets, kRandomTypes[type_dist(rng)], nets.back(), nets[d(rng)],
+              g);
+  }
+}
+
+}  // namespace
+
+Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
+                            int num_outputs) {
+  return make_random_circuit(seed, num_inputs, num_gates, num_outputs,
+                             CircuitShape::Mixed);
+}
+
+Circuit make_random_circuit(std::uint64_t seed, int num_inputs, int num_gates,
+                            int num_outputs, CircuitShape shape) {
+  if (num_inputs < 1 || num_gates < 1 || num_outputs < 1) {
+    throw NetlistError("make_random_circuit: all counts must be >= 1");
+  }
+  std::mt19937_64 rng(seed);
+  // Mixed keeps the historical "rand<seed>" name (cache keys and test
+  // expectations predate the presets); shaped circuits carry the preset.
+  const std::string name =
+      shape == CircuitShape::Mixed
+          ? "rand" + std::to_string(seed)
+          : "rand_" + std::string(to_string(shape)) + "_" +
+                std::to_string(seed);
+  Circuit c(name);
+
+  std::vector<NetId> nets;
+  for (int i = 0; i < num_inputs; ++i) {
+    nets.push_back(c.add_input("i" + std::to_string(i)));
+  }
+
+  switch (shape) {
+    case CircuitShape::Mixed: grow_mixed(c, nets, rng, num_gates); break;
+    case CircuitShape::FanoutHeavy:
+      grow_fanout_heavy(c, nets, rng, num_gates);
+      break;
+    case CircuitShape::XorRich: grow_xor_rich(c, nets, rng, num_gates); break;
+    case CircuitShape::Reconvergent:
+      grow_reconvergent(c, nets, rng, num_gates);
+      break;
+    case CircuitShape::DeepChain:
+      grow_deep_chain(c, nets, rng, num_gates);
+      break;
+  }
+
+  finish_random_circuit(c, num_outputs);
   return c;
 }
 

@@ -1,0 +1,81 @@
+#include "verify/case_gen.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "netlist/structure.hpp"
+
+namespace dp::verify {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates consecutive campaign indices.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [lo, hi] (inclusive), tolerant of lo == hi.
+int draw(std::mt19937_64& rng, int lo, int hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+/// Keeps a random sample of at most `keep` elements, preserving order
+/// (deterministic reservoir-free variant: shuffle indices, sort kept).
+template <typename T>
+void sample_in_place(std::vector<T>& v, std::size_t keep,
+                     std::mt19937_64& rng) {
+  if (v.size() <= keep) return;
+  std::vector<std::size_t> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::shuffle(idx.begin(), idx.end(), rng);
+  idx.resize(keep);
+  std::sort(idx.begin(), idx.end());
+  std::vector<T> kept;
+  kept.reserve(keep);
+  for (std::size_t i : idx) kept.push_back(v[i]);
+  v = std::move(kept);
+}
+
+}  // namespace
+
+std::uint64_t derive_case_seed(std::uint64_t campaign_seed,
+                               std::uint64_t index) {
+  return mix(campaign_seed ^ mix(index + 1));
+}
+
+FuzzCase make_case(const CaseConfig& config, std::uint64_t index) {
+  return make_case_from_seed(config, derive_case_seed(config.seed, index));
+}
+
+FuzzCase make_case_from_seed(const CaseConfig& config,
+                             std::uint64_t case_seed) {
+  std::mt19937_64 rng(case_seed);
+  const auto& shapes = config.shapes.empty() ? netlist::all_circuit_shapes()
+                                             : config.shapes;
+  const netlist::CircuitShape shape = shapes[rng() % shapes.size()];
+  const int num_inputs = draw(rng, config.min_inputs, config.max_inputs);
+  const int num_gates = draw(rng, config.min_gates, config.max_gates);
+
+  FuzzCase fc(netlist::make_random_circuit(rng(), num_inputs, num_gates,
+                                           config.num_outputs, shape));
+  fc.case_seed = case_seed;
+  fc.shape = shape;
+
+  fc.sa_faults = fault::collapse_checkpoint_faults(fc.circuit);
+  sample_in_place(fc.sa_faults, config.max_sa_faults, rng);
+
+  if (config.include_bridging) {
+    const netlist::Structure structure(fc.circuit);
+    const fault::BridgeType type =
+        (rng() & 1) ? fault::BridgeType::Or : fault::BridgeType::And;
+    fc.bridges = fault::enumerate_nfbfs(fc.circuit, structure, type);
+    sample_in_place(fc.bridges, config.max_bridges, rng);
+  }
+  return fc;
+}
+
+}  // namespace dp::verify

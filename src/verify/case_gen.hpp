@@ -1,0 +1,57 @@
+// Seeded fuzz-case generation for the differential verifier.
+//
+// A case is a random circuit (one of the make_random_circuit shape
+// presets) plus a random sample of stuck-at and bridging faults on it.
+// Case i of a campaign is derived from (campaign seed, i) by a splitmix
+// step, so cases are independent of each other and any case can be
+// regenerated in isolation from its case_seed alone — the property the
+// reproducer files rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/bridging.hpp"
+#include "fault/stuck_at.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::verify {
+
+struct CaseConfig {
+  std::uint64_t seed = 1;  ///< campaign seed (case_seed derives from it)
+  int min_inputs = 4;
+  int max_inputs = 9;  ///< exhaustive sweeps are 2^n; keep n small
+  int min_gates = 8;
+  int max_gates = 40;
+  int num_outputs = 3;
+  std::size_t max_sa_faults = 24;   ///< sample size from the collapsed set
+  std::size_t max_bridges = 8;      ///< sample size from the NFBF set
+  bool include_bridging = true;
+  /// Presets to draw from; empty = all_circuit_shapes().
+  std::vector<netlist::CircuitShape> shapes;
+};
+
+struct FuzzCase {
+  std::uint64_t case_seed = 0;  ///< regenerates this case by itself
+  netlist::CircuitShape shape = netlist::CircuitShape::Mixed;
+  netlist::Circuit circuit;
+  std::vector<fault::StuckAtFault> sa_faults;
+  std::vector<fault::BridgingFault> bridges;
+
+  explicit FuzzCase(netlist::Circuit c) : circuit(std::move(c)) {}
+};
+
+/// Derived per-case seed (splitmix64 over campaign seed and index).
+std::uint64_t derive_case_seed(std::uint64_t campaign_seed,
+                               std::uint64_t index);
+
+/// Case `index` of the campaign described by `config`. Deterministic:
+/// the same (config, index) always yields the same circuit and faults.
+FuzzCase make_case(const CaseConfig& config, std::uint64_t index);
+
+/// Regenerates a case directly from its derived seed (the reproducer
+/// path; `config` supplies the size knobs, which the report records).
+FuzzCase make_case_from_seed(const CaseConfig& config,
+                             std::uint64_t case_seed);
+
+}  // namespace dp::verify

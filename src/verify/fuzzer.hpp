@@ -1,0 +1,82 @@
+// Campaign driver for the differential fuzzer: generate cases, run the
+// oracle matrix, shrink failures, emit reproducers and a dp.fuzzreport.v1
+// JSON document, and prove the whole pipeline works by mutation testing
+// it against intentionally perturbed engine views.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "verify/oracle.hpp"
+#include "verify/shrink.hpp"
+
+namespace dp::verify {
+
+inline constexpr const char* kFuzzReportSchema = "dp.fuzzreport.v1";
+
+struct CampaignConfig {
+  CaseConfig cases;
+  OracleConfig oracle;
+  std::size_t num_cases = 100;
+  bool shrink = true;
+  /// Directory for reproducer files ("" = do not write any).
+  std::string repro_dir;
+  /// Campaign aborts after this many failing cases (0 = unbounded).
+  std::size_t max_failures = 5;
+  /// Progress lines ("case 12/500 ok ...") go here when set.
+  std::ostream* progress = nullptr;
+};
+
+/// One failing case, as reported: the original discrepancies plus the
+/// shrunk reproducer.
+struct CaseFailure {
+  std::uint64_t case_index = 0;
+  std::uint64_t case_seed = 0;
+  std::string shape;
+  std::vector<Discrepancy> discrepancies;  ///< from the original case
+  std::size_t shrunk_gates = 0;
+  std::size_t shrunk_faults = 0;
+  std::size_t shrink_oracle_runs = 0;
+  std::string shrunk_bench;       ///< the minimized circuit, .bench text
+  std::string repro_bench_path;   ///< "" when repro_dir unset
+  std::string repro_json_path;
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::size_t num_cases = 0;  ///< requested
+  std::size_t cases_run = 0;
+  std::size_t faults_checked = 0;
+  std::size_t vectors_checked = 0;
+  std::size_t discrepancy_count = 0;  ///< across all failing cases
+  std::size_t jobs = 0;
+  bool checked_parallel = false;
+  bool checked_store = false;
+  double wall_seconds = 0.0;
+  std::vector<CaseFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// The dp.fuzzreport.v1 document.
+obs::JsonValue report_to_json(const CampaignResult& result);
+
+/// report_to_json + crash-safe write; false (message in *error) on I/O
+/// failure.
+bool write_report(const std::string& path, const CampaignResult& result,
+                  std::string* error = nullptr);
+
+/// Mutation self-test: for every Mutation except None, runs a small
+/// fixed-seed campaign against the perturbed engine view and requires
+/// (a) the oracle to report the injected bug, and (b) the shrinker to
+/// minimize the failing case to at most `max_shrunk_gates` gates.
+/// Returns true when every mutation is caught; diagnostics go to `log`.
+bool run_self_test(const CampaignConfig& base, std::ostream& log,
+                   std::size_t max_shrunk_gates = 10);
+
+}  // namespace dp::verify

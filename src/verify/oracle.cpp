@@ -1,0 +1,296 @@
+#include "verify/oracle.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/profile_io.hpp"
+#include "analysis/profiles.hpp"
+#include "dp/engine.hpp"
+#include "dp/parallel_engine.hpp"
+#include "netlist/structure.hpp"
+#include "sim/fault_sim.hpp"
+#include "store/artifact_store.hpp"
+
+namespace dp::verify {
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::None: return "none";
+    case Mutation::InflateDetectability: return "inflate_detectability";
+    case Mutation::DropTestVector: return "drop_test_vector";
+    case Mutation::FlipSyndrome: return "flip_syndrome";
+    case Mutation::PerturbParallelMerge: return "perturb_parallel_merge";
+  }
+  return "none";
+}
+
+namespace {
+
+struct Recorder {
+  OracleResult* out;
+
+  void mismatch(const std::string& oracle, const std::string& subject,
+                const std::string& detail) {
+    out->discrepancies.push_back({oracle, subject, detail});
+  }
+
+  template <typename T>
+  void expect_eq(const std::string& oracle, const std::string& subject,
+                 T expected, T got) {
+    if (expected == got) return;
+    std::ostringstream os;
+    os.precision(17);
+    os << "expected " << expected << ", got " << got;
+    mismatch(oracle, subject, os.str());
+  }
+};
+
+/// The oracle's view of one serial-DP fault analysis, after the optional
+/// self-test mutation has been applied. Membership is a function so
+/// DropTestVector can lie about exactly one vector.
+struct DpView {
+  double detectability = 0.0;
+  bool detectable = false;
+  const core::FaultAnalysis* analysis = nullptr;
+  std::uint64_t dropped_vector = ~0ull;  ///< membership lies here
+
+  bool member(const std::vector<bool>& point, std::uint64_t v) const {
+    if (v == dropped_vector) return false;
+    return analysis->test_set.eval(point);
+  }
+};
+
+/// `mutate_pending` is consumed when the perturbation lands on this
+/// fault; DropTestVector needs a fault with a non-empty test set and
+/// stays pending until it sees one.
+DpView make_view(const core::FaultAnalysis& a, bool* mutate_pending,
+                 Mutation mutate, std::size_t num_inputs) {
+  DpView view;
+  view.analysis = &a;
+  view.detectability = a.detectability;
+  view.detectable = a.detectable;
+  if (!mutate_pending || !*mutate_pending) return view;
+  const double one_vector = std::ldexp(1.0, -static_cast<int>(num_inputs));
+  if (mutate == Mutation::InflateDetectability) {
+    view.detectability += one_vector;
+    view.detectable = true;
+    *mutate_pending = false;
+  } else if (mutate == Mutation::DropTestVector) {
+    // Lie about the lowest vector the true test set contains.
+    const std::uint64_t limit = 1ull << num_inputs;
+    for (std::uint64_t v = 0; v < limit; ++v) {
+      std::vector<bool> point(num_inputs);
+      for (std::size_t i = 0; i < num_inputs; ++i) point[i] = (v >> i) & 1;
+      if (a.test_set.eval(point)) {
+        view.dropped_vector = v;
+        *mutate_pending = false;
+        break;
+      }
+    }
+  }
+  return view;
+}
+
+/// dp_vs_sim arm for one fault (stuck-at or bridging).
+template <typename Fault>
+void check_fault(const Fault& f, bool* mutate_pending, const FuzzCase& fc,
+                 const core::DifferencePropagator& dp,
+                 const sim::FaultSimulator& fs, Mutation mutate,
+                 Recorder& rec, OracleResult& result,
+                 core::FaultAnalysis& serial_out) {
+  const std::string what = describe(f, fc.circuit);
+  serial_out = dp.analyze(f);
+  const std::size_t n = fc.circuit.num_inputs();
+  const DpView view = make_view(serial_out, mutate_pending, mutate, n);
+
+  const double sim_det = fs.exhaustive_detectability(f);
+  rec.expect_eq("dp_vs_sim.detectability", what, sim_det, view.detectability);
+  rec.expect_eq("dp_vs_sim.detectable", what, sim_det > 0.0, view.detectable);
+
+  const auto bitmap = fs.exhaustive_test_set(f);
+  for (std::uint64_t v = 0; v < bitmap.size(); ++v) {
+    std::vector<bool> point(n);
+    for (std::size_t i = 0; i < n; ++i) point[i] = (v >> i) & 1;
+    if (view.member(point, v) != bitmap[v]) {
+      rec.mismatch("dp_vs_sim.test_set", what,
+                   "membership differs at vector " + std::to_string(v));
+    }
+  }
+  result.vectors_checked += bitmap.size();
+  ++result.faults_checked;
+}
+
+/// Parallel arm: one merged analysis against its serial counterpart.
+void check_parallel_fault(const std::string& what,
+                          const core::FaultAnalysis& serial,
+                          const core::FaultAnalysis& par, bool first_fault,
+                          Mutation mutate, std::size_t num_inputs,
+                          Recorder& rec) {
+  double par_det = par.detectability;
+  if (first_fault && mutate == Mutation::PerturbParallelMerge) {
+    par_det += std::ldexp(1.0, -static_cast<int>(num_inputs));
+  }
+  rec.expect_eq("parallel.detectability", what, serial.detectability,
+                par_det);
+  rec.expect_eq("parallel.detectable", what, serial.detectable,
+                par.detectable);
+  rec.expect_eq("parallel.upper_bound", what, serial.upper_bound,
+                par.upper_bound);
+  rec.expect_eq("parallel.adherence", what, serial.adherence, par.adherence);
+  rec.expect_eq("parallel.pos_observable", what, serial.pos_observable,
+                par.pos_observable);
+  rec.expect_eq("parallel.pos_fed", what, serial.pos_fed, par.pos_fed);
+  rec.expect_eq("parallel.bridge_stuck_at", what, serial.bridge_stuck_at,
+                par.bridge_stuck_at);
+  rec.expect_eq("parallel.test_set_size", what,
+                serial.test_set.sat_count(num_inputs),
+                par.test_set.sat_count(num_inputs));
+}
+
+/// Field-exact FaultRecord comparison for the store arm.
+void check_records(const std::string& oracle,
+                   const std::vector<analysis::FaultRecord>& expected,
+                   const std::vector<analysis::FaultRecord>& got,
+                   Recorder& rec) {
+  if (expected.size() != got.size()) {
+    rec.expect_eq(oracle + ".fault_count", "profile", expected.size(),
+                  got.size());
+    return;
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& e = expected[i];
+    const auto& g = got[i];
+    const std::string subject = "fault record " + std::to_string(i);
+    rec.expect_eq(oracle + ".detectable", subject, e.detectable, g.detectable);
+    rec.expect_eq(oracle + ".detectability", subject, e.detectability,
+                  g.detectability);
+    rec.expect_eq(oracle + ".upper_bound", subject, e.upper_bound,
+                  g.upper_bound);
+    rec.expect_eq(oracle + ".adherence", subject, e.adherence, g.adherence);
+    rec.expect_eq(oracle + ".pos_fed", subject, e.pos_fed, g.pos_fed);
+    rec.expect_eq(oracle + ".pos_observable", subject, e.pos_observable,
+                  g.pos_observable);
+    rec.expect_eq(oracle + ".max_levels_to_po", subject, e.max_levels_to_po,
+                  g.max_levels_to_po);
+    rec.expect_eq(oracle + ".level_from_pi", subject, e.level_from_pi,
+                  g.level_from_pi);
+    rec.expect_eq(oracle + ".branch_site", subject, e.branch_site,
+                  g.branch_site);
+  }
+}
+
+/// Cold sweep vs profile-cache hit vs checkpoint resume, in a throwaway
+/// per-case store directory.
+void run_store_arm(const FuzzCase& fc, const std::string& scratch_root,
+                   Recorder& rec) {
+  namespace fs = std::filesystem;
+  std::ostringstream dir;
+  dir << scratch_root << "/case_" << std::hex << fc.case_seed;
+  store::ArtifactStore store(dir.str());
+
+  analysis::AnalysisOptions options;
+  options.jobs = 1;
+  options.persistence.store = &store;
+  // Deliberately ragged batches: the last checkpoint chunk is partial for
+  // most fault-set sizes, exercising the resume boundary.
+  options.persistence.checkpoint_interval = 5;
+
+  const analysis::CircuitProfile cold =
+      analysis::analyze_stuck_at(fc.circuit, options);
+  const analysis::CircuitProfile warm =
+      analysis::analyze_stuck_at(fc.circuit, options);
+  check_records("store.warm", cold.faults, warm.faults, rec);
+
+  // Simulate an interrupted sweep: drop the finished profile, install a
+  // half-done checkpoint, and require the resumed sweep to be identical.
+  const std::string key =
+      analysis::profile_cache_key(fc.circuit, "sa", options);
+  store.remove(key, "profile");
+  analysis::SweepCheckpoint ckpt;
+  ckpt.key = key;
+  ckpt.total_faults = cold.faults.size();
+  ckpt.completed.assign(cold.faults.begin(),
+                        cold.faults.begin() +
+                            static_cast<std::ptrdiff_t>(cold.faults.size() / 2));
+  store.store_document(key, "ckpt", analysis::checkpoint_to_json(ckpt));
+  const analysis::CircuitProfile resumed =
+      analysis::analyze_stuck_at(fc.circuit, options);
+  check_records("store.resumed", cold.faults, resumed.faults, rec);
+
+  std::error_code ec;
+  fs::remove_all(dir.str(), ec);  // best effort; scratch root is temp
+}
+
+}  // namespace
+
+OracleResult run_oracles(const FuzzCase& fc, const OracleConfig& config) {
+  OracleResult result;
+  Recorder rec{&result};
+
+  try {
+    const netlist::Structure structure(fc.circuit);
+    bdd::Manager manager(0);
+    const core::GoodFunctions good(manager, fc.circuit);
+    const core::DifferencePropagator dp(good, structure);
+    const sim::FaultSimulator fs(fc.circuit);
+    const std::size_t n = fc.circuit.num_inputs();
+
+    // ---- syndromes (every net, exact) ----------------------------------
+    netlist::NetId last_gate = netlist::kInvalidNet;
+    for (netlist::NetId id = 0; id < fc.circuit.num_nets(); ++id) {
+      if (fc.circuit.type(id) != netlist::GateType::Input) last_gate = id;
+    }
+    for (netlist::NetId id = 0; id < fc.circuit.num_nets(); ++id) {
+      double dp_syn = good.syndrome(id);
+      if (config.mutate == Mutation::FlipSyndrome && id == last_gate) {
+        dp_syn += std::ldexp(1.0, -static_cast<int>(n));
+      }
+      rec.expect_eq("dp_vs_sim.syndrome", fc.circuit.net_name(id),
+                    fs.exhaustive_syndrome(id), dp_syn);
+    }
+
+    // ---- serial DP vs exhaustive simulation ----------------------------
+    std::vector<core::FaultAnalysis> serial_sa(fc.sa_faults.size());
+    std::vector<core::FaultAnalysis> serial_br(fc.bridges.size());
+    bool mutate_pending = config.mutate == Mutation::InflateDetectability ||
+                          config.mutate == Mutation::DropTestVector;
+    for (std::size_t i = 0; i < fc.sa_faults.size(); ++i) {
+      check_fault(fc.sa_faults[i], &mutate_pending, fc, dp, fs,
+                  config.mutate, rec, result, serial_sa[i]);
+    }
+    for (std::size_t i = 0; i < fc.bridges.size(); ++i) {
+      check_fault(fc.bridges[i], &mutate_pending, fc, dp, fs, config.mutate,
+                  rec, result, serial_br[i]);
+    }
+
+    // ---- parallel engine vs serial -------------------------------------
+    if (config.check_parallel) {
+      core::ParallelEngine::Options par_options;
+      par_options.jobs = config.jobs;
+      core::ParallelEngine engine(fc.circuit, structure, par_options);
+      const auto par_sa = engine.analyze_all(fc.sa_faults);
+      for (std::size_t i = 0; i < fc.sa_faults.size(); ++i) {
+        check_parallel_fault(describe(fc.sa_faults[i], fc.circuit),
+                             serial_sa[i], par_sa[i], i == 0, config.mutate,
+                             n, rec);
+      }
+      const auto par_br = engine.analyze_all(fc.bridges);
+      for (std::size_t i = 0; i < fc.bridges.size(); ++i) {
+        check_parallel_fault(describe(fc.bridges[i], fc.circuit),
+                             serial_br[i], par_br[i], false, config.mutate,
+                             n, rec);
+      }
+    }
+
+    // ---- artifact store: cold vs warm vs resumed -----------------------
+    if (config.check_store && !config.scratch_dir.empty()) {
+      run_store_arm(fc, config.scratch_dir, rec);
+    }
+  } catch (const std::exception& e) {
+    rec.mismatch("exception", "case", e.what());
+  }
+  return result;
+}
+
+}  // namespace dp::verify

@@ -1,0 +1,275 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/structure.hpp"
+
+namespace dp::verify {
+
+CaseSketch sketch_from_case(const FuzzCase& fc) {
+  const netlist::Circuit& c = fc.circuit;
+  CaseSketch s;
+  for (netlist::NetId id : c.inputs()) s.inputs.push_back(c.net_name(id));
+  for (netlist::NetId id : c.topo_order()) {
+    if (c.type(id) == netlist::GateType::Input) continue;
+    SketchGate g;
+    g.name = c.net_name(id);
+    g.type = c.type(id);
+    for (netlist::NetId f : c.fanins(id)) g.fanins.push_back(c.net_name(f));
+    s.gates.push_back(std::move(g));
+  }
+  for (netlist::NetId id : c.outputs()) s.outputs.push_back(c.net_name(id));
+  for (const fault::StuckAtFault& f : fc.sa_faults) {
+    SaSpec spec;
+    spec.net = c.net_name(f.net);
+    spec.stuck_value = f.stuck_value;
+    if (f.branch) {
+      spec.has_branch = true;
+      spec.branch_gate = c.net_name(f.branch->gate);
+      spec.branch_pin = f.branch->pin;
+    }
+    s.sa.push_back(std::move(spec));
+  }
+  for (const fault::BridgingFault& f : fc.bridges) {
+    s.br.push_back({c.net_name(f.a), c.net_name(f.b), f.type});
+  }
+  return s;
+}
+
+std::optional<FuzzCase> build_case(const CaseSketch& s,
+                                   std::uint64_t case_seed,
+                                   netlist::CircuitShape shape) {
+  netlist::Circuit c("shrunk");
+  std::unordered_map<std::string, netlist::NetId> by_name;
+  try {
+    for (const std::string& name : s.inputs) {
+      by_name.emplace(name, c.add_input(name));
+    }
+    for (const SketchGate& g : s.gates) {
+      std::vector<netlist::NetId> fanins;
+      for (const std::string& f : g.fanins) {
+        auto it = by_name.find(f);
+        if (it == by_name.end()) return std::nullopt;
+        fanins.push_back(it->second);
+      }
+      by_name.emplace(g.name, c.add_gate(g.type, std::move(fanins), g.name));
+    }
+    for (const std::string& name : s.outputs) {
+      auto it = by_name.find(name);
+      if (it == by_name.end()) return std::nullopt;
+      c.mark_output(it->second);
+    }
+    c.finalize();
+  } catch (const netlist::NetlistError&) {
+    return std::nullopt;
+  }
+
+  FuzzCase fc(std::move(c));
+  fc.case_seed = case_seed;
+  fc.shape = shape;
+  const netlist::Structure structure(fc.circuit);
+  for (const SaSpec& spec : s.sa) {
+    auto net = by_name.find(spec.net);
+    if (net == by_name.end()) continue;
+    fault::StuckAtFault f;
+    f.net = net->second;
+    f.stuck_value = spec.stuck_value;
+    if (spec.has_branch) {
+      auto gate = by_name.find(spec.branch_gate);
+      if (gate == by_name.end()) continue;
+      const auto& fanins = fc.circuit.fanins(gate->second);
+      // The branch must still be the same wire entering the same pin.
+      if (spec.branch_pin >= fanins.size() ||
+          fanins[spec.branch_pin] != f.net) {
+        continue;
+      }
+      f.branch = netlist::PinRef{gate->second, spec.branch_pin};
+    }
+    fc.sa_faults.push_back(f);
+  }
+  for (const BrSpec& spec : s.br) {
+    auto a = by_name.find(spec.a);
+    auto b = by_name.find(spec.b);
+    if (a == by_name.end() || b == by_name.end()) continue;
+    if (a->second == b->second) continue;
+    // Edits can close a structural loop between the wires; the engines
+    // only model non-feedback bridges.
+    if (fault::is_feedback_bridge(structure, a->second, b->second)) continue;
+    fc.bridges.push_back({a->second, b->second, spec.type});
+  }
+  return fc;
+}
+
+namespace {
+
+struct Shrinker {
+  const OracleConfig& config;
+  std::uint64_t case_seed;
+  netlist::CircuitShape shape;
+  std::size_t budget;
+  std::size_t runs = 0;
+
+  /// True when the sketch still builds AND still trips the oracle.
+  bool fails(const CaseSketch& s) {
+    if (runs >= budget) return false;
+    auto built = build_case(s, case_seed, shape);
+    if (!built) return false;
+    ++runs;
+    return !run_oracles(*built, config).ok();
+  }
+
+  /// Erase-one-at-a-time pass over any vector member of the sketch.
+  template <typename T>
+  bool drop_elements(CaseSketch& s, std::vector<T> CaseSketch::* member,
+                     std::size_t keep_at_least = 0) {
+    bool changed = false;
+    auto& v = s.*member;
+    for (std::size_t i = v.size(); i-- > 0 && v.size() > keep_at_least;) {
+      CaseSketch candidate = s;
+      auto& cv = candidate.*member;
+      cv.erase(cv.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        s = std::move(candidate);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool bypass_gates(CaseSketch& s) {
+    bool changed = false;
+    for (std::size_t i = s.gates.size(); i-- > 0;) {
+      const SketchGate& g = s.gates[i];
+      if (g.type == netlist::GateType::Buf && g.fanins.size() == 1) continue;
+      CaseSketch candidate = s;
+      candidate.gates[i].type = netlist::GateType::Buf;
+      candidate.gates[i].fanins.resize(1);
+      if (fails(candidate)) {
+        s = std::move(candidate);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Deletes a gate and rewires everything that referenced it to the
+  /// gate's first fanin — the reduction that collapses BUF chains (and
+  /// whole subtrees) which per-gate deletion alone can never remove,
+  /// because every interior gate stays referenced by its successor.
+  bool splice_gates(CaseSketch& s) {
+    bool changed = false;
+    for (std::size_t i = s.gates.size(); i-- > 0;) {
+      CaseSketch candidate = s;
+      const std::string name = candidate.gates[i].name;
+      const std::string repl = candidate.gates[i].fanins.at(0);
+      candidate.gates.erase(candidate.gates.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      auto rewire = [&](std::string& ref) {
+        if (ref == name) ref = repl;
+      };
+      for (SketchGate& g : candidate.gates) {
+        for (std::string& f : g.fanins) rewire(f);
+      }
+      for (std::string& o : candidate.outputs) rewire(o);
+      for (SaSpec& f : candidate.sa) rewire(f.net);
+      for (BrSpec& f : candidate.br) {
+        rewire(f.a);
+        rewire(f.b);
+      }
+      if (fails(candidate)) {
+        s = std::move(candidate);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Removes logic nothing depends on: gates outside the reverse cone of
+  /// the POs and fault sites, then inputs with no remaining reference.
+  bool dead_sweep(CaseSketch& s) {
+    std::unordered_set<std::string> live;
+    for (const std::string& name : s.outputs) live.insert(name);
+    for (const SaSpec& f : s.sa) {
+      live.insert(f.net);
+      if (f.has_branch) live.insert(f.branch_gate);
+    }
+    for (const BrSpec& f : s.br) {
+      live.insert(f.a);
+      live.insert(f.b);
+    }
+    // Gates are topologically ordered, so one reverse pass closes the cone.
+    for (std::size_t i = s.gates.size(); i-- > 0;) {
+      if (!live.count(s.gates[i].name)) continue;
+      for (const std::string& f : s.gates[i].fanins) live.insert(f);
+    }
+    CaseSketch candidate = s;
+    std::erase_if(candidate.gates,
+                  [&](const SketchGate& g) { return !live.count(g.name); });
+    std::unordered_set<std::string> referenced;
+    for (const SketchGate& g : candidate.gates) {
+      for (const std::string& f : g.fanins) referenced.insert(f);
+    }
+    for (const std::string& name : candidate.outputs) referenced.insert(name);
+    for (const std::string& name : live) referenced.insert(name);
+    std::erase_if(candidate.inputs, [&](const std::string& name) {
+      return !referenced.count(name);
+    });
+    if (candidate.gates.size() == s.gates.size() &&
+        candidate.inputs.size() == s.inputs.size()) {
+      return false;
+    }
+    if (!fails(candidate)) return false;
+    s = std::move(candidate);
+    return true;
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing, const OracleConfig& config,
+                         const OracleResult& original,
+                         std::size_t max_oracle_runs) {
+  // Only the arms that actually reported something need to stay on: the
+  // preserved discrepancy lives there, and the store arm in particular
+  // costs three sweeps per probe.
+  OracleConfig shrink_config = config;
+  bool parallel_hit = false, store_hit = false;
+  for (const Discrepancy& d : original.discrepancies) {
+    if (d.oracle.rfind("parallel.", 0) == 0) parallel_hit = true;
+    if (d.oracle.rfind("store.", 0) == 0) store_hit = true;
+  }
+  shrink_config.check_parallel = config.check_parallel && parallel_hit;
+  shrink_config.check_store = config.check_store && store_hit;
+
+  Shrinker sh{shrink_config, failing.case_seed, failing.shape,
+              max_oracle_runs};
+  CaseSketch sketch = sketch_from_case(failing);
+
+  bool changed = true;
+  while (changed && sh.runs < max_oracle_runs) {
+    changed = false;
+    changed |= sh.drop_elements(sketch, &CaseSketch::sa);
+    changed |= sh.drop_elements(sketch, &CaseSketch::br);
+    changed |= sh.drop_elements(sketch, &CaseSketch::outputs, 1);
+    changed |= sh.splice_gates(sketch);
+    changed |= sh.bypass_gates(sketch);
+    changed |= sh.drop_elements(sketch, &CaseSketch::gates);
+    changed |= sh.dead_sweep(sketch);
+  }
+
+  ShrinkResult result{sketch,
+                      *build_case(sketch, failing.case_seed, failing.shape),
+                      sh.runs,
+                      failing.circuit.num_gates(),
+                      0,
+                      failing.sa_faults.size() + failing.bridges.size(),
+                      0};
+  result.gates_after = result.reduced.circuit.num_gates();
+  result.faults_after =
+      result.reduced.sa_faults.size() + result.reduced.bridges.size();
+  return result;
+}
+
+}  // namespace dp::verify

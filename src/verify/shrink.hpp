@@ -1,0 +1,84 @@
+// Greedy failing-case minimization (delta debugging, one-at-a-time).
+//
+// A failing FuzzCase is lifted into a name-based CaseSketch so structural
+// edits cannot silently corrupt NetId references: every candidate
+// reduction is re-built into a fresh finalized Circuit (rejecting edits
+// that break validity) and re-run through the SAME oracle configuration;
+// a reduction survives only while at least one discrepancy persists.
+//
+// Reduction passes, iterated to a fixpoint under an oracle-run budget:
+//   1. drop fault specs (stuck-at, then bridging)
+//   2. drop primary outputs (at least one stays)
+//   3. bypass gates (replace a gate by BUF of its first fanin)
+//   4. delete gates outright
+//   5. dead sweep (drop logic unreachable from the POs and fault sites,
+//      and inputs nothing references)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/oracle.hpp"
+
+namespace dp::verify {
+
+struct SaSpec {
+  std::string net;
+  bool has_branch = false;
+  std::string branch_gate;
+  std::uint32_t branch_pin = 0;
+  bool stuck_value = false;
+};
+
+struct BrSpec {
+  std::string a;
+  std::string b;
+  fault::BridgeType type = fault::BridgeType::And;
+};
+
+struct SketchGate {
+  std::string name;
+  netlist::GateType type = netlist::GateType::Buf;
+  std::vector<std::string> fanins;
+};
+
+/// Name-addressed, edit-friendly form of a FuzzCase.
+struct CaseSketch {
+  std::vector<std::string> inputs;
+  std::vector<SketchGate> gates;  ///< topological order
+  std::vector<std::string> outputs;
+  std::vector<SaSpec> sa;
+  std::vector<BrSpec> br;
+};
+
+CaseSketch sketch_from_case(const FuzzCase& fuzz_case);
+
+/// Rebuilds a finalized circuit + fault lists from the sketch. Fault
+/// specs invalidated by circuit edits (dangling branch pin, feedback
+/// bridge) are dropped; nullopt when the circuit itself is invalid
+/// (missing fanin, no PO, cyclic).
+std::optional<FuzzCase> build_case(const CaseSketch& sketch,
+                                   std::uint64_t case_seed,
+                                   netlist::CircuitShape shape);
+
+struct ShrinkResult {
+  CaseSketch sketch;  ///< the minimized sketch
+  FuzzCase reduced;   ///< built from it (still failing)
+  std::size_t oracle_runs = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t faults_before = 0;
+  std::size_t faults_after = 0;
+};
+
+/// Minimizes `failing` (which must fail under `config`). The oracle arms
+/// that reported no discrepancy on the original case are switched off
+/// during shrinking (they cannot be what is being preserved), which is
+/// what keeps the store arm's triple sweep out of the hot loop.
+ShrinkResult shrink_case(const FuzzCase& failing, const OracleConfig& config,
+                         const OracleResult& original,
+                         std::size_t max_oracle_runs = 300);
+
+}  // namespace dp::verify

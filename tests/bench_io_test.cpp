@@ -129,6 +129,39 @@ TEST(BenchIoErrorTest, MissingFileThrows) {
   EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), NetlistError);
 }
 
+TEST(BenchIoErrorTest, UndrivenOutputReported) {
+  // OUTPUT names a net no line ever defines: finalize must flag it.
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(o)\nx = NOT(a)\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("never defined"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchIoErrorTest, DuplicateInputReportedWithLine) {
+  try {
+    read_bench_string("INPUT(a)\nINPUT(a)\nOUTPUT(o)\no = BUF(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchIoErrorTest, WrongArityReported) {
+  // NOT takes exactly one fanin.
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = NOT(a, b)\n"),
+      BenchParseError);
+}
+
+TEST(BenchIoErrorTest, EmptyOrCommentOnlyInputRejected) {
+  EXPECT_THROW(read_bench_string(""), NetlistError);
+  EXPECT_THROW(read_bench_string("# just a comment\n"), NetlistError);
+}
+
 }  // namespace
 }  // namespace dp::netlist
 
@@ -154,6 +187,20 @@ TEST(BenchIoFileTest, WriteAndReadBackThroughTheFilesystem) {
   EXPECT_EQ(reread.num_nets(), original.num_nets());
   EXPECT_EQ(reread.num_inputs(), original.num_inputs());
   EXPECT_EQ(reread.num_gates(), original.num_gates());
+  std::filesystem::remove(path);
+}
+
+TEST(BenchIoFileTest, TruncatedFileReportsParseError) {
+  // A .bench cut off mid-expression (interrupted download / partial
+  // write) must surface as a parse error, not a valid smaller circuit.
+  const auto path =
+      std::filesystem::temp_directory_path() / "dp_bench_io_truncated.bench";
+  {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good());
+    os << "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = NAND(a,";  // no newline
+  }
+  EXPECT_THROW(read_bench_file(path.string()), BenchParseError);
   std::filesystem::remove(path);
 }
 

@@ -292,6 +292,144 @@ TEST(GeneratorsTest, SuiteIsOrderedBySize) {
   EXPECT_THROW(make_benchmark("c6288"), NetlistError);
 }
 
+TEST(GeneratorsTest, CircuitShapeNamesRoundTrip) {
+  EXPECT_EQ(all_circuit_shapes().size(), 5u);
+  for (CircuitShape shape : all_circuit_shapes()) {
+    const auto back = circuit_shape_from_string(to_string(shape));
+    ASSERT_TRUE(back.has_value()) << to_string(shape);
+    EXPECT_EQ(*back, shape);
+  }
+  EXPECT_FALSE(circuit_shape_from_string("banana").has_value());
+  EXPECT_FALSE(circuit_shape_from_string("").has_value());
+}
+
+TEST(GeneratorsTest, ShapedCircuitsAreReproduciblePerPreset) {
+  for (CircuitShape shape : all_circuit_shapes()) {
+    Circuit a = make_random_circuit(99, 7, 25, 3, shape);
+    Circuit b = make_random_circuit(99, 7, 25, 3, shape);
+    ASSERT_EQ(a.num_nets(), b.num_nets()) << to_string(shape);
+    for (NetId id = 0; id < a.num_nets(); ++id) {
+      EXPECT_EQ(a.type(id), b.type(id)) << to_string(shape);
+      EXPECT_EQ(a.fanins(id), b.fanins(id)) << to_string(shape);
+    }
+    EXPECT_EQ(a.outputs(), b.outputs()) << to_string(shape);
+  }
+}
+
+TEST(GeneratorsTest, MixedShapeMatchesFourArgOverloadExactly) {
+  Circuit a = make_random_circuit(42, 8, 30, 4);
+  Circuit b = make_random_circuit(42, 8, 30, 4, CircuitShape::Mixed);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  EXPECT_EQ(a.name(), b.name());
+  for (NetId id = 0; id < a.num_nets(); ++id) {
+    EXPECT_EQ(a.type(id), b.type(id));
+    EXPECT_EQ(a.fanins(id), b.fanins(id));
+  }
+  EXPECT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(GeneratorsTest, EveryShapeYieldsDrivenAcyclicCircuits) {
+  for (CircuitShape shape : all_circuit_shapes()) {
+    for (std::uint64_t seed : {1ull, 2ull, 77ull}) {
+      Circuit c = make_random_circuit(seed, 6, 20, 3, shape);
+      // finalize() already ran (it throws on undefined nets and cycles),
+      // so re-check its guarantees structurally: every gate's fanins are
+      // defined, and the topo order places fanins before consumers.
+      EXPECT_EQ(c.num_inputs(), 6u) << to_string(shape);
+      EXPECT_GE(c.num_outputs(), 3u) << to_string(shape);
+      std::vector<std::size_t> position(c.num_nets());
+      const auto& topo = c.topo_order();
+      ASSERT_EQ(topo.size(), c.num_nets()) << to_string(shape);
+      for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+      for (NetId id = 0; id < c.num_nets(); ++id) {
+        if (c.type(id) != GateType::Input) {
+          EXPECT_FALSE(c.fanins(id).empty()) << to_string(shape);
+        }
+        for (NetId f : c.fanins(id)) {
+          EXPECT_LT(position[f], position[id])
+              << to_string(shape) << " seed " << seed;
+        }
+      }
+      // Every non-PO net must feed something (all sinks became POs).
+      for (NetId id = 0; id < c.num_nets(); ++id) {
+        if (c.fanout_count(id) == 0) {
+          const auto& pos = c.outputs();
+          EXPECT_TRUE(c.type(id) == GateType::Input ||
+                      std::find(pos.begin(), pos.end(), id) != pos.end())
+              << to_string(shape) << " seed " << seed << " net " << id;
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, ShapePresetsSteerStructure) {
+  // FanoutHeavy: some net collects much more fanout than Mixed's max.
+  std::size_t mixed_max = 0, heavy_max = 0;
+  Circuit mixed = make_random_circuit(5, 8, 60, 4, CircuitShape::Mixed);
+  Circuit heavy = make_random_circuit(5, 8, 60, 4, CircuitShape::FanoutHeavy);
+  for (NetId id = 0; id < mixed.num_nets(); ++id) {
+    mixed_max = std::max(mixed_max, mixed.fanout_count(id));
+  }
+  for (NetId id = 0; id < heavy.num_nets(); ++id) {
+    heavy_max = std::max(heavy_max, heavy.fanout_count(id));
+  }
+  EXPECT_GE(heavy_max, 8u);
+  EXPECT_GT(heavy_max, mixed_max);
+
+  // XorRich: a majority of gates are parity gates.
+  Circuit xr = make_random_circuit(5, 8, 60, 4, CircuitShape::XorRich);
+  int parity = 0, gates = 0;
+  for (NetId id = 0; id < xr.num_nets(); ++id) {
+    if (xr.type(id) == GateType::Input) continue;
+    ++gates;
+    if (xr.type(id) == GateType::Xor || xr.type(id) == GateType::Xnor) {
+      ++parity;
+    }
+  }
+  EXPECT_GE(parity * 100, gates * 40) << parity << "/" << gates;
+
+  // DeepChain: depth equals the gate count (each gate feeds the next).
+  Circuit ch = make_random_circuit(5, 4, 30, 1, CircuitShape::DeepChain);
+  std::vector<int> level(ch.num_nets(), 0);
+  int max_level = 0;
+  for (NetId id : ch.topo_order()) {
+    for (NetId f : ch.fanins(id)) level[id] = std::max(level[id], level[f] + 1);
+    max_level = std::max(max_level, level[id]);
+  }
+  EXPECT_GE(max_level, 25);
+
+  // Reconvergent: at least one stem reaches some net along >= 2 paths
+  // through distinct immediate fanins.
+  Circuit rc = make_random_circuit(5, 6, 30, 2, CircuitShape::Reconvergent);
+  bool reconverges = false;
+  for (NetId id = 0; id < rc.num_nets() && !reconverges; ++id) {
+    const auto& fi = rc.fanins(id);
+    if (fi.size() < 2) continue;
+    // Both fanins are gates sharing a common transitive source.
+    auto cone = [&](NetId root) {
+      std::vector<bool> seen(rc.num_nets(), false);
+      std::vector<NetId> stack{root};
+      while (!stack.empty()) {
+        NetId n = stack.back();
+        stack.pop_back();
+        if (seen[n]) continue;
+        seen[n] = true;
+        for (NetId f : rc.fanins(n)) stack.push_back(f);
+      }
+      return seen;
+    };
+    const auto a = cone(fi[0]), b = cone(fi[1]);
+    for (NetId n = 0; n < rc.num_nets(); ++n) {
+      if (a[n] && b[n]) {
+        reconverges = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(reconverges);
+}
+
 TEST(GeneratorsTest, RandomCircuitIsReproducibleAndValid) {
   Circuit a = make_random_circuit(42, 8, 30, 4);
   Circuit b = make_random_circuit(42, 8, 30, 4);

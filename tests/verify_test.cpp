@@ -1,0 +1,241 @@
+// The differential fuzzing subsystem, tested against itself: clean
+// engines must fuzz clean, every injected mutation must be caught and
+// minimized, and the report/reproducer artifacts must round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "obs/json.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace dp::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique-per-process scratch root under the build tree's temp dir.
+std::string scratch_root(const std::string& tag) {
+  std::ostringstream os;
+  os << fs::temp_directory_path().string() << "/dpfuzz_test_" << tag << "_"
+     << ::getpid();
+  return os.str();
+}
+
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const std::string& tag) : path(scratch_root(tag)) {
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+CampaignConfig small_config(std::uint64_t seed, std::size_t cases,
+                            const std::string& scratch) {
+  CampaignConfig config;
+  config.cases.seed = seed;
+  config.cases.max_inputs = 7;  // keep the 2^n sweeps quick in debug
+  config.cases.max_gates = 25;
+  config.num_cases = cases;
+  config.oracle.jobs = 2;
+  config.oracle.scratch_dir = scratch;
+  return config;
+}
+
+TEST(CaseGenTest, CasesAreDeterministicAndSelfContained) {
+  CaseConfig config;
+  config.seed = 7;
+  const FuzzCase a = make_case(config, 3);
+  const FuzzCase b = make_case(config, 3);
+  EXPECT_EQ(a.case_seed, b.case_seed);
+  EXPECT_EQ(a.circuit.num_nets(), b.circuit.num_nets());
+  EXPECT_EQ(a.sa_faults, b.sa_faults);
+  EXPECT_EQ(a.bridges, b.bridges);
+
+  // A case regenerates from its derived seed alone (the reproducer path).
+  const FuzzCase c = make_case_from_seed(config, a.case_seed);
+  EXPECT_EQ(c.circuit.num_nets(), a.circuit.num_nets());
+  EXPECT_EQ(c.sa_faults, a.sa_faults);
+  EXPECT_EQ(c.shape, a.shape);
+
+  // Distinct indices give distinct seeds (splitmix decorrelation).
+  EXPECT_NE(derive_case_seed(7, 3), derive_case_seed(7, 4));
+  EXPECT_NE(derive_case_seed(7, 3), derive_case_seed(8, 3));
+}
+
+TEST(CaseGenTest, SampleRespectsConfiguredBounds) {
+  CaseConfig config;
+  config.seed = 11;
+  config.max_sa_faults = 5;
+  config.max_bridges = 3;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const FuzzCase fc = make_case(config, i);
+    EXPECT_LE(fc.sa_faults.size(), 5u);
+    EXPECT_LE(fc.bridges.size(), 3u);
+    EXPECT_GE(static_cast<int>(fc.circuit.num_inputs()), config.min_inputs);
+    EXPECT_LE(static_cast<int>(fc.circuit.num_inputs()), config.max_inputs);
+  }
+}
+
+TEST(OracleTest, CleanEnginesProduceNoDiscrepancies) {
+  ScratchDir scratch("oracle");
+  OracleConfig config;
+  config.jobs = 2;
+  config.scratch_dir = scratch.path;
+  CaseConfig cases;
+  cases.seed = 1;
+  cases.max_inputs = 7;
+  cases.max_gates = 25;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const FuzzCase fc = make_case(cases, i);
+    const OracleResult result = run_oracles(fc, config);
+    EXPECT_TRUE(result.ok())
+        << "case " << i << ": " << result.discrepancies.size()
+        << " discrepancies, first: "
+        << (result.discrepancies.empty()
+                ? ""
+                : result.discrepancies[0].oracle + " " +
+                      result.discrepancies[0].subject + " " +
+                      result.discrepancies[0].detail);
+    EXPECT_GT(result.faults_checked, 0u) << "case " << i;
+    EXPECT_GT(result.vectors_checked, 0u) << "case " << i;
+  }
+}
+
+TEST(OracleTest, EveryMutationIsDetected) {
+  CaseConfig cases;
+  cases.seed = 2;
+  cases.max_inputs = 6;
+  cases.max_gates = 20;
+  const FuzzCase fc = make_case(cases, 0);
+  ASSERT_FALSE(fc.sa_faults.empty());
+  for (Mutation m :
+       {Mutation::InflateDetectability, Mutation::DropTestVector,
+        Mutation::FlipSyndrome, Mutation::PerturbParallelMerge}) {
+    OracleConfig config;
+    config.jobs = 2;
+    config.mutate = m;
+    const OracleResult result = run_oracles(fc, config);
+    EXPECT_FALSE(result.ok()) << to_string(m);
+  }
+  // And the same case with no mutation is clean (the control).
+  OracleConfig config;
+  config.jobs = 2;
+  EXPECT_TRUE(run_oracles(fc, config).ok());
+}
+
+TEST(ShrinkTest, SketchRoundTripsTheOriginalCase) {
+  CaseConfig cases;
+  cases.seed = 3;
+  const FuzzCase fc = make_case(cases, 1);
+  const CaseSketch sketch = sketch_from_case(fc);
+  const auto rebuilt = build_case(sketch, fc.case_seed, fc.shape);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->circuit.num_nets(), fc.circuit.num_nets());
+  EXPECT_EQ(rebuilt->circuit.num_inputs(), fc.circuit.num_inputs());
+  EXPECT_EQ(rebuilt->circuit.num_outputs(), fc.circuit.num_outputs());
+  EXPECT_EQ(rebuilt->sa_faults.size(), fc.sa_faults.size());
+  EXPECT_EQ(rebuilt->bridges.size(), fc.bridges.size());
+  for (netlist::NetId id = 0; id < fc.circuit.num_nets(); ++id) {
+    EXPECT_EQ(rebuilt->circuit.type(id), fc.circuit.type(id));
+  }
+}
+
+TEST(ShrinkTest, MutatedCaseShrinksToAFewGates) {
+  CaseConfig cases;
+  cases.seed = 4;
+  cases.max_inputs = 7;
+  const FuzzCase fc = make_case(cases, 0);
+  ASSERT_FALSE(fc.sa_faults.empty());
+  OracleConfig config;
+  config.jobs = 2;
+  config.mutate = Mutation::InflateDetectability;
+  const OracleResult original = run_oracles(fc, config);
+  ASSERT_FALSE(original.ok());
+
+  const ShrinkResult shrunk = shrink_case(fc, config, original);
+  EXPECT_LE(shrunk.gates_after, 10u);
+  EXPECT_LE(shrunk.faults_after, 2u);
+  EXPECT_LT(shrunk.gates_after, shrunk.gates_before);
+  // The minimized case still fails under the same configuration.
+  EXPECT_FALSE(run_oracles(shrunk.reduced, config).ok());
+}
+
+TEST(FuzzerTest, CleanCampaignReportsZeroDiscrepancies) {
+  ScratchDir scratch("campaign");
+  CampaignConfig config = small_config(5, 8, scratch.path);
+  const CampaignResult result = run_campaign(config);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cases_run, 8u);
+  EXPECT_EQ(result.discrepancy_count, 0u);
+  EXPECT_GT(result.faults_checked, 0u);
+  EXPECT_GT(result.vectors_checked, 0u);
+
+  const obs::JsonValue doc = report_to_json(result);
+  EXPECT_EQ(doc.at("schema").as_string(), kFuzzReportSchema);
+  EXPECT_EQ(doc.at("tool").as_string(), "dpfuzz");
+  EXPECT_EQ(doc.at("cases_run").as_int(), 8);
+  EXPECT_EQ(doc.at("discrepancies").as_int(), 0);
+  EXPECT_EQ(doc.at("failures").size(), 0u);
+
+  // Round-trip through the writer and strict parser.
+  const std::string path = scratch.path + "/report.json";
+  ASSERT_TRUE(write_report(path, result));
+  const obs::JsonValue back = obs::read_json_file(path);
+  EXPECT_EQ(back.at("schema").as_string(), kFuzzReportSchema);
+  EXPECT_EQ(back.at("vectors_checked").as_int(),
+            static_cast<long long>(result.vectors_checked));
+}
+
+TEST(FuzzerTest, MutatedCampaignEmitsShrunkReproducers) {
+  ScratchDir scratch("repro");
+  CampaignConfig config = small_config(6, 4, scratch.path);
+  config.oracle.mutate = Mutation::InflateDetectability;
+  config.oracle.check_store = false;
+  config.repro_dir = scratch.path + "/repro";
+  config.max_failures = 1;
+  const CampaignResult result = run_campaign(config);
+  ASSERT_FALSE(result.failures.empty());
+  const CaseFailure& failure = result.failures[0];
+  EXPECT_LE(failure.shrunk_gates, 10u);
+
+  // The reproducer .bench parses back into a valid circuit.
+  ASSERT_FALSE(failure.repro_bench_path.empty());
+  netlist::Circuit repro = netlist::read_bench_file(failure.repro_bench_path);
+  EXPECT_EQ(repro.num_gates(), failure.shrunk_gates);
+
+  // The reproducer JSON carries the seed and the engine configuration.
+  const obs::JsonValue doc = obs::read_json_file(failure.repro_json_path);
+  EXPECT_EQ(doc.at("schema").as_string(), "dp.fuzzrepro.v1");
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("case_seed").as_int()),
+            failure.case_seed);
+  EXPECT_EQ(doc.at("engine").at("mutation").as_string(),
+            "inflate_detectability");
+  EXPECT_GT(doc.at("discrepancies").size(), 0u);
+
+  // The report embeds the same failure.
+  const obs::JsonValue report = report_to_json(result);
+  EXPECT_GT(report.at("discrepancies").as_int(), 0);
+  EXPECT_EQ(report.at("failures").size(), 1u);
+}
+
+TEST(FuzzerTest, SelfTestPassesOnEveryMutation) {
+  ScratchDir scratch("selftest");
+  CampaignConfig config = small_config(1, 4, scratch.path);
+  std::ostringstream log;
+  EXPECT_TRUE(run_self_test(config, log)) << log.str();
+  // One line per mutation plus the verdict.
+  EXPECT_NE(log.str().find("inflate_detectability: caught"),
+            std::string::npos)
+      << log.str();
+  EXPECT_NE(log.str().find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dp::verify
