@@ -1,0 +1,166 @@
+// Hybrid bit-parallel-sim/DP pipeline vs the pure exact-DP sweep on a
+// random-pattern-friendly circuit (default c1908). The wide simulator
+// knocks out the easy faults; exact Difference Propagation runs only on
+// the random-pattern-resistant remainder. Verifies the hybrid partition
+// and the remainder's exact detectabilities are bit-identical to the
+// pure sweep, then reports the per-phase split and the end-to-end
+// speedup. Usage: perf_hybrid [--circuit NAME] [--patterns N] [--jobs N]
+// (defaults c1908 / 4096 / 4; DP_BENCH_JOBS env also honored).
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/hybrid.hpp"
+#include "common.hpp"
+
+using namespace dp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Document id "hybrid" -> BENCH_hybrid.json under DP_BENCH_METRICS_DIR:
+  // the repo's hybrid-pipeline perf trajectory. Passthrough mode so the
+  // bench-specific --circuit/--patterns flags coexist with the common
+  // ones.
+  bench::Session session("hybrid", argc, argv, /*passthrough_unknown=*/true);
+  bench::banner("Perf -- hybrid bit-parallel sim / DP pipeline",
+                "Random patterns detect most stuck-at faults cheaply; exact "
+                "DP need only analyze the resistant remainder.");
+
+  std::string circuit_name = "c1908";
+  std::size_t patterns = 4096;
+  const auto& extra = session.passthrough_argv();
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    const std::string a = extra[i];
+    auto value_of = [&]() -> const char* {
+      if (i + 1 >= extra.size()) {
+        std::cerr << "error: " << a << " requires a value\n";
+        std::exit(2);
+      }
+      return extra[++i];
+    };
+    if (a == "--circuit") {
+      circuit_name = value_of();
+    } else if (a == "--patterns") {
+      patterns = static_cast<std::size_t>(std::atoll(value_of()));
+    } else {
+      std::cerr << "error: unknown option '" << a << "'\n";
+      return 2;
+    }
+  }
+  std::size_t jobs = session.jobs_explicit() ? session.options().jobs : 4;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  session.options().jobs = jobs;
+
+  const netlist::Circuit circuit = netlist::make_benchmark(circuit_name);
+  std::cout << "\nCircuit " << circuit.name() << ": " << circuit.num_gates()
+            << " gates, " << circuit.num_inputs() << " PIs, "
+            << circuit.num_outputs() << " POs; --jobs " << jobs << ", "
+            << patterns << " prefilter patterns\n";
+
+  // Pure exact-DP baseline: every collapsed checkpoint fault through the
+  // parallel engine.
+  obs::ScopedTimer pure_timer = session.phase("pure_dp");
+  const auto pure_start = Clock::now();
+  const analysis::CircuitProfile pure =
+      analysis::analyze_stuck_at(circuit, session.options());
+  pure_timer.stop();
+  const double pure_s = seconds_since(pure_start);
+  std::cout << "pure DP sweep:  " << analysis::TextTable::num(pure_s, 3)
+            << " s (" << pure.faults.size() << " faults)\n";
+
+  // Hybrid pipeline, same engine options. The per-phase split is recorded
+  // under phase.prefilter / phase.dp_remainder in the document.
+  const auto hybrid_start = Clock::now();
+  analysis::HybridOptions hopt;
+  hopt.prefilter_patterns = patterns;
+  const analysis::HybridProfile hp =
+      analysis::analyze_stuck_at_hybrid(circuit, session.options(), hopt);
+  const double hybrid_s = seconds_since(hybrid_start);
+  session.metrics().timer("phase.prefilter").record(hp.prefilter_seconds);
+  session.metrics().timer("phase.dp_remainder").record(hp.dp_seconds);
+  session.metrics()
+      .counter("hybrid.prefilter_resolved")
+      .add(static_cast<std::uint64_t>(hp.prefilter_resolved()));
+  session.metrics()
+      .counter("hybrid.dp_resolved")
+      .add(static_cast<std::uint64_t>(hp.dp_resolved()));
+  std::cout << "hybrid pipeline: " << analysis::TextTable::num(hybrid_s, 3)
+            << " s (prefilter "
+            << analysis::TextTable::num(hp.prefilter_seconds, 3) << " s, DP "
+            << analysis::TextTable::num(hp.dp_seconds, 3) << " s)\n";
+  std::cout << "prefilter resolved " << hp.prefilter_resolved() << "/"
+            << hp.faults.size() << " faults ("
+            << analysis::TextTable::num(hp.prefilter_fraction()) << "), DP "
+            << hp.dp_resolved() << " remainder\n\n";
+  hp.engine_stats.print(std::cout);
+  session.record_engine(circuit.name(), circuit.num_gates(),
+                        circuit.num_inputs(), circuit.num_outputs(),
+                        hp.faults.size(),
+                        hybrid_s > 0 ? hp.faults.size() / hybrid_s : 0.0,
+                        hp.engine_stats);
+
+  // The handoff contract, checked against the pure sweep: identical
+  // detected/undetected partition, and bit-identical exact records on the
+  // DP remainder (both paths share the same record builder).
+  std::size_t partition_mismatches = 0, record_mismatches = 0;
+  for (std::size_t i = 0; i < hp.faults.size(); ++i) {
+    const analysis::HybridFaultRecord& h = hp.faults[i];
+    if (h.detectable != pure.faults[i].detectable) ++partition_mismatches;
+    if (h.resolved_by == analysis::ResolvedBy::ExactDp &&
+        h.dp.detectability != pure.faults[i].detectability) {
+      ++record_mismatches;
+    }
+  }
+
+  const double speedup = hybrid_s > 0 ? pure_s / hybrid_s : 0.0;
+  std::cout << "\ncsv:circuit,patterns,jobs,pure_s,hybrid_s,prefilter_s,"
+               "dp_remainder_s,prefilter_resolved,dp_resolved,speedup\n";
+  analysis::write_csv_row(
+      std::cout,
+      {circuit.name(), std::to_string(patterns), std::to_string(jobs),
+       analysis::TextTable::num(pure_s, 3),
+       analysis::TextTable::num(hybrid_s, 3),
+       analysis::TextTable::num(hp.prefilter_seconds, 3),
+       analysis::TextTable::num(hp.dp_seconds, 3),
+       std::to_string(hp.prefilter_resolved()),
+       std::to_string(hp.dp_resolved()),
+       analysis::TextTable::num(speedup, 2)});
+
+  bench::shape_check(partition_mismatches == 0,
+                     "hybrid detected/undetected partition identical to pure "
+                     "DP (" + std::to_string(partition_mismatches) +
+                         " mismatches)");
+  bench::shape_check(record_mismatches == 0,
+                     "DP-remainder detectabilities bit-identical to pure DP "
+                     "(" + std::to_string(record_mismatches) +
+                         " mismatches)");
+  // The headline claims hold on the default workload; a reduced smoke run
+  // (small circuit or short pattern budget) only checks the plumbing.
+  if (circuit_name == "c1908" && patterns >= 4096) {
+    bench::shape_check(hp.prefilter_fraction() >= 0.80,
+                       "prefilter resolves >= 80% of stuck-at faults (" +
+                           analysis::TextTable::num(hp.prefilter_fraction()) +
+                           ")");
+    bench::shape_check(hybrid_s < pure_s,
+                       "hybrid end-to-end faster than pure DP (" +
+                           analysis::TextTable::num(speedup, 2) + "x)");
+  } else {
+    std::cout << "[shape SKIP] resolution/speedup claims measured on the "
+                 "default c1908/4096 workload only; got "
+              << circuit.name() << "/" << patterns << " ("
+              << analysis::TextTable::num(hp.prefilter_fraction())
+              << " resolved, "
+              << analysis::TextTable::num(speedup, 2) << "x)\n";
+  }
+  return 0;
+}

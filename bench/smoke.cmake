@@ -48,6 +48,10 @@ foreach(bench IN LISTS BENCHES)
     set(extra "--benchmark_filter=BM_Negate/16$")
   elseif(bench STREQUAL "perf_dp_vs_exhaustive")
     set(extra "--benchmark_filter=BM_DifferencePropagation/1$")
+  elseif(bench STREQUAL "perf_hybrid")
+    # Reduced workload: the headline resolution/speedup shape checks are
+    # self-skipped off the default c1908/4096 configuration.
+    set(extra --circuit c432 --patterns 512)
   endif()
   message(STATUS "bench_smoke: ${bench}")
   execute_process(
@@ -142,7 +146,7 @@ endif()
 # `asan` preset (ASan+UBSan, build-asan/).
 if(SOURCE_DIR)
   set(asan_tests bdd_test bdd_reorder_test gc_stress_test store_test
-      verify_test)
+      verify_test sim_test hybrid_test)
   message(STATUS "bench_smoke: configuring asan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset asan

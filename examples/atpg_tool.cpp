@@ -11,6 +11,11 @@
 //   $ ./atpg_tool c432 --cache-dir .dpcache
 //       # first run serializes the per-fault test-set forest; a warm
 //       # rerun loads it and skips BDD construction and DP entirely
+//   $ ./atpg_tool c432 --hybrid [--prefilter-patterns N]
+//       # two-phase ATPG: the wide random-pattern prefilter detects the
+//       # easy faults and keeps each fault's first detecting vector; DP
+//       # then analyzes and covers only the resistant remainder. The
+//       # final grade still covers every fault.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -24,10 +29,18 @@
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/wide_sim.hpp"
 #include "store/bdd_io.hpp"
 #include "store/hash.hpp"
 
 using namespace dp;
+
+namespace {
+
+/// Fixed prefilter stream seed so hybrid runs are reproducible.
+constexpr std::uint64_t kPrefilterSeed = 0x5eedb10cull;
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -36,13 +49,23 @@ int main(int argc, char** argv) {
 
   std::string arg = "c95";
   std::size_t jobs = 1;
+  bool hybrid = false;
+  std::size_t prefilter_patterns = 1024;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--jobs") {
+    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns") {
       if (i + 1 >= args.size()) {
-        std::cerr << "error: --jobs requires a value\n";
+        std::cerr << "error: " << args[i] << " requires a value\n";
         return 2;
       }
-      jobs = cli::parse_count("--jobs", args[++i]);
+      const std::string flag = args[i];
+      const std::size_t value = cli::parse_count(flag, args[++i]);
+      if (flag == "--jobs") {
+        jobs = value;
+      } else {
+        prefilter_patterns = value;
+      }
+    } else if (args[i] == "--hybrid") {
+      hybrid = true;
     } else {
       arg = args[i];
     }
@@ -58,19 +81,58 @@ int main(int argc, char** argv) {
   std::cout << "ATPG for " << circuit.name() << ": " << faults.size()
             << " collapsed checkpoint faults\n";
 
+  // Phase 1 (hybrid only): random-pattern prefilter. Every detected fault
+  // contributes its first detecting pattern, reconstructed from the
+  // deterministic stream, so the random phase's coverage claims are backed
+  // by concrete vectors in the emitted set.
+  std::vector<std::vector<bool>> vectors;
+  std::vector<fault::StuckAtFault> dp_faults = faults;
+  if (hybrid) {
+    const sim::WideFaultSimulator wide(circuit);
+    const sim::WideFaultSimulator::Grade grade =
+        wide.grade_random(faults, prefilter_patterns, kPrefilterSeed);
+    std::vector<std::uint64_t> picks;
+    dp_faults.clear();
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (grade.first_detection[i] == sim::WideFaultSimulator::kNotDetected) {
+        dp_faults.push_back(faults[i]);
+      } else {
+        picks.push_back(grade.first_detection[i]);
+      }
+    }
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    const auto stream =
+        wide.random_patterns(prefilter_patterns, kPrefilterSeed);
+    for (const std::uint64_t p : picks) {
+      vectors.push_back(stream[static_cast<std::size_t>(p)]);
+    }
+    std::cout << "Prefilter (" << prefilter_patterns << " random patterns): "
+              << faults.size() - dp_faults.size() << " faults detected, "
+              << vectors.size() << " witness vectors kept, "
+              << dp_faults.size() << " faults left for DP\n";
+  }
+
   // Test-set forest cache: with --cache-dir the complete per-fault test
   // sets are serialized after the sweep, keyed on the circuit's
   // structural content. A warm rerun reloads them into `cache_mgr` and
   // skips BDD construction and the DP sweep entirely; every downstream
   // number is bit-identical because detectability is exactly the test
-  // set's density and the reconstructed BDDs are canonical.
+  // set's density and the reconstructed BDDs are canonical. The hybrid
+  // remainder depends on the prefilter stream, so its key includes the
+  // prefilter parameters.
   bdd::Manager cache_mgr(0);
   std::string forest_key;
   if (tel.store()) {
     store::KeyBuilder kb;
     kb.str("dp.atpg.tests.v1");
     kb.str(store::circuit_content_hash(circuit));
-    kb.u64(faults.size());
+    kb.u64(dp_faults.size());
+    if (hybrid) {
+      kb.str("hybrid");
+      kb.u64(prefilter_patterns);
+      kb.u64(kPrefilterSeed);
+    }
     forest_key = kb.hex();
   }
 
@@ -89,23 +151,23 @@ int main(int argc, char** argv) {
   if (tel.store()) {
     if (auto roots =
             tel.store()->load_forest(forest_key, "tests", cache_mgr)) {
-      if (roots->size() == faults.size()) {
+      if (roots->size() == dp_faults.size()) {
         from_cache = true;
         std::cout << "[cache] test-set forest hit in " << tel.store()->dir()
                   << "\n";
-        for (std::size_t i = 0; i < faults.size(); ++i) {
+        for (std::size_t i = 0; i < dp_faults.size(); ++i) {
           const bdd::Bdd& ts = (*roots)[i];
           if (!ts.valid() || ts.is_zero()) {
             ++redundant;  // stored as an absent/empty test set
             continue;
           }
-          entries.push_back({&faults[i], ts,
+          entries.push_back({&dp_faults[i], ts,
                              ts.density(circuit.num_inputs())});
         }
       }
     }
   }
-  if (!from_cache) {
+  if (!from_cache && !dp_faults.empty()) {
     // Analyze every fault (sharded over --jobs workers); sort hardest
     // (smallest test set) first so scarce vectors are placed before
     // flexible ones.
@@ -113,11 +175,11 @@ int main(int argc, char** argv) {
     popt.jobs = jobs;
     popt.dp.trace = tel.trace();
     engine.emplace(circuit, structure, popt);
-    std::vector<core::FaultAnalysis> analyses = engine->analyze_all(faults);
+    std::vector<core::FaultAnalysis> analyses = engine->analyze_all(dp_faults);
     engine->stats().export_metrics(tel.metrics());
 
-    std::vector<bdd::Bdd> roots(faults.size());
-    for (std::size_t i = 0; i < faults.size(); ++i) {
+    std::vector<bdd::Bdd> roots(dp_faults.size());
+    for (std::size_t i = 0; i < dp_faults.size(); ++i) {
       if (!analyses[i].detectable) {
         ++redundant;  // proven untestable: excluded, not abandoned
         continue;
@@ -126,7 +188,7 @@ int main(int argc, char** argv) {
         roots[i] = store::transfer(cache_mgr, analyses[i].test_set);
       }
       const double det = analyses[i].detectability;
-      entries.push_back({&faults[i], std::move(analyses[i].test_set), det});
+      entries.push_back({&dp_faults[i], std::move(analyses[i].test_set), det});
     }
     if (tel.store()) {
       tel.store()->store_forest(forest_key, "tests", cache_mgr, roots);
@@ -140,7 +202,9 @@ int main(int argc, char** argv) {
   // Greedy compaction: reuse an existing vector whenever the fault's test
   // set already contains one (a BDD evaluation), else mint a new vector
   // from the test set's satisfying cube (don't-cares filled with zeros).
-  std::vector<std::vector<bool>> vectors;
+  // In hybrid mode the prefilter's witness vectors are already in the set,
+  // so DP-phase faults reuse them when possible.
+  const std::size_t random_vectors = vectors.size();
   std::size_t reused = 0;
   for (const Entry& e : entries) {
     bool covered = false;
@@ -158,9 +222,15 @@ int main(int argc, char** argv) {
     vectors.push_back(std::move(v));
   }
   std::cout << "Generated vectors: " << vectors.size() << " ("
-            << reused << " faults covered by reuse)\n";
+            << reused << " faults covered by reuse";
+  if (hybrid) {
+    std::cout << "; " << random_vectors << " random-phase + "
+              << vectors.size() - random_vectors << " DP-phase";
+  }
+  std::cout << ")\n";
 
-  // Independent verification: grade the vector set with the simulator.
+  // Independent verification: grade the vector set with the simulator,
+  // over the FULL fault list (prefilter-covered faults included).
   sim::FaultSimulator fs(circuit);
   const auto cov = fs.grade_vectors(faults, vectors);
   std::cout << "Simulator-graded coverage: " << cov.detected << "/"

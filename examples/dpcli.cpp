@@ -28,6 +28,7 @@
 
 #include "analysis/diagnosis.hpp"
 #include "cli_common.hpp"
+#include "analysis/hybrid.hpp"
 #include "analysis/profiles.hpp"
 #include "analysis/random_pattern.hpp"
 #include "analysis/report.hpp"
@@ -50,6 +51,8 @@ int usage() {
          "  fault C NET 0|1 | diagnose C NET 0|1 | syndrome C | atpg C\n"
          "  write C | dot C NET | hash C (or: C --hash)\n"
          "  (C = benchmark name or .bench path; sa and bf take --jobs N)\n"
+         "  sa also takes --hybrid [--prefilter-patterns N]: random-pattern\n"
+         "  prefilter first, exact DP only on the undetected remainder\n"
          "  global: --metrics-json PATH (dp.metrics.v1 document), --trace,\n"
          "          --cache-dir PATH (artifact cache), --resume/--no-resume\n";
   return 2;
@@ -89,6 +92,38 @@ int cmd_info(const netlist::Circuit& c) {
   std::cout << "  checkpoint faults: " << fault::checkpoint_faults(c).size()
             << " (collapsed: " << fault::collapse_checkpoint_faults(c).size()
             << ")\n";
+  return 0;
+}
+
+int cmd_sa_hybrid(const netlist::Circuit& c, bool full, std::size_t jobs,
+                  std::size_t prefilter_patterns, cli::Telemetry& tel) {
+  analysis::AnalysisOptions opt;
+  opt.collapse = !full;
+  opt.jobs = jobs;
+  opt.dp.trace = tel.trace();
+  analysis::HybridOptions hopt;
+  hopt.prefilter_patterns = prefilter_patterns;
+  const analysis::HybridProfile p = analysis::analyze_stuck_at_hybrid(c, opt, hopt);
+  p.engine_stats.export_metrics(tel.metrics());
+  tel.metrics().timer("phase.prefilter").record(p.prefilter_seconds);
+  tel.metrics().timer("phase.dp_remainder").record(p.dp_seconds);
+  tel.metrics().counter("hybrid.prefilter_resolved")
+      .add(static_cast<std::uint64_t>(p.prefilter_resolved()));
+  tel.metrics().counter("hybrid.dp_resolved")
+      .add(static_cast<std::uint64_t>(p.dp_resolved()));
+  std::cout << "hybrid stuck-at analysis of " << c.name() << " ("
+            << (full ? "uncollapsed" : "collapsed") << " checkpoints)\n";
+  std::cout << "  faults            : " << p.faults.size() << "\n";
+  std::cout << "  prefilter resolved: " << p.prefilter_resolved() << " ("
+            << analysis::TextTable::num(p.prefilter_fraction()) << " of all, "
+            << p.prefilter_patterns << " random patterns)\n";
+  std::cout << "  exact DP remainder: " << p.dp_resolved() << " analyzed, "
+            << p.redundant_count() << " undetectable\n";
+  std::cout << "  phase seconds     : prefilter "
+            << analysis::TextTable::num(p.prefilter_seconds) << ", DP "
+            << analysis::TextTable::num(p.dp_seconds) << "\n";
+  // Always shown (even serial) so refcount underflows can never hide.
+  std::cout << "\n" << p.engine_stats;
   return 0;
 }
 
@@ -347,8 +382,13 @@ int cmd_hash(const netlist::Circuit& c) {
   return 0;
 }
 
+struct HybridFlags {
+  bool enabled = false;
+  std::size_t prefilter_patterns = 4096;
+};
+
 int dispatch(const std::vector<std::string>& args, std::size_t jobs,
-             cli::Telemetry& tel) {
+             const HybridFlags& hybrid, cli::Telemetry& tel) {
   const std::string cmd = args[0];
   if (cmd == "list") return cmd_list();
   // `dpcli <circuit> --hash`: flag form of the hash command.
@@ -362,7 +402,12 @@ int dispatch(const std::vector<std::string>& args, std::size_t jobs,
 
   if (cmd == "info") return cmd_info(circuit);
   if (cmd == "sa") {
-    return cmd_sa(circuit, args.size() > 2 && args[2] == "--full", jobs, tel);
+    const bool full = args.size() > 2 && args[2] == "--full";
+    if (hybrid.enabled) {
+      return cmd_sa_hybrid(circuit, full, jobs, hybrid.prefilter_patterns,
+                           tel);
+    }
+    return cmd_sa(circuit, full, jobs, tel);
   }
   if (cmd == "bf") {
     std::size_t count = 1000;
@@ -401,21 +446,34 @@ int main(int argc, char** argv) {
   // the per-command positional parsing below stays simple. A trailing
   // `--jobs` with no value is a hard error, never a silent default.
   std::size_t jobs = 1;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] != "--jobs") continue;
-    if (i + 1 >= args.size()) {
-      std::cerr << "error: --jobs requires a value\n";
-      return 2;
+  HybridFlags hybrid;
+  for (std::size_t i = 1; i < args.size();) {
+    if (args[i] == "--hybrid") {
+      hybrid.enabled = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     }
-    jobs = cli::parse_count("--jobs", args[i + 1]);
-    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    break;
+    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << args[i] << " requires a value\n";
+        return 2;
+      }
+      const std::size_t value = cli::parse_count(args[i], args[i + 1]);
+      if (args[i] == "--jobs") {
+        jobs = value;
+      } else {
+        hybrid.prefilter_patterns = value;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    ++i;
   }
 
   int rc;
   try {
-    rc = dispatch(args, jobs, tel);
+    rc = dispatch(args, jobs, hybrid, tel);
   } catch (const std::exception& e) {
     std::cerr << "dpcli: " << e.what() << "\n";
     return 1;

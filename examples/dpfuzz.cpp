@@ -5,7 +5,7 @@
 //
 //   dpfuzz [--seed N] [--cases N] [--max-gates N] [--max-inputs N]
 //          [--jobs N] [--shapes a,b,...] [--no-bridging] [--no-parallel]
-//          [--no-store] [--no-shrink] [--scratch-dir PATH]
+//          [--no-store] [--no-hybrid] [--no-shrink] [--scratch-dir PATH]
 //          [--repro-dir PATH] [--metrics-json PATH] [--max-failures N]
 //          [--self-test] [--quiet]
 //
@@ -30,7 +30,7 @@ int usage() {
       << "usage: dpfuzz [--seed N] [--cases N] [--max-gates N]\n"
          "              [--max-inputs N] [--jobs N] [--shapes a,b,...]\n"
          "              [--no-bridging] [--no-parallel] [--no-store]\n"
-         "              [--no-shrink] [--scratch-dir PATH]\n"
+         "              [--no-hybrid] [--no-shrink] [--scratch-dir PATH]\n"
          "              [--repro-dir PATH] [--metrics-json PATH]\n"
          "              [--max-failures N] [--self-test] [--quiet]\n"
          "shapes: mixed fanout xor reconvergent chain (default: all)\n";
@@ -89,6 +89,8 @@ int main(int argc, char** argv) {
       config.oracle.check_parallel = false;
     } else if (a == "--no-store") {
       config.oracle.check_store = false;
+    } else if (a == "--no-hybrid") {
+      config.oracle.check_hybrid = false;
     } else if (a == "--no-shrink") {
       config.shrink = false;
     } else if (a == "--scratch-dir") {
@@ -144,6 +146,7 @@ int main(int argc, char** argv) {
               << result.wall_seconds << " s, jobs " << result.jobs
               << ", parallel " << (result.checked_parallel ? "on" : "off")
               << ", store " << (result.checked_store ? "on" : "off")
+              << ", hybrid " << (result.checked_hybrid ? "on" : "off")
               << ")\n";
     for (const dp::verify::CaseFailure& f : result.failures) {
       std::cout << "[dpfuzz] FAILURE case " << f.case_index << " seed "

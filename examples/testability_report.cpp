@@ -11,12 +11,16 @@
 //   $ ./testability_report c432 --cache-dir .dpcache
 //                                         # reuse a cached profile /
 //                                         # resume an interrupted sweep
+//   $ ./testability_report c432 --hybrid [--prefilter-patterns N]
+//                                         # random-pattern prefilter, then
+//                                         # exact DP on the remainder only
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/hybrid.hpp"
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
 #include "cli_common.hpp"
@@ -44,13 +48,23 @@ int main(int argc, char** argv) {
 
   std::string arg = "alu181";
   analysis::AnalysisOptions opt;
+  bool hybrid = false;
+  analysis::HybridOptions hopt;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--jobs") {
+    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns") {
       if (i + 1 >= args.size()) {
-        std::cerr << "error: --jobs requires a value\n";
+        std::cerr << "error: " << args[i] << " requires a value\n";
         return 2;
       }
-      opt.jobs = cli::parse_count("--jobs", args[++i]);
+      const std::string flag = args[i];
+      const std::size_t value = cli::parse_count(flag, args[++i]);
+      if (flag == "--jobs") {
+        opt.jobs = value;
+      } else {
+        hopt.prefilter_patterns = value;
+      }
+    } else if (args[i] == "--hybrid") {
+      hybrid = true;
     } else {
       arg = args[i];
     }
@@ -64,6 +78,51 @@ int main(int argc, char** argv) {
   std::cout << "  " << circuit.num_gates() << " gates, "
             << circuit.num_inputs() << " PIs, " << circuit.num_outputs()
             << " POs\n\n";
+
+  if (hybrid) {
+    const analysis::HybridProfile hp =
+        analysis::analyze_stuck_at_hybrid(circuit, opt, hopt);
+    hp.engine_stats.export_metrics(tel.metrics());
+    tel.metrics().timer("phase.prefilter").record(hp.prefilter_seconds);
+    tel.metrics().timer("phase.dp_remainder").record(hp.dp_seconds);
+    std::cout << "Hybrid pipeline (" << hp.prefilter_patterns
+              << " random patterns, then exact DP on the remainder)\n";
+    std::cout << "Collapsed checkpoint faults : " << hp.faults.size() << "\n";
+    std::cout << "Prefilter resolved          : " << hp.prefilter_resolved()
+              << " (" << analysis::TextTable::num(hp.prefilter_fraction())
+              << ")\n";
+    std::cout << "Exact DP remainder          : " << hp.dp_resolved() << "\n";
+    std::cout << "Undetectable (redundant)    : " << hp.redundant_count()
+              << "\n";
+    std::cout << "Phase seconds               : prefilter "
+              << analysis::TextTable::num(hp.prefilter_seconds) << ", DP "
+              << analysis::TextTable::num(hp.dp_seconds) << "\n";
+
+    // The DP remainder is exactly the random-pattern-resistant set, so its
+    // exact detectabilities rank the deterministic-ATPG workload.
+    std::vector<const analysis::HybridFaultRecord*> hard;
+    for (const auto& f : hp.faults) {
+      if (f.resolved_by == analysis::ResolvedBy::ExactDp && f.detectable) {
+        hard.push_back(&f);
+      }
+    }
+    std::sort(hard.begin(), hard.end(), [](const auto* a, const auto* b) {
+      return a->dp.detectability < b->dp.detectability;
+    });
+    std::cout << "\nHardest random-pattern-resistant faults (exact DP):\n";
+    analysis::TextTable t({"detectability", "upper bound", "adherence",
+                           "max levels to PO"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, hard.size()); ++i) {
+      t.add_row({analysis::TextTable::num(hard[i]->dp.detectability, 6),
+                 analysis::TextTable::num(hard[i]->dp.upper_bound, 6),
+                 analysis::TextTable::num(hard[i]->dp.adherence),
+                 std::to_string(hard[i]->dp.max_levels_to_po)});
+    }
+    t.print(std::cout);
+    // Always shown (even serial) so refcount underflows can never hide.
+    std::cout << "\n" << hp.engine_stats;
+    return tel.write("testability_report") ? 0 : 1;
+  }
 
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(circuit, opt);
   p.engine_stats.export_metrics(tel.metrics());

@@ -1,0 +1,111 @@
+#include "analysis/hybrid.hpp"
+
+#include <chrono>
+
+namespace dp::analysis {
+
+using netlist::Circuit;
+using netlist::Structure;
+
+std::size_t HybridProfile::prefilter_resolved() const {
+  std::size_t n = 0;
+  for (const HybridFaultRecord& r : faults) {
+    n += r.resolved_by == ResolvedBy::Prefilter;
+  }
+  return n;
+}
+
+std::size_t HybridProfile::dp_resolved() const {
+  return faults.size() - prefilter_resolved();
+}
+
+std::size_t HybridProfile::detectable_count() const {
+  std::size_t n = 0;
+  for (const HybridFaultRecord& r : faults) n += r.detectable;
+  return n;
+}
+
+std::size_t HybridProfile::redundant_count() const {
+  return faults.size() - detectable_count();
+}
+
+double HybridProfile::prefilter_fraction() const {
+  return faults.empty() ? 0.0
+                        : static_cast<double>(prefilter_resolved()) /
+                              static_cast<double>(faults.size());
+}
+
+HybridProfile analyze_hybrid(const Circuit& circuit,
+                             const std::vector<fault::StuckAtFault>& faults,
+                             const AnalysisOptions& options,
+                             const HybridOptions& hybrid) {
+  using clock = std::chrono::steady_clock;
+
+  HybridProfile p;
+  p.circuit = circuit.name();
+  p.netlist_size = circuit.num_gates();
+  p.num_inputs = circuit.num_inputs();
+  p.num_outputs = circuit.num_outputs();
+  p.prefilter_patterns = hybrid.prefilter_patterns;
+  p.prefilter_seed = hybrid.prefilter_seed;
+  p.faults.resize(faults.size());
+
+  const auto t0 = clock::now();
+  const sim::WideFaultSimulator wide(circuit);
+  sim::WideSimOptions wopt;
+  wopt.drop_detected = hybrid.drop_detected;
+  const sim::WideFaultSimulator::Grade grade = wide.grade_random(
+      faults, hybrid.prefilter_patterns, hybrid.prefilter_seed, wopt);
+  const auto t1 = clock::now();
+  p.prefilter_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<std::size_t> remainder;
+  std::vector<fault::StuckAtFault> remainder_faults;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    HybridFaultRecord& r = p.faults[i];
+    r.detection_count = grade.detection_counts[i];
+    r.first_detection = grade.first_detection[i];
+    if (r.detection_count > 0) {
+      // Sound by construction: a concrete pattern flipped a PO.
+      r.resolved_by = ResolvedBy::Prefilter;
+      r.detectable = true;
+    } else {
+      r.resolved_by = ResolvedBy::ExactDp;
+      remainder.push_back(i);
+      remainder_faults.push_back(faults[i]);
+    }
+  }
+
+  if (!remainder_faults.empty()) {
+    const Structure structure(circuit);
+    core::ParallelEngine::Options popt;
+    popt.jobs = options.jobs;
+    popt.bdd_node_limit = options.bdd_node_limit;
+    popt.dp = options.dp;
+    core::ParallelEngine engine(circuit, structure, popt);
+    core::ParallelStats totals = engine.stats();
+    // Distinct indices into the pre-sized vector, so the concurrent sink
+    // writes are safe (same shape as run_sweep in profiles.cpp).
+    engine.analyze_each(
+        remainder_faults, [&](std::size_t k, core::FaultAnalysis&& a) {
+          HybridFaultRecord& r = p.faults[remainder[k]];
+          r.detectable = a.detectable;
+          r.dp = make_stuck_at_record(structure, remainder_faults[k], a);
+        });
+    totals.merge(engine.stats());
+    p.engine_stats = totals;
+  }
+  p.dp_seconds = std::chrono::duration<double>(clock::now() - t1).count();
+  return p;
+}
+
+HybridProfile analyze_stuck_at_hybrid(const Circuit& circuit,
+                                      const AnalysisOptions& options,
+                                      const HybridOptions& hybrid) {
+  const std::vector<fault::StuckAtFault> faults =
+      options.collapse ? fault::collapse_checkpoint_faults(circuit)
+                       : fault::checkpoint_faults(circuit);
+  return analyze_hybrid(circuit, faults, options, hybrid);
+}
+
+}  // namespace dp::analysis

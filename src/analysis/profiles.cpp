@@ -137,6 +137,15 @@ std::pair<int, int> sa_site_distances(const Structure& s,
 
 }  // namespace
 
+FaultRecord make_stuck_at_record(const Structure& structure,
+                                 const fault::StuckAtFault& fault,
+                                 const core::FaultAnalysis& analysis) {
+  const auto [to_po, from_pi] = sa_site_distances(structure, fault);
+  FaultRecord r = to_record(analysis, to_po, from_pi);
+  r.branch_site = fault.branch.has_value();
+  return r;
+}
+
 namespace {
 
 core::ParallelEngine::Options engine_options(const AnalysisOptions& options) {
@@ -235,11 +244,7 @@ CircuitProfile analyze_stuck_at(const Circuit& circuit,
   CircuitProfile profile = make_profile(circuit);
   run_sweep(circuit, structure, faults, options, "sa", profile,
             [&](std::size_t i, const core::FaultAnalysis& a) {
-              const auto [to_po, from_pi] =
-                  sa_site_distances(structure, faults[i]);
-              FaultRecord r = to_record(a, to_po, from_pi);
-              r.branch_site = faults[i].branch.has_value();
-              return r;
+              return make_stuck_at_record(structure, faults[i], a);
             });
   return profile;
 }

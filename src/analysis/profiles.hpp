@@ -101,6 +101,14 @@ struct AnalysisOptions {
   PersistenceOptions persistence;   ///< artifact cache + checkpoint/resume
 };
 
+/// Builds the scalar record for one stuck-at DP result exactly as
+/// analyze_stuck_at does. Shared with the hybrid pipeline
+/// (analysis/hybrid.hpp) so a DP-resolved hybrid record is field-identical
+/// to the record a pure sweep produces for the same fault.
+FaultRecord make_stuck_at_record(const netlist::Structure& structure,
+                                 const fault::StuckAtFault& fault,
+                                 const core::FaultAnalysis& analysis);
+
 /// Full stuck-at study of one circuit (checkpoint faults, collapsed).
 CircuitProfile analyze_stuck_at(const netlist::Circuit& circuit,
                                 const AnalysisOptions& options = {});

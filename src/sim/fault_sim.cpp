@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <random>
 #include <stdexcept>
+
+#include "sim/wide_sim.hpp"
 
 namespace dp::sim {
 
@@ -19,64 +20,58 @@ void FaultSimulator::faulty_values(std::vector<Word>& values,
   const Word forced = f.stuck_value ? ~Word{0} : 0;
 
   for (NetId id : c.topo_order()) {
+    if (f.branch && f.branch->gate == id) {
+      // Branch fault: the gate sees the forced value on one pin only.
+      // Checked before the Input skip so a branch fault addressing a
+      // zero-fanin site fails loudly instead of being silently ignored.
+      const PatternSimulator::PinOverride ov{f.branch->pin, forced};
+      values[id] = sim_.eval_gate_with_overrides(id, values, &ov, 1);
+      continue;
+    }
     if (c.type(id) != GateType::Input) {
-      if (f.branch && f.branch->gate == id) {
-        // Branch fault: the gate sees the forced value on one pin only.
-        const auto& fi = c.fanins(id);
-        std::vector<Word> pins(fi.size());
-        for (std::size_t i = 0; i < fi.size(); ++i) pins[i] = values[fi[i]];
-        pins[f.branch->pin] = forced;
-        const GateType t = c.type(id);
-        Word acc = pins[0];
-        for (std::size_t i = 1; i < pins.size(); ++i) {
-          acc = netlist::eval_word2(netlist::base_of(t), acc, pins[i]);
-        }
-        if (netlist::is_inverting(t)) acc = ~acc;
-        values[id] = acc;
-        continue;
-      }
       values[id] = sim_.eval_gate(id, values);
     }
     if (!f.branch && id == f.net) values[id] = forced;  // stem fault
   }
 }
 
-void FaultSimulator::faulty_values(
-    std::vector<Word>& values, const fault::MultipleStuckAtFault& f) const {
+FaultSimulator::MultipleFaultPlan FaultSimulator::make_plan(
+    const fault::MultipleStuckAtFault& f) const {
   const Circuit& c = circuit();
-
-  std::vector<const fault::StuckAtFault*> stem(c.num_nets(), nullptr);
-  std::vector<std::vector<const fault::StuckAtFault*>> pins(c.num_nets());
+  MultipleFaultPlan plan;
+  plan.stem_forced.assign(c.num_nets(), 0);
+  plan.has_stem.assign(c.num_nets(), 0);
+  plan.overrides.resize(c.num_nets());
   for (const fault::StuckAtFault& comp : f.components) {
+    const Word forced = comp.stuck_value ? ~Word{0} : 0;
     if (comp.branch) {
-      pins[comp.branch->gate].push_back(&comp);
+      plan.overrides[comp.branch->gate].push_back({comp.branch->pin, forced});
     } else {
-      stem[comp.net] = &comp;
+      plan.stem_forced[comp.net] = forced;
+      plan.has_stem[comp.net] = 1;
     }
   }
+  return plan;
+}
 
+void FaultSimulator::faulty_values(std::vector<Word>& values,
+                                   const MultipleFaultPlan& plan) const {
+  const Circuit& c = circuit();
   for (NetId id : c.topo_order()) {
     if (c.type(id) != GateType::Input) {
-      if (!pins[id].empty()) {
-        const auto& fi = c.fanins(id);
-        std::vector<Word> in(fi.size());
-        for (std::size_t i = 0; i < fi.size(); ++i) in[i] = values[fi[i]];
-        for (const fault::StuckAtFault* p : pins[id]) {
-          in[p->branch->pin] = p->stuck_value ? ~Word{0} : 0;
-        }
-        const GateType t = c.type(id);
-        Word acc = in[0];
-        for (std::size_t i = 1; i < in.size(); ++i) {
-          acc = netlist::eval_word2(netlist::base_of(t), acc, in[i]);
-        }
-        if (netlist::is_inverting(t)) acc = ~acc;
-        values[id] = acc;
-      } else {
-        values[id] = sim_.eval_gate(id, values);
-      }
+      const auto& ovs = plan.overrides[id];
+      values[id] = ovs.empty()
+                       ? sim_.eval_gate(id, values)
+                       : sim_.eval_gate_with_overrides(id, values, ovs.data(),
+                                                       ovs.size());
     }
-    if (stem[id]) values[id] = stem[id]->stuck_value ? ~Word{0} : 0;
+    if (plan.has_stem[id]) values[id] = plan.stem_forced[id];
   }
+}
+
+void FaultSimulator::faulty_values(
+    std::vector<Word>& values, const fault::MultipleStuckAtFault& f) const {
+  faulty_values(values, make_plan(f));
 }
 
 std::vector<NetId> FaultSimulator::bridge_order(const BridgingFault& f) const {
@@ -123,9 +118,9 @@ std::vector<NetId> FaultSimulator::bridge_order(const BridgingFault& f) const {
 }
 
 void FaultSimulator::faulty_values(std::vector<Word>& values,
-                                   const BridgingFault& f) const {
+                                   const BridgingFault& f,
+                                   const std::vector<NetId>& order) const {
   const Circuit& c = circuit();
-  const std::vector<NetId> order = bridge_order(f);
 
   Word driven_a = 0, driven_b = 0;
   bool have_a = false, have_b = false;
@@ -150,6 +145,11 @@ void FaultSimulator::faulty_values(std::vector<Word>& values,
       if (have_a) fuse();
     }
   }
+}
+
+void FaultSimulator::faulty_values(std::vector<Word>& values,
+                                   const BridgingFault& f) const {
+  faulty_values(values, f, bridge_order(f));
 }
 
 Word FaultSimulator::detect_lanes(const std::vector<Word>& good,
@@ -184,6 +184,10 @@ double FaultSimulator::exhaustive_detectability_impl(const Fault& f) const {
   const std::size_t n = circuit().num_inputs();
   const std::uint64_t blocks = n > 6 ? (1ull << (n - 6)) : 1;
 
+  // Everything derivable from the fault alone (bridge evaluation order,
+  // multiple-fault injection tables) is prepared once, outside the 2^n
+  // block loop.
+  const auto prepared = prepare(f);
   std::vector<Word> good(circuit().num_nets());
   std::vector<Word> faulty(circuit().num_nets());
   std::uint64_t detected = 0;
@@ -191,7 +195,7 @@ double FaultSimulator::exhaustive_detectability_impl(const Fault& f) const {
     load_exhaustive_inputs(good, b);
     load_exhaustive_inputs(faulty, b);
     good_values(good);
-    faulty_values(faulty, f);
+    faulty_values_prepared(faulty, prepared);
     detected += std::popcount(detect_lanes(good, faulty) &
                               PatternSimulator::block_mask(b, n));
   }
@@ -230,6 +234,7 @@ std::vector<bool> FaultSimulator::exhaustive_test_set_impl(
   const std::size_t n = circuit().num_inputs();
   const std::uint64_t blocks = n > 6 ? (1ull << (n - 6)) : 1;
 
+  const auto prepared = prepare(f);
   std::vector<bool> tests(1ull << n, false);
   std::vector<Word> good(circuit().num_nets());
   std::vector<Word> faulty(circuit().num_nets());
@@ -237,7 +242,7 @@ std::vector<bool> FaultSimulator::exhaustive_test_set_impl(
     load_exhaustive_inputs(good, b);
     load_exhaustive_inputs(faulty, b);
     good_values(good);
-    faulty_values(faulty, f);
+    faulty_values_prepared(faulty, prepared);
     Word lanes =
         detect_lanes(good, faulty) & PatternSimulator::block_mask(b, n);
     while (lanes) {
@@ -261,66 +266,23 @@ std::vector<bool> FaultSimulator::exhaustive_test_set(
 FaultSimulator::Coverage FaultSimulator::grade_random(
     const std::vector<StuckAtFault>& faults, std::size_t num_patterns,
     std::uint64_t seed) const {
-  std::mt19937_64 rng(seed);
-  const auto& pis = circuit().inputs();
-  std::vector<bool> detected(faults.size(), false);
-  std::vector<Word> good(circuit().num_nets());
-  std::vector<Word> faulty(circuit().num_nets());
-
-  for (std::size_t done = 0; done < num_patterns; done += 64) {
-    std::vector<Word> in(pis.size());
-    for (auto& w : in) w = rng();
-    const Word mask = num_patterns - done >= 64
-                          ? ~Word{0}
-                          : ((Word{1} << (num_patterns - done)) - 1);
-    for (std::size_t i = 0; i < pis.size(); ++i) good[pis[i]] = in[i];
-    good_values(good);
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (detected[fi]) continue;  // fault dropping
-      for (std::size_t i = 0; i < pis.size(); ++i) faulty[pis[i]] = in[i];
-      faulty_values(faulty, faults[fi]);
-      if (detect_lanes(good, faulty) & mask) detected[fi] = true;
-    }
-  }
+  const WideFaultSimulator wide(circuit());
+  const WideFaultSimulator::Grade g =
+      wide.grade_random(faults, num_patterns, seed);
   Coverage cov;
-  cov.total = faults.size();
-  for (bool d : detected) cov.detected += d;
+  cov.total = g.total;
+  cov.detected = g.detected();
   return cov;
 }
 
 FaultSimulator::Coverage FaultSimulator::grade_vectors(
     const std::vector<StuckAtFault>& faults,
     const std::vector<std::vector<bool>>& vectors) const {
-  const auto& pis = circuit().inputs();
-  std::vector<bool> detected(faults.size(), false);
-  std::vector<Word> good(circuit().num_nets());
-  std::vector<Word> faulty(circuit().num_nets());
-
-  for (std::size_t base = 0; base < vectors.size(); base += 64) {
-    const std::size_t lanes = std::min<std::size_t>(64, vectors.size() - base);
-    std::vector<Word> in(pis.size(), 0);
-    for (std::size_t l = 0; l < lanes; ++l) {
-      const auto& vec = vectors[base + l];
-      if (vec.size() != pis.size()) {
-        throw std::invalid_argument("grade_vectors: vector width != #PIs");
-      }
-      for (std::size_t i = 0; i < pis.size(); ++i) {
-        if (vec[i]) in[i] |= Word{1} << l;
-      }
-    }
-    const Word mask = lanes == 64 ? ~Word{0} : ((Word{1} << lanes) - 1);
-    for (std::size_t i = 0; i < pis.size(); ++i) good[pis[i]] = in[i];
-    good_values(good);
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (detected[fi]) continue;
-      for (std::size_t i = 0; i < pis.size(); ++i) faulty[pis[i]] = in[i];
-      faulty_values(faulty, faults[fi]);
-      if (detect_lanes(good, faulty) & mask) detected[fi] = true;
-    }
-  }
+  const WideFaultSimulator wide(circuit());
+  const WideFaultSimulator::Grade g = wide.grade_vectors(faults, vectors);
   Coverage cov;
-  cov.total = faults.size();
-  for (bool d : detected) cov.detected += d;
+  cov.total = g.total;
+  cov.detected = g.detected();
   return cov;
 }
 

@@ -29,6 +29,38 @@ Word PatternSimulator::eval_gate(NetId id, const std::vector<Word>& values) cons
   return acc;
 }
 
+Word PatternSimulator::eval_gate_with_overrides(
+    NetId id, const std::vector<Word>& values, const PinOverride* overrides,
+    std::size_t num_overrides) const {
+  const auto& fi = circuit_.fanins(id);
+  if (fi.empty()) {
+    throw netlist::NetlistError(
+        "eval_gate_with_overrides: gate '" + circuit_.net_name(id) +
+        "' has no fanin pins to override");
+  }
+  auto pin_value = [&](std::size_t i) {
+    for (std::size_t k = 0; k < num_overrides; ++k) {
+      if (overrides[k].pin == i) return overrides[k].value;
+    }
+    return values[fi[i]];
+  };
+  for (std::size_t k = 0; k < num_overrides; ++k) {
+    if (overrides[k].pin >= fi.size()) {
+      throw netlist::NetlistError(
+          "eval_gate_with_overrides: pin " + std::to_string(overrides[k].pin) +
+          " out of range on gate '" + circuit_.net_name(id) + "'");
+    }
+  }
+  const GateType t = circuit_.type(id);
+  const GateType base = netlist::base_of(t);
+  Word acc = pin_value(0);
+  for (std::size_t i = 1; i < fi.size(); ++i) {
+    acc = netlist::eval_word2(base, acc, pin_value(i));
+  }
+  if (netlist::is_inverting(t)) acc = ~acc;
+  return acc;
+}
+
 void PatternSimulator::eval(std::vector<Word>& values) const {
   for (NetId id : circuit_.topo_order()) {
     if (circuit_.type(id) == GateType::Input) continue;

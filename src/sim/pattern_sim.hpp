@@ -37,6 +37,21 @@ class PatternSimulator {
   /// fault simulator can inject pin/stem overrides between gates.
   Word eval_gate(NetId id, const std::vector<Word>& values) const;
 
+  /// One forced fanin pin of a gate under evaluation.
+  struct PinOverride {
+    std::uint32_t pin = 0;
+    Word value = 0;
+  };
+
+  /// Evaluates gate `id` with the listed fanin pins replaced by forced
+  /// words (branch-fault injection). The single shared implementation for
+  /// every injection path, so a new gate type cannot silently diverge
+  /// between them. Throws NetlistError if `id` has no fanin pins to
+  /// override (Input/Const sites) or an override names a pin out of range.
+  Word eval_gate_with_overrides(NetId id, const std::vector<Word>& values,
+                                const PinOverride* overrides,
+                                std::size_t num_overrides) const;
+
   /// Lane-packs an exhaustive input block: lane L of the returned word for
   /// PI index `pi` is bit `pi` of the input-vector number block*64 + L.
   static Word exhaustive_input_word(std::size_t pi, std::uint64_t block);

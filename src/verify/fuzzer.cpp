@@ -35,6 +35,7 @@ obs::JsonValue repro_to_json(const FuzzCase& original,
   engine["jobs"] = config.oracle.jobs;
   engine["check_parallel"] = config.oracle.check_parallel;
   engine["check_store"] = config.oracle.check_store;
+  engine["check_hybrid"] = config.oracle.check_hybrid;
   engine["mutation"] = to_string(config.oracle.mutate);
   doc["engine"] = std::move(engine);
 
@@ -107,6 +108,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.checked_parallel = config.oracle.check_parallel;
   result.checked_store =
       config.oracle.check_store && !config.oracle.scratch_dir.empty();
+  result.checked_hybrid = config.oracle.check_hybrid;
 
   for (std::uint64_t i = 0; i < config.num_cases; ++i) {
     const FuzzCase fc = make_case(config.cases, i);
@@ -162,6 +164,7 @@ obs::JsonValue report_to_json(const CampaignResult& result) {
   arms["dp_vs_sim"] = true;  // always on: it is the point
   arms["parallel"] = result.checked_parallel;
   arms["store"] = result.checked_store;
+  arms["hybrid"] = result.checked_hybrid;
   doc["oracles"] = std::move(arms);
   doc["wall_seconds"] = result.wall_seconds;
 
@@ -214,9 +217,11 @@ bool run_self_test(const CampaignConfig& base, std::ostream& log,
           << ": SKIP (parallel arm disabled)\n";
       continue;
     }
-    // The store arm is orthogonal to every injected perturbation; keep
-    // the self-test lean.
+    // The store and hybrid arms are orthogonal to every injected
+    // perturbation (both compare against unperturbed serial results);
+    // keep the self-test lean.
     oracle.check_store = false;
+    oracle.check_hybrid = false;
 
     // Any case with at least one stuck-at fault trips every mutation
     // (the first fault / last gate is perturbed); probe a few indices in

@@ -55,6 +55,7 @@ struct CampaignResult {
   std::size_t jobs = 0;
   bool checked_parallel = false;
   bool checked_store = false;
+  bool checked_hybrid = false;
   double wall_seconds = 0.0;
   std::vector<CaseFailure> failures;
 

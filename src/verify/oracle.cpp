@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "analysis/hybrid.hpp"
 #include "analysis/profile_io.hpp"
 #include "analysis/profiles.hpp"
 #include "dp/engine.hpp"
@@ -280,6 +281,39 @@ OracleResult run_oracles(const FuzzCase& fc, const OracleConfig& config) {
         check_parallel_fault(describe(fc.bridges[i], fc.circuit),
                              serial_br[i], par_br[i], false, config.mutate,
                              n, rec);
+      }
+    }
+
+    // ---- hybrid prefilter + DP remainder vs pure serial DP -------------
+    if (config.check_hybrid) {
+      analysis::AnalysisOptions hybrid_analysis;
+      hybrid_analysis.jobs = config.jobs;
+      analysis::HybridOptions hybrid_options;
+      hybrid_options.prefilter_patterns = config.hybrid_prefilter_patterns;
+      const analysis::HybridProfile hp = analysis::analyze_hybrid(
+          fc.circuit, fc.sa_faults, hybrid_analysis, hybrid_options);
+      for (std::size_t i = 0; i < fc.sa_faults.size(); ++i) {
+        const std::string what = describe(fc.sa_faults[i], fc.circuit);
+        const analysis::HybridFaultRecord& hr = hp.faults[i];
+        rec.expect_eq("hybrid.partition", what, serial_sa[i].detectable,
+                      hr.detectable);
+        if (hr.resolved_by == analysis::ResolvedBy::Prefilter) {
+          if (hr.detection_count == 0) {
+            rec.mismatch("hybrid.witness", what,
+                         "prefilter-resolved fault has zero detections");
+          }
+        } else {
+          rec.expect_eq("hybrid.detectability", what,
+                        serial_sa[i].detectability, hr.dp.detectability);
+          rec.expect_eq("hybrid.upper_bound", what, serial_sa[i].upper_bound,
+                        hr.dp.upper_bound);
+          rec.expect_eq("hybrid.adherence", what, serial_sa[i].adherence,
+                        hr.dp.adherence);
+          rec.expect_eq("hybrid.pos_fed", what, serial_sa[i].pos_fed,
+                        hr.dp.pos_fed);
+          rec.expect_eq("hybrid.pos_observable", what,
+                        serial_sa[i].pos_observable, hr.dp.pos_observable);
+        }
       }
     }
 

@@ -13,6 +13,11 @@
 //                vs warm (profile cache hit) vs resumed (profile dropped,
 //                truncated checkpoint installed): FaultRecord vectors
 //                compared field-exact.
+//   hybrid       the prefilter+DP pipeline (analysis/hybrid.hpp) vs the
+//                serial engine: the detectable/undetectable partition must
+//                match exactly, every prefilter resolution must carry a
+//                detection witness count, and every DP-resolved fault's
+//                record must equal the serial analysis field-for-field.
 //
 // All equality is exact (==, doubles included): every compared quantity
 // is an integer sat count <= 2^n divided by a power of two, so any
@@ -52,6 +57,11 @@ struct OracleConfig {
   std::size_t jobs = 4;        ///< worker count of the parallel arm
   bool check_parallel = true;
   bool check_store = true;
+  bool check_hybrid = true;
+  /// Prefilter depth of the hybrid arm; deliberately small (and not a
+  /// multiple of the 256-lane block) so fuzz cases routinely exercise both
+  /// phases and the tail-lane masking.
+  std::size_t hybrid_prefilter_patterns = 192;
   /// Scratch root for the store arm's per-case ArtifactStore; the arm is
   /// skipped when empty. The per-case subdirectory is removed afterwards.
   std::string scratch_dir;

@@ -1,0 +1,143 @@
+// Hybrid pipeline handoff contract: the prefilter+DP pipeline must
+// produce the same detected/undetected partition as the pure exact sweep,
+// with bit-identical DP records on the remainder, at any worker count and
+// any prefilter budget -- including budgets that resolve nothing or
+// everything.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/hybrid.hpp"
+#include "analysis/profiles.hpp"
+#include "netlist/generators.hpp"
+
+namespace dp::analysis {
+namespace {
+
+void expect_matches_pure(const netlist::Circuit& circuit,
+                         std::size_t prefilter_patterns, std::size_t jobs) {
+  AnalysisOptions opt;
+  opt.jobs = jobs;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = prefilter_patterns;
+  const CircuitProfile pure = analyze_stuck_at(circuit, opt);
+  const HybridProfile hybrid = analyze_stuck_at_hybrid(circuit, opt, hopt);
+
+  ASSERT_EQ(hybrid.faults.size(), pure.faults.size());
+  EXPECT_EQ(hybrid.prefilter_resolved() + hybrid.dp_resolved(),
+            hybrid.faults.size());
+  for (std::size_t i = 0; i < pure.faults.size(); ++i) {
+    const HybridFaultRecord& h = hybrid.faults[i];
+    const FaultRecord& p = pure.faults[i];
+    // Partition identity: a prefilter detection is a concrete witness, so
+    // it can only ever claim faults pure DP also proves detectable.
+    EXPECT_EQ(h.detectable, p.detectable) << "fault " << i;
+    if (h.resolved_by == ResolvedBy::Prefilter) {
+      EXPECT_TRUE(h.detectable) << "fault " << i;
+      EXPECT_GT(h.detection_count, 0u) << "fault " << i;
+      continue;
+    }
+    // Record identity on the DP remainder: same engine, same record
+    // builder, so every field must match the pure sweep bit for bit.
+    EXPECT_EQ(h.dp.detectable, p.detectable) << "fault " << i;
+    EXPECT_EQ(h.dp.detectability, p.detectability) << "fault " << i;
+    EXPECT_EQ(h.dp.upper_bound, p.upper_bound) << "fault " << i;
+    EXPECT_EQ(h.dp.adherence, p.adherence) << "fault " << i;
+    EXPECT_EQ(h.dp.pos_fed, p.pos_fed) << "fault " << i;
+    EXPECT_EQ(h.dp.pos_observable, p.pos_observable) << "fault " << i;
+    EXPECT_EQ(h.dp.max_levels_to_po, p.max_levels_to_po) << "fault " << i;
+    EXPECT_EQ(h.dp.level_from_pi, p.level_from_pi) << "fault " << i;
+    EXPECT_EQ(h.dp.branch_site, p.branch_site) << "fault " << i;
+  }
+}
+
+TEST(HybridTest, MatchesPureDpOnC17) {
+  const netlist::Circuit c = netlist::make_c17();
+  // 20 patterns: a partial-word tail; resolves some but not all faults.
+  expect_matches_pure(c, 20, 1);
+  expect_matches_pure(c, 20, 4);
+}
+
+TEST(HybridTest, MatchesPureDpOnAlu181) {
+  const netlist::Circuit c = netlist::make_benchmark("alu181");
+  expect_matches_pure(c, 48, 1);
+  expect_matches_pure(c, 48, 4);
+}
+
+TEST(HybridTest, ZeroPatternPrefilterDegeneratesToPureDp) {
+  // No prefilter budget: every fault must flow through exact DP.
+  const netlist::Circuit c = netlist::make_c17();
+  AnalysisOptions opt;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 0;
+  const HybridProfile hp = analyze_stuck_at_hybrid(c, opt, hopt);
+  EXPECT_EQ(hp.prefilter_resolved(), 0u);
+  EXPECT_EQ(hp.dp_resolved(), hp.faults.size());
+  expect_matches_pure(c, 0, 1);
+}
+
+TEST(HybridTest, LargeBudgetResolvesEverythingDetectableOnC17) {
+  // c17 has no redundant collapsed faults and is tiny: a healthy budget
+  // must leave DP nothing to do.
+  const netlist::Circuit c = netlist::make_c17();
+  AnalysisOptions opt;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 4096;
+  const HybridProfile hp = analyze_stuck_at_hybrid(c, opt, hopt);
+  EXPECT_EQ(hp.prefilter_resolved(), hp.faults.size());
+  EXPECT_EQ(hp.dp_resolved(), 0u);
+  EXPECT_EQ(hp.detectable_count(), hp.faults.size());
+}
+
+TEST(HybridTest, DeterministicAcrossRunsAndJobCounts) {
+  const netlist::Circuit c = netlist::make_benchmark("alu181");
+  AnalysisOptions opt1, opt4;
+  opt1.jobs = 1;
+  opt4.jobs = 4;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 48;
+  const HybridProfile a = analyze_stuck_at_hybrid(c, opt1, hopt);
+  const HybridProfile b = analyze_stuck_at_hybrid(c, opt1, hopt);
+  const HybridProfile d = analyze_stuck_at_hybrid(c, opt4, hopt);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  ASSERT_EQ(a.faults.size(), d.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    for (const HybridProfile* other : {&b, &d}) {
+      EXPECT_EQ(a.faults[i].resolved_by, other->faults[i].resolved_by)
+          << "fault " << i;
+      EXPECT_EQ(a.faults[i].detectable, other->faults[i].detectable)
+          << "fault " << i;
+      EXPECT_EQ(a.faults[i].detection_count, other->faults[i].detection_count)
+          << "fault " << i;
+      EXPECT_EQ(a.faults[i].first_detection, other->faults[i].first_detection)
+          << "fault " << i;
+      EXPECT_EQ(a.faults[i].dp.detectability, other->faults[i].dp.detectability)
+          << "fault " << i;
+    }
+  }
+}
+
+TEST(HybridTest, ProfileAccountingIsConsistent) {
+  const netlist::Circuit c = netlist::make_benchmark("c432");
+  AnalysisOptions opt;
+  opt.jobs = 4;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 64;
+  const HybridProfile hp = analyze_stuck_at_hybrid(c, opt, hopt);
+  EXPECT_EQ(hp.circuit, c.name());
+  EXPECT_EQ(hp.prefilter_patterns, 64u);
+  EXPECT_EQ(hp.prefilter_resolved() + hp.dp_resolved(), hp.faults.size());
+  EXPECT_EQ(hp.detectable_count() + hp.redundant_count(), hp.faults.size());
+  EXPECT_GE(hp.prefilter_seconds, 0.0);
+  EXPECT_GE(hp.dp_seconds, 0.0);
+  // Every redundant fault must have been decided by exact DP -- the
+  // prefilter can only ever prove detectability, never redundancy.
+  for (const HybridFaultRecord& f : hp.faults) {
+    if (!f.detectable) {
+      EXPECT_EQ(f.resolved_by, ResolvedBy::ExactDp);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dp::analysis

@@ -2,12 +2,16 @@
 // exhaustive sweeps, vector grading, ragged-block lane masking.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <random>
 
+#include "fault/bridging.hpp"
 #include "fault/stuck_at.hpp"
 #include "netlist/generators.hpp"
+#include "netlist/structure.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/wide_sim.hpp"
 
 namespace dp::sim {
 namespace {
@@ -307,6 +311,149 @@ TEST(FaultSimRaggedTest, RandomGradingHonorsExactPatternCount) {
   const auto one_vector = fs.grade_vectors(faults, {lane0});
   EXPECT_EQ(one_random.detected, one_vector.detected);
   EXPECT_EQ(one_random.total, one_vector.total);
+}
+
+// ---- Levelized 256-lane engine -----------------------------------------
+
+TEST(WideSimTest, RandomGradingMatchesVectorGradingAtRaggedCounts) {
+  // The random path packs lanes straight from the RNG word stream; the
+  // vector path packs bool vectors lane by lane. Grading the materialized
+  // stream must reproduce the random grade exactly -- per fault, not just
+  // in aggregate -- at counts straddling every masking boundary (partial
+  // word, full word, partial block, full 256-lane block).
+  const Circuit c = netlist::make_c17();
+  const WideFaultSimulator wide(c);
+  const auto faults = fault::checkpoint_faults(c);
+  const std::uint64_t seed = 0xfeedface;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{100},
+                              std::size_t{250}, std::size_t{256},
+                              std::size_t{300}}) {
+    const auto random_grade = wide.grade_random(faults, n, seed);
+    const auto vector_grade =
+        wide.grade_vectors(faults, wide.random_patterns(n, seed));
+    EXPECT_EQ(random_grade.detected(), vector_grade.detected()) << "n=" << n;
+    EXPECT_EQ(random_grade.num_patterns, n) << "n=" << n;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      EXPECT_EQ(random_grade.detection_counts[i],
+                vector_grade.detection_counts[i])
+          << "n=" << n << " fault " << i;
+      EXPECT_EQ(random_grade.first_detection[i],
+                vector_grade.first_detection[i])
+          << "n=" << n << " fault " << i;
+    }
+  }
+}
+
+TEST(WideSimTest, FirstDetectionIsEarliestDetectingPattern) {
+  // Cross-check first_detection against the slow truth: grade each
+  // reconstructed vector on its own and record the first detecting index.
+  const Circuit c = netlist::make_c17();
+  const WideFaultSimulator wide(c);
+  FaultSimulator fs(c);
+  const auto faults = fault::checkpoint_faults(c);
+  const std::size_t n = 40;
+  const std::uint64_t seed = 99;
+  const auto stream = wide.random_patterns(n, seed);
+  const auto grade = wide.grade_random(faults, n, seed);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    std::uint64_t expected = WideFaultSimulator::kNotDetected;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (fs.grade_vectors({faults[i]}, {stream[p]}).detected == 1) {
+        expected = p;
+        break;
+      }
+    }
+    EXPECT_EQ(grade.first_detection[i], expected) << "fault " << i;
+  }
+}
+
+TEST(WideSimTest, FaultDroppingPreservesDetectedSetAndFirstDetection) {
+  // Dropping stops counting after the first detecting block, but it must
+  // never change which faults are detected or where they were first seen.
+  const Circuit c = netlist::make_benchmark("alu181");
+  const WideFaultSimulator wide(c);
+  const auto faults = fault::checkpoint_faults(c);
+  WideSimOptions drop, keep;
+  drop.drop_detected = true;
+  keep.drop_detected = false;
+  const auto dropped = wide.grade_random(faults, 300, 5, drop);
+  const auto kept = wide.grade_random(faults, 300, 5, keep);
+  EXPECT_EQ(dropped.detected(), kept.detected());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(dropped.first_detection[i], kept.first_detection[i])
+        << "fault " << i;
+    EXPECT_EQ(dropped.detection_counts[i] > 0, kept.detection_counts[i] > 0)
+        << "fault " << i;
+  }
+}
+
+TEST(WideSimTest, BranchFaultOnZeroFaninGateThrows) {
+  // A branch fault names a fanin pin; an Input (or Const) gate has none,
+  // so injection must fail loudly instead of indexing pins[0].
+  Circuit c("guard");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId o = c.add_gate(GateType::And, {a, b}, "o");
+  c.mark_output(o);
+  c.finalize();
+  const WideFaultSimulator wide(c);
+  const std::vector<StuckAtFault> bad = {{a, netlist::PinRef{a, 0}, true}};
+  EXPECT_THROW(wide.grade_random(bad, 64, 1), netlist::NetlistError);
+  FaultSimulator fs(c);
+  std::vector<Word> values(c.num_nets());
+  EXPECT_THROW(fs.faulty_values(values, bad[0]), netlist::NetlistError);
+}
+
+TEST(FaultSimTest, BridgeOrderIsDeterministicAndReusable) {
+  // The 2^n bridge sweeps now compute the affected topological order once
+  // per fault and reuse it across blocks; repeated queries must agree
+  // with each other, and grading through the cached order must match the
+  // per-call recompute path (the 3-arg faulty_values overload).
+  const Circuit c = netlist::make_c17();
+  const netlist::Structure structure(c);
+  FaultSimulator fs(c);
+  PatternSimulator ps(c);
+  std::vector<Word> base(c.num_nets());
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    base[c.inputs()[i]] = PatternSimulator::exhaustive_input_word(i, 0);
+  }
+  ps.eval(base);
+  auto bridges = fault::enumerate_nfbfs(c, structure, fault::BridgeType::And);
+  ASSERT_FALSE(bridges.empty());
+  bridges.resize(std::min<std::size_t>(4, bridges.size()));
+  for (const BridgingFault& f : bridges) {
+    const auto order1 = fs.bridge_order(f);
+    const auto order2 = fs.bridge_order(f);
+    EXPECT_EQ(order1, order2);
+    std::vector<Word> via_cached = base;
+    fs.faulty_values(via_cached, f, order1);
+    std::vector<Word> via_fresh = base;
+    fs.faulty_values(via_fresh, f);
+    EXPECT_EQ(via_cached, via_fresh);
+  }
+}
+
+TEST(PatternSimTest, EvalGateWithOverridesGuardsAndOverrides) {
+  // The override evaluator is the single branch-injection path; it must
+  // reject gates with no fanin pins and honour the override on the
+  // addressed pin only.
+  Circuit c("ov");
+  NetId a = c.add_input("a");
+  NetId b = c.add_input("b");
+  NetId o = c.add_gate(GateType::And, {a, b}, "o");
+  c.mark_output(o);
+  c.finalize();
+  PatternSimulator ps(c);
+  std::vector<Word> values(c.num_nets());
+  values[a] = ~Word{0};
+  values[b] = 0;
+  const PatternSimulator::PinOverride force_b1{1, ~Word{0}};
+  EXPECT_EQ(ps.eval_gate_with_overrides(o, values, &force_b1, 1), ~Word{0});
+  const PatternSimulator::PinOverride force_a0{0, Word{0}};
+  EXPECT_EQ(ps.eval_gate_with_overrides(o, values, &force_a0, 1), Word{0});
+  EXPECT_THROW(ps.eval_gate_with_overrides(a, values, &force_b1, 1),
+               netlist::NetlistError);
 }
 
 }  // namespace
