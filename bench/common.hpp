@@ -5,6 +5,9 @@
 //   --jobs N            fault-parallel workers (0 = all hardware threads)
 //   --metrics-json PATH write a dp.metrics.v1 JSON document on exit
 //   --trace             keep a per-fault event trace (embedded in the JSON)
+//   --trace-out PATH    record hierarchical spans + profiler samples and
+//                       write a dp.trace.v1 document (also loadable in
+//                       Perfetto / chrome://tracing) on exit
 //   --cache-dir PATH    content-addressed artifact cache: completed
 //                       profiles are served without rebuilding BDDs, and
 //                       interrupted sweeps resume from their last batch
@@ -27,6 +30,8 @@
 #include "netlist/generators.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
 
@@ -47,6 +52,7 @@ namespace detail {
 struct CommonArgs {
   analysis::AnalysisOptions options;
   std::string metrics_json;
+  std::string trace_out;  ///< --trace-out or DP_BENCH_TRACE_DIR
   std::string cache_dir;  ///< --cache-dir or DP_BENCH_CACHE_DIR
   bool trace = false;
   bool jobs_set = false;  ///< --jobs or DP_BENCH_JOBS was given
@@ -58,7 +64,8 @@ struct CommonArgs {
 inline void print_usage(std::ostream& os, const char* prog,
                         bool passthrough) {
   os << "usage: " << (prog && *prog ? prog : "bench")
-     << " [--jobs N] [--metrics-json PATH] [--trace] [--cache-dir PATH]";
+     << " [--jobs N] [--metrics-json PATH] [--trace] [--trace-out PATH]\n"
+        "            [--cache-dir PATH]";
   if (passthrough) os << " [benchmark flags...]";
   os << "\n"
         "  --jobs N            fault-parallel workers; 0 = all hardware "
@@ -66,12 +73,15 @@ inline void print_usage(std::ostream& os, const char* prog,
         "  --metrics-json PATH write a dp.metrics.v1 JSON document on exit\n"
         "  --trace             record per-fault trace events into the JSON "
         "document\n"
+        "  --trace-out PATH    write a dp.trace.v1 span/profile document "
+        "(Perfetto-loadable)\n"
         "  --cache-dir PATH    artifact cache: reuse completed profiles, "
         "resume interrupted sweeps\n"
         "env: DP_BENCH_BF_COUNT (bridging sample size), DP_BENCH_JOBS,\n"
         "     DP_BENCH_METRICS_DIR (write BENCH_<id>.json there when\n"
-        "     --metrics-json is absent), DP_BENCH_CACHE_DIR (as --cache-dir\n"
-        "     when the flag is absent)\n";
+        "     --metrics-json is absent), DP_BENCH_TRACE_DIR (write\n"
+        "     TRACE_<id>.json there when --trace-out is absent),\n"
+        "     DP_BENCH_CACHE_DIR (as --cache-dir when the flag is absent)\n";
 }
 
 /// Parses the shared bench flags. Strict by default: an unknown flag or a
@@ -121,6 +131,8 @@ inline CommonArgs parse_common_args(int argc, char** argv,
       args.jobs_set = true;
     } else if (a == "--metrics-json") {
       args.metrics_json = value_of();
+    } else if (a == "--trace-out") {
+      args.trace_out = value_of();
     } else if (a == "--cache-dir") {
       args.cache_dir = value_of();
     } else if (a == "--trace") {
@@ -178,9 +190,23 @@ class Session {
         args_.metrics_json = std::string(dir) + "/BENCH_" + id_ + ".json";
       }
     }
+    if (args_.trace_out.empty()) {
+      if (const char* dir = std::getenv("DP_BENCH_TRACE_DIR")) {
+        args_.trace_out = std::string(dir) + "/TRACE_" + id_ + ".json";
+      }
+    }
     if (args_.trace) {
       trace_ = std::make_unique<obs::TraceBuffer>(1u << 16);
       args_.options.dp.trace = trace_.get();
+    }
+    if (!args_.trace_out.empty()) {
+      // Install the collector process-wide so the engines' instrumentation
+      // points find it via SpanCollector::current() -- no plumbing through
+      // the analysis call chain.
+      spans_ = std::make_unique<obs::SpanCollector>();
+      obs::SpanCollector::install(spans_.get());
+      profiler_ = std::make_unique<obs::SamplingProfiler>();
+      profiler_->start();
     }
     if (!args_.cache_dir.empty()) {
       store_ = std::make_unique<store::ArtifactStore>(
@@ -208,9 +234,11 @@ class Session {
   std::vector<char*>& passthrough_argv() { return args_.passthrough; }
 
   /// RAII wall-clock for one named phase; exported as timer
-  /// "phase.<name>".
+  /// "phase.<name>" and -- when --trace-out is active -- as a span of the
+  /// same name, so the phase shows up on the trace timeline too.
   obs::ScopedTimer phase(const std::string& name) {
-    return metrics_.scoped_timer("phase." + name);
+    return obs::ScopedTimer(metrics_.timer("phase." + name),
+                            obs::ScopedSpan(spans_.get(), "phase." + name));
   }
 
   /// Folds one analyzed circuit into the document: engine stats into the
@@ -244,11 +272,30 @@ class Session {
   bool finish() {
     if (finished_) return true;
     finished_ = true;
-    metrics_.timer("phase.total")
-        .record(std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start_)
-                    .count());
-    if (args_.metrics_json.empty()) return true;
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    metrics_.timer("phase.total").record(wall);
+
+    bool ok = true;
+    if (spans_) {
+      if (obs::SpanCollector::current() == spans_.get()) {
+        obs::SpanCollector::install(nullptr);
+      }
+      profiler_->stop();
+      obs::JsonValue tdoc = obs::make_trace_document(
+          "bench", id_, args_.options.jobs, *spans_, profiler_->to_json(),
+          wall);
+      std::string error;
+      if (!obs::write_json_file_atomic(args_.trace_out, tdoc, &error)) {
+        std::cerr << "[trace] FAILED to write " << args_.trace_out << ": "
+                  << error << "\n";
+        ok = false;
+      } else {
+        std::cout << "[trace] wrote " << args_.trace_out << "\n";
+      }
+    }
+    if (args_.metrics_json.empty()) return ok;
 
     obs::JsonValue doc = obs::JsonValue::object();
     doc["bench"] = id_;
@@ -272,7 +319,7 @@ class Session {
       return false;
     }
     std::cout << "[metrics] wrote " << args_.metrics_json << "\n";
-    return true;
+    return ok;
   }
 
  private:
@@ -316,6 +363,8 @@ class Session {
   detail::CommonArgs args_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::SpanCollector> spans_;
+  std::unique_ptr<obs::SamplingProfiler> profiler_;
   std::unique_ptr<store::ArtifactStore> store_;
   obs::JsonValue circuits_;
   std::chrono::steady_clock::time_point start_;

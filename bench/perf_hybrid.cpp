@@ -79,21 +79,17 @@ int main(int argc, char** argv) {
             << " s (" << pure.faults.size() << " faults)\n";
 
   // Hybrid pipeline, same engine options. The per-phase split is recorded
-  // under phase.prefilter / phase.dp_remainder in the document.
+  // under phase.prefilter / phase.dp_remainder in the document (and the
+  // phase.hybrid span frames both on the trace timeline).
+  obs::ScopedTimer hybrid_timer = session.phase("hybrid");
   const auto hybrid_start = Clock::now();
   analysis::HybridOptions hopt;
   hopt.prefilter_patterns = patterns;
   const analysis::HybridProfile hp =
       analysis::analyze_stuck_at_hybrid(circuit, session.options(), hopt);
+  hybrid_timer.stop();
   const double hybrid_s = seconds_since(hybrid_start);
-  session.metrics().timer("phase.prefilter").record(hp.prefilter_seconds);
-  session.metrics().timer("phase.dp_remainder").record(hp.dp_seconds);
-  session.metrics()
-      .counter("hybrid.prefilter_resolved")
-      .add(static_cast<std::uint64_t>(hp.prefilter_resolved()));
-  session.metrics()
-      .counter("hybrid.dp_resolved")
-      .add(static_cast<std::uint64_t>(hp.dp_resolved()));
+  hp.export_metrics(session.metrics());
   std::cout << "hybrid pipeline: " << analysis::TextTable::num(hybrid_s, 3)
             << " s (prefilter "
             << analysis::TextTable::num(hp.prefilter_seconds, 3) << " s, DP "

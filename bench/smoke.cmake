@@ -2,11 +2,12 @@
 # DP_BENCH_METRICS_DIR pointed at OUT_DIR (each bench names its own
 # BENCH_<id>.json), validates the emitted dp.metrics.v1 documents,
 # aggregates them into BENCH_summary.json, diffs BENCH_bdd_ops.json
-# against the checked-in perf baseline, runs the dpfuzz differential
-# fuzz corpus (DP_FUZZ_BUDGET env var scales the case count), and
-# finally runs the bdd/store/verify test binaries plus a reduced fuzz
-# corpus under the `asan` preset. Driven by the `bench_smoke` custom
-# target:
+# against the checked-in perf baseline, checks the span/profiler trace
+# perf_hybrid emits (validate_metrics + dptrace coverage assertion),
+# runs the dpfuzz differential fuzz corpus (DP_FUZZ_BUDGET env var
+# scales the case count), and finally runs the bdd/store/verify test
+# binaries plus a reduced fuzz corpus under the `asan` preset. Driven by
+# the `bench_smoke` custom target:
 #
 #   cmake -DBENCH_DIR=<bindir>/bench -DOUT_DIR=<bindir>/bench_smoke \
 #         -DVALIDATOR=<bindir>/bench/validate_metrics \
@@ -50,8 +51,11 @@ foreach(bench IN LISTS BENCHES)
     set(extra "--benchmark_filter=BM_DifferencePropagation/1$")
   elseif(bench STREQUAL "perf_hybrid")
     # Reduced workload: the headline resolution/speedup shape checks are
-    # self-skipped off the default c1908/4096 configuration.
-    set(extra --circuit c432 --patterns 512)
+    # self-skipped off the default c1908/4096 configuration. This bench
+    # also exercises the span/profiler pipeline end to end: the trace it
+    # writes is validated and analyzed below.
+    set(extra --circuit c432 --patterns 512
+        --trace-out "${OUT_DIR}/TRACE_hybrid.json")
   endif()
   message(STATUS "bench_smoke: ${bench}")
   execute_process(
@@ -72,15 +76,17 @@ if(NOT json_files)
   message(FATAL_ERROR "bench_smoke: no BENCH_*.json documents were emitted")
 endif()
 
+# --strict is independent of the baseline guard: it also hard-fails the
+# run on dropped trace events/spans (ring wrap = partial attribution).
 set(guard_args "")
 if(BASELINE)
   if(NOT EXISTS "${BASELINE}")
     message(FATAL_ERROR "bench_smoke: baseline ${BASELINE} does not exist")
   endif()
   set(guard_args --baseline "${BASELINE}" --tolerance "${TOLERANCE}")
-  if(STRICT)
-    list(APPEND guard_args --strict)
-  endif()
+endif()
+if(STRICT)
+  list(APPEND guard_args --strict)
 endif()
 
 execute_process(
@@ -92,6 +98,36 @@ if(NOT rc EQUAL 0)
 endif()
 message(STATUS "bench_smoke: all documents valid; summary at "
                "${OUT_DIR}/BENCH_summary.json")
+
+# ---- Trace pipeline ------------------------------------------------------
+# perf_hybrid wrote a dp.trace.v1 span/profile document above; it must
+# validate (dropped spans fail under STRICT) and dptrace's root-span
+# attribution must cover at least half the run's wall clock.
+if(NOT EXISTS "${OUT_DIR}/TRACE_hybrid.json")
+  message(FATAL_ERROR "bench_smoke: perf_hybrid emitted no trace document")
+endif()
+set(trace_strict "")
+if(STRICT)
+  set(trace_strict --strict)
+endif()
+execute_process(
+    COMMAND "${VALIDATOR}" ${trace_strict} "${OUT_DIR}/TRACE_hybrid.json"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: trace validation failed (${rc})")
+endif()
+if(DPTRACE)
+  execute_process(
+      COMMAND "${DPTRACE}" "${OUT_DIR}/TRACE_hybrid.json"
+              --assert-coverage 0.5
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: dptrace analysis failed (${rc}):\n${out}")
+  endif()
+  message(STATUS "bench_smoke: trace pipeline clean (TRACE_hybrid.json)")
+endif()
 
 # ---- Differential fuzz corpus -------------------------------------------
 # The dpfuzz oracle matrix over a fixed-seed corpus, at --jobs 1 and

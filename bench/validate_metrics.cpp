@@ -1,10 +1,13 @@
-// Validator/aggregator for dp.metrics.v1 and dp.fuzzreport.v1 documents
-// (the bench_smoke backstop): every file must parse with the obs JSON
-// parser and carry the required keys, so a refactor that silently breaks
-// an exporter fails the smoke suite instead of producing unreadable
-// telemetry. A fuzz report additionally fails validation outright when
-// it records any discrepancy — a red fuzz campaign must never pass the
-// smoke tier just because its JSON was well-formed.
+// Validator/aggregator for dp.metrics.v1, dp.fuzzreport.v1, and
+// dp.trace.v1 documents (the bench_smoke backstop): every file must parse
+// with the obs JSON parser and carry the required keys, so a refactor
+// that silently breaks an exporter fails the smoke suite instead of
+// producing unreadable telemetry. A fuzz report additionally fails
+// validation outright when it records any discrepancy — a red fuzz
+// campaign must never pass the smoke tier just because its JSON was
+// well-formed. Dropped trace events/spans (ring-buffer wrap) surface in
+// the summary totals and fail the run under --strict — a smoke tier must
+// never silently report partial attribution as complete.
 //
 //   validate_metrics [--summary PATH]
 //                    [--baseline PATH [--tolerance X] [--strict]] FILE...
@@ -88,6 +91,54 @@ JsonValue validate_fuzz_report(const std::string& file,
   return rec;
 }
 
+/// dp.trace.v1: the --trace-out span/profile document. Shape-checked so
+/// Perfetto-bound traces and the dptrace analyzer always see the same
+/// contract: identity, wall clock, a spans section with drop accounting,
+/// and the Chrome trace-event mirror.
+JsonValue validate_trace(const std::string& file, const JsonValue& doc) {
+  const bool is_bench = doc.contains("bench");
+  if (!is_bench && !doc.contains("tool")) {
+    fail(file, "missing required key 'bench' (or 'tool')");
+  }
+  const JsonValue* wall = doc.find("wall_seconds");
+  if (!wall || !wall->is_number()) {
+    fail(file, "missing number key 'wall_seconds'");
+  }
+  const JsonValue* spans = doc.find("spans");
+  if (!spans || !spans->is_object()) {
+    fail(file, "missing 'spans' object");
+    return JsonValue();
+  }
+  for (const char* key : {"capacity", "threads", "recorded", "dropped"}) {
+    const JsonValue* v = spans->find(key);
+    if (!v || !v->is_number()) {
+      fail(file, std::string("spans.") + key + " missing or non-numeric");
+    }
+  }
+  const JsonValue* events = spans->find("events");
+  if (!events || !events->is_array()) {
+    fail(file, "missing 'spans.events' array");
+  }
+  const JsonValue* trace_events = doc.find("traceEvents");
+  if (!trace_events || !trace_events->is_array()) {
+    fail(file, "missing 'traceEvents' array (Perfetto mirror)");
+  }
+
+  JsonValue rec = JsonValue::object();
+  rec["file"] = file;
+  if (const JsonValue* id = doc.find(is_bench ? "bench" : "tool")) {
+    rec[is_bench ? "bench" : "tool"] = *id;
+  }
+  if (wall && wall->is_number()) rec["wall_seconds"] = *wall;
+  if (const JsonValue* recorded = spans->find("recorded")) {
+    rec["trace.spans"] = *recorded;
+  }
+  if (const JsonValue* dropped = spans->find("dropped")) {
+    rec["trace.dropped"] = *dropped;
+  }
+  return rec;
+}
+
 /// Checks one document; returns a summary record (null on hard failure).
 JsonValue validate(const std::string& file) {
   JsonValue doc;
@@ -113,10 +164,13 @@ JsonValue validate(const std::string& file) {
   if (schema->as_string() == "dp.fuzzreport.v1") {
     return validate_fuzz_report(file, doc);
   }
+  if (schema->as_string() == "dp.trace.v1") {
+    return validate_trace(file, doc);
+  }
   if (schema->as_string() != "dp.metrics.v1") {
     fail(file, "unsupported schema \"" + schema->as_string() +
-                   "\" (this validator understands \"dp.metrics.v1\" and "
-                   "\"dp.fuzzreport.v1\")");
+                   "\" (this validator understands \"dp.metrics.v1\", "
+                   "\"dp.fuzzreport.v1\", and \"dp.trace.v1\")");
     return JsonValue();
   }
 
@@ -169,6 +223,17 @@ JsonValue validate(const std::string& file) {
     for (const char* key :
          {"dp.faults_analyzed", "dp.gates_evaluated", "dp.gates_skipped"}) {
       if (const JsonValue* c = counters->find(key)) rec[key] = *c;
+    }
+  }
+  // An embedded --trace event buffer carries its own drop counter; lift
+  // it into the record so the summary's drop accounting covers both the
+  // per-fault trace ring and the span rings.
+  if (const JsonValue* trace = doc.find("trace")) {
+    if (const JsonValue* dropped = trace->find("dropped")) {
+      rec["trace.dropped"] = *dropped;
+    }
+    if (const JsonValue* recorded = trace->find("recorded")) {
+      rec["trace.spans"] = *recorded;
     }
   }
   // Complement-edge kernel gauges, summed across exporters (the DP
@@ -308,6 +373,7 @@ int main(int argc, char** argv) {
   JsonValue documents = JsonValue::array();
   long long faults = 0, evaluated = 0, skipped = 0;
   long long fuzz_cases = 0, fuzz_faults = 0, fuzz_discrepancies = 0;
+  long long trace_spans = 0, trace_dropped = 0;
   double negations = 0.0, canonical_swaps = 0.0;
   int perf_violations = 0;
   for (const std::string& file : files) {
@@ -322,6 +388,12 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* v = rec.find("fuzz.discrepancies")) {
       fuzz_discrepancies += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("trace.spans")) {
+      trace_spans += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("trace.dropped")) {
+      trace_dropped += v->as_int();
     }
     if (const JsonValue* v = rec.find("dp.faults_analyzed")) {
       faults += v->as_int();
@@ -350,6 +422,13 @@ int main(int argc, char** argv) {
     if (g_failures == failures_before) std::cout << "ok   " << file << "\n";
   }
 
+  if (trace_dropped > 0) {
+    std::cerr << trace_dropped << " trace event(s)/span(s) dropped to ring "
+              << "wrap across " << files.size() << " file(s)"
+              << (strict ? "" : " (warning only; pass --strict to fail)")
+              << "\n";
+    if (strict) ++g_failures;
+  }
   if (perf_violations > 0) {
     std::cerr << perf_violations << " perf gauge(s) beyond " << tolerance
               << "x of baseline " << baseline_path
@@ -369,6 +448,8 @@ int main(int argc, char** argv) {
     totals["dp.gates_skipped"] = skipped;
     totals["negations_constant_time"] = negations;
     totals["cache_canonical_swaps"] = canonical_swaps;
+    totals["trace.spans"] = trace_spans;
+    totals["trace.dropped"] = trace_dropped;
     totals["fuzz.cases_run"] = fuzz_cases;
     totals["fuzz.faults_checked"] = fuzz_faults;
     totals["fuzz.discrepancies"] = fuzz_discrepancies;

@@ -1,6 +1,6 @@
 // Shared telemetry and persistence flags for the example CLIs:
-// `--metrics-json PATH`, `--trace`, `--cache-dir PATH`, and
-// `--resume`/`--no-resume` behave identically across dpcli,
+// `--metrics-json PATH`, `--trace`, `--trace-out PATH`, `--cache-dir
+// PATH`, and `--resume`/`--no-resume` behave identically across dpcli,
 // testability_report and atpg_tool. The written document mirrors the
 // bench schema (dp.metrics.v1) so one validator handles both:
 //
@@ -8,6 +8,10 @@
 //     "schema": "dp.metrics.v1",
 //     "metrics": { counters, gauges, timers, histograms },
 //     "trace": { ... } }                             // only with --trace
+//
+// `--trace-out PATH` additionally records hierarchical spans plus
+// sampling-profiler gauge series and writes a separate dp.trace.v1
+// document (Perfetto / chrome://tracing loadable) beside the run.
 #pragma once
 
 #include <cstdlib>
@@ -18,6 +22,8 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
 
@@ -45,8 +51,9 @@ class Telemetry {
   /// Removes the shared flags from `args`, exiting 2 when a flag that
   /// needs a value is the final token (a missing value must not be
   /// swallowed as a path). Handled: `--metrics-json PATH`, `--trace`,
-  /// `--cache-dir PATH` (opens the artifact store), `--resume` /
-  /// `--no-resume` (checkpoint consumption; on by default).
+  /// `--trace-out PATH` (installs the span collector and starts the
+  /// sampling profiler), `--cache-dir PATH` (opens the artifact store),
+  /// `--resume` / `--no-resume` (checkpoint consumption; on by default).
   void strip_flags(std::vector<std::string>& args) {
     auto take_value = [&](std::size_t i) -> std::string {
       if (i + 1 >= args.size()) {
@@ -61,6 +68,8 @@ class Telemetry {
     for (std::size_t i = 0; i < args.size();) {
       if (args[i] == "--metrics-json") {
         path_ = take_value(i);
+      } else if (args[i] == "--trace-out") {
+        trace_out_ = take_value(i);
       } else if (args[i] == "--cache-dir") {
         cache_dir_ = take_value(i);
       } else if (args[i] == "--trace") {
@@ -77,6 +86,12 @@ class Telemetry {
       store_ = std::make_unique<store::ArtifactStore>(
           cache_dir_, store::ArtifactStore::Options{}, &metrics_);
     }
+    if (!trace_out_.empty()) {
+      spans_ = std::make_unique<obs::SpanCollector>();
+      obs::SpanCollector::install(spans_.get());
+      profiler_ = std::make_unique<obs::SamplingProfiler>();
+      profiler_->start();
+    }
   }
 
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -89,12 +104,32 @@ class Telemetry {
   /// (--no-resume turns a warm start into a full recompute).
   bool resume() const { return resume_; }
   bool requested() const { return !path_.empty(); }
+  /// Non-null only with --trace-out (already installed process-wide).
+  obs::SpanCollector* spans() { return spans_.get(); }
 
   /// Writes the document when --metrics-json was given. Returns false
   /// only when a requested write failed (callers fold that into their
   /// exit code so scripts notice the missing file).
   bool write(const std::string& tool, const std::string& command = "") {
-    if (path_.empty()) return true;
+    bool ok = true;
+    if (spans_) {
+      if (obs::SpanCollector::current() == spans_.get()) {
+        obs::SpanCollector::install(nullptr);
+      }
+      profiler_->stop();
+      obs::JsonValue tdoc = obs::make_trace_document(
+          "tool", tool, /*jobs=*/0, *spans_, profiler_->to_json(),
+          spans_->elapsed_seconds());
+      std::string error;
+      if (!obs::write_json_file_atomic(trace_out_, tdoc, &error)) {
+        std::cerr << "[trace] FAILED to write " << trace_out_ << ": "
+                  << error << "\n";
+        ok = false;
+      } else {
+        std::cout << "[trace] wrote " << trace_out_ << "\n";
+      }
+    }
+    if (path_.empty()) return ok;
     obs::JsonValue doc = obs::JsonValue::object();
     doc["tool"] = tool;
     if (!command.empty()) doc["command"] = command;
@@ -108,15 +143,18 @@ class Telemetry {
       return false;
     }
     std::cout << "[metrics] wrote " << path_ << "\n";
-    return true;
+    return ok;
   }
 
  private:
   std::string path_;
+  std::string trace_out_;
   std::string cache_dir_;
   bool resume_ = true;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceBuffer> buffer_;
+  std::unique_ptr<obs::SpanCollector> spans_;
+  std::unique_ptr<obs::SamplingProfiler> profiler_;
   std::unique_ptr<store::ArtifactStore> store_;
 };
 

@@ -105,12 +105,7 @@ int cmd_sa_hybrid(const netlist::Circuit& c, bool full, std::size_t jobs,
   hopt.prefilter_patterns = prefilter_patterns;
   const analysis::HybridProfile p = analysis::analyze_stuck_at_hybrid(c, opt, hopt);
   p.engine_stats.export_metrics(tel.metrics());
-  tel.metrics().timer("phase.prefilter").record(p.prefilter_seconds);
-  tel.metrics().timer("phase.dp_remainder").record(p.dp_seconds);
-  tel.metrics().counter("hybrid.prefilter_resolved")
-      .add(static_cast<std::uint64_t>(p.prefilter_resolved()));
-  tel.metrics().counter("hybrid.dp_resolved")
-      .add(static_cast<std::uint64_t>(p.dp_resolved()));
+  p.export_metrics(tel.metrics());
   std::cout << "hybrid stuck-at analysis of " << c.name() << " ("
             << (full ? "uncollapsed" : "collapsed") << " checkpoints)\n";
   std::cout << "  faults            : " << p.faults.size() << "\n";

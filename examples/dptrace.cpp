@@ -1,0 +1,517 @@
+// dptrace: offline analyzer for dp.trace.v1 span/profile documents
+// (written by the benches and CLIs via --trace-out).
+//
+//   $ ./dptrace TRACE.json                   # full report
+//   $ ./dptrace A.json B.json                # two-run diff
+//   $ ./dptrace TRACE.json --top 5           # top-k slowest faults
+//   $ ./dptrace TRACE.json --assert-coverage 0.95
+//
+// The report attributes wall time to top-level phases, folds the span
+// tree into flamegraph-style paths (inclusive + self time), tabulates
+// per-worker busy time and end skew, and summarizes per-fault latency
+// (p50/p90/p99, ASCII histogram, slowest sites with topology class).
+// --assert-coverage F exits 1 unless the root spans cover at least
+// fraction F of the run's wall clock -- the CI hook that keeps the
+// instrumentation honest. Diff mode prints per-phase and per-quantile
+// deltas between two runs of the same workload.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using dp::obs::JsonValue;
+
+namespace {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string name;
+  const JsonValue* args = nullptr;  ///< into the loaded document
+};
+
+struct Trace {
+  std::string id;       ///< bench/tool name
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::size_t threads = 0;
+  std::vector<Span> spans;
+  const JsonValue* profile = nullptr;
+  JsonValue doc;  ///< owns everything the pointers reference
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "dptrace: " << message << "\n";
+  std::exit(1);
+}
+
+double num_or(const JsonValue* v, double fallback) {
+  return v && v->is_number() ? v->as_double() : fallback;
+}
+
+/// Integer attr lookup on a span's args ({} -> fallback).
+long long arg_int(const Span& s, const std::string& key, long long fallback) {
+  if (!s.args) return fallback;
+  const JsonValue* v = s.args->find(key);
+  return v && v->is_number() ? v->as_int() : fallback;
+}
+
+std::string arg_text(const Span& s, const std::string& key) {
+  if (!s.args) return "";
+  const JsonValue* v = s.args->find(key);
+  return v && v->is_string() ? v->as_string() : "";
+}
+
+Trace load_trace(const std::string& path) {
+  Trace t;
+  try {
+    t.doc = dp::obs::read_json_file(path);
+  } catch (const std::exception& e) {
+    fail(std::string("cannot read ") + path + ": " + e.what());
+  }
+  const JsonValue* schema = t.doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "dp.trace.v1") {
+    fail(path + ": not a dp.trace.v1 document (schema is " +
+         (schema && schema->is_string() ? "'" + schema->as_string() + "'"
+                                        : "missing") +
+         ")");
+  }
+  if (const JsonValue* id = t.doc.find("bench")) {
+    t.id = id->as_string();
+  } else if (const JsonValue* id2 = t.doc.find("tool")) {
+    t.id = id2->as_string();
+  }
+  t.jobs = static_cast<std::size_t>(num_or(t.doc.find("jobs"), 0));
+  t.wall_seconds = num_or(t.doc.find("wall_seconds"), 0.0);
+
+  const JsonValue* spans = t.doc.find("spans");
+  if (!spans || !spans->is_object()) fail(path + ": missing spans section");
+  t.recorded = static_cast<std::uint64_t>(num_or(spans->find("recorded"), 0));
+  t.dropped = static_cast<std::uint64_t>(num_or(spans->find("dropped"), 0));
+  t.threads = static_cast<std::size_t>(num_or(spans->find("threads"), 0));
+  const JsonValue* events = spans->find("events");
+  if (!events || !events->is_array()) fail(path + ": missing spans.events");
+  t.spans.reserve(events->size());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    Span s;
+    s.id = static_cast<std::uint64_t>(num_or(e.find("id"), 0));
+    s.parent = static_cast<std::uint64_t>(num_or(e.find("parent"), 0));
+    s.tid = static_cast<std::uint32_t>(num_or(e.find("tid"), 0));
+    s.ts_us = num_or(e.find("ts_us"), 0.0);
+    s.dur_us = num_or(e.find("dur_us"), 0.0);
+    if (const JsonValue* name = e.find("name")) s.name = name->as_string();
+    s.args = e.find("args");
+    t.spans.push_back(std::move(s));
+  }
+  t.profile = t.doc.find("profile");
+  return t;
+}
+
+/// Nearest-rank quantile over a sorted vector (empty -> 0).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+std::string fmt_us(double us) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (us >= 1e6) {
+    os << std::setprecision(3) << us * 1e-6 << " s";
+  } else if (us >= 1e3) {
+    os << std::setprecision(2) << us * 1e-3 << " ms";
+  } else {
+    os << std::setprecision(1) << us << " us";
+  }
+  return os.str();
+}
+
+std::string fmt_frac(double f) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << 100.0 * f << "%";
+  return os.str();
+}
+
+/// Phase attribution over ROOT spans (parent == 0), grouped by name.
+struct PhaseRow {
+  double total_us = 0.0;
+  std::size_t count = 0;
+};
+std::map<std::string, PhaseRow> phase_rows(const Trace& t) {
+  std::map<std::string, PhaseRow> rows;
+  for (const Span& s : t.spans) {
+    if (s.parent != 0) continue;
+    PhaseRow& r = rows[s.name];
+    r.total_us += s.dur_us;
+    ++r.count;
+  }
+  return rows;
+}
+
+double root_total_us(const std::map<std::string, PhaseRow>& rows) {
+  double total = 0.0;
+  for (const auto& [name, r] : rows) total += r.total_us;
+  return total;
+}
+
+void print_phases(const Trace& t) {
+  const auto rows = phase_rows(t);
+  const double wall_us = t.wall_seconds * 1e6;
+  std::cout << "Per-phase attribution (root spans):\n";
+  std::cout << "  " << std::left << std::setw(26) << "phase" << std::right
+            << std::setw(12) << "total" << std::setw(8) << "count"
+            << std::setw(9) << "of wall" << "\n";
+  for (const auto& [name, r] : rows) {
+    std::cout << "  " << std::left << std::setw(26) << name << std::right
+              << std::setw(12) << fmt_us(r.total_us) << std::setw(8)
+              << r.count << std::setw(9)
+              << (wall_us > 0 ? fmt_frac(r.total_us / wall_us) : "-")
+              << "\n";
+  }
+  const double covered = root_total_us(rows);
+  std::cout << "  " << std::left << std::setw(26) << "== coverage"
+            << std::right << std::setw(12) << fmt_us(covered) << std::setw(8)
+            << "" << std::setw(9)
+            << (wall_us > 0 ? fmt_frac(covered / wall_us) : "-") << "\n\n";
+}
+
+/// Flamegraph-style fold: each span's path is the ';'-joined chain of
+/// ancestor names. A parent that fell out of its ring shows up as the
+/// "(dropped)" path head instead of silently re-rooting the subtree.
+void print_flame(const Trace& t, std::size_t top_k) {
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  by_id.reserve(t.spans.size());
+  for (const Span& s : t.spans) by_id[s.id] = &s;
+
+  struct Agg {
+    double inclusive_us = 0.0;
+    double child_us = 0.0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, std::string> path_of;
+  path_of.reserve(t.spans.size());
+  std::map<std::string, Agg> agg;
+
+  // Spans are chronological, but a child can START before its parent is
+  // RECORDED -- ordering by id is not reliable either, so resolve each
+  // path recursively with memoization.
+  std::function<const std::string&(const Span&)> path =
+      [&](const Span& s) -> const std::string& {
+    auto it = path_of.find(s.id);
+    if (it != path_of.end()) return it->second;
+    std::string p;
+    if (s.parent == 0) {
+      p = s.name;
+    } else {
+      auto parent = by_id.find(s.parent);
+      p = (parent == by_id.end() ? "(dropped);" : path(*parent->second) + ";") +
+          s.name;
+    }
+    return path_of.emplace(s.id, std::move(p)).first->second;
+  };
+
+  for (const Span& s : t.spans) {
+    Agg& a = agg[path(s)];
+    a.inclusive_us += s.dur_us;
+    ++a.count;
+    if (s.parent != 0) {
+      auto parent = by_id.find(s.parent);
+      if (parent != by_id.end()) {
+        agg[path(*parent->second)].child_us += s.dur_us;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, Agg>> sorted(agg.begin(), agg.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.inclusive_us > b.second.inclusive_us;
+  });
+
+  std::cout << "Span tree (top " << std::min(top_k, sorted.size())
+            << " paths by inclusive time; self = inclusive - children):\n";
+  std::cout << "  " << std::right << std::setw(12) << "inclusive"
+            << std::setw(12) << "self" << std::setw(9) << "count"
+            << "  path\n";
+  for (std::size_t i = 0; i < sorted.size() && i < top_k; ++i) {
+    const auto& [p, a] = sorted[i];
+    const double self = std::max(0.0, a.inclusive_us - a.child_us);
+    std::cout << "  " << std::setw(12) << fmt_us(a.inclusive_us)
+              << std::setw(12) << fmt_us(self) << std::setw(9) << a.count
+              << "  " << p << "\n";
+  }
+  std::cout << "\n";
+}
+
+void print_workers(const Trace& t) {
+  std::vector<const Span*> workers;
+  for (const Span& s : t.spans) {
+    if (s.name == "dp.worker") workers.push_back(&s);
+  }
+  if (workers.empty()) return;
+  std::sort(workers.begin(), workers.end(), [](const Span* a, const Span* b) {
+    return arg_int(*a, "worker", 0) < arg_int(*b, "worker", 0);
+  });
+  double min_end = 0.0, max_end = 0.0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const double end = workers[i]->ts_us + workers[i]->dur_us;
+    if (i == 0) {
+      min_end = max_end = end;
+    } else {
+      min_end = std::min(min_end, end);
+      max_end = std::max(max_end, end);
+    }
+  }
+  std::cout << "Workers (dp.worker spans; skew = slowest end - fastest "
+               "end):\n";
+  std::cout << "  " << std::right << std::setw(8) << "worker" << std::setw(9)
+            << "faults" << std::setw(12) << "span" << std::setw(12) << "busy"
+            << "\n";
+  for (const Span* w : workers) {
+    const long long busy_s_attr = arg_int(*w, "busy_seconds", -1);
+    double busy_us = static_cast<double>(busy_s_attr) * 1e6;
+    if (w->args) {
+      if (const JsonValue* b = w->args->find("busy_seconds")) {
+        busy_us = b->as_double() * 1e6;
+      }
+    }
+    std::cout << "  " << std::setw(8) << arg_int(*w, "worker", -1)
+              << std::setw(9) << arg_int(*w, "faults", 0) << std::setw(12)
+              << fmt_us(w->dur_us) << std::setw(12)
+              << (busy_us >= 0 ? fmt_us(busy_us) : "-") << "\n";
+  }
+  std::cout << "  end skew: " << fmt_us(max_end - min_end) << "\n\n";
+}
+
+std::vector<const Span*> fault_spans(const Trace& t) {
+  std::vector<const Span*> faults;
+  for (const Span& s : t.spans) {
+    if (s.name == "dp.fault") faults.push_back(&s);
+  }
+  return faults;
+}
+
+std::vector<double> sorted_fault_us(const std::vector<const Span*>& faults) {
+  std::vector<double> us;
+  us.reserve(faults.size());
+  for (const Span* f : faults) us.push_back(f->dur_us);
+  std::sort(us.begin(), us.end());
+  return us;
+}
+
+void print_fault_latency(const Trace& t, std::size_t top_k) {
+  std::vector<const Span*> faults = fault_spans(t);
+  if (faults.empty()) return;
+  const std::vector<double> sorted = sorted_fault_us(faults);
+
+  std::cout << "Per-fault latency (" << faults.size() << " dp.fault spans): "
+            << "p50 " << fmt_us(quantile_sorted(sorted, 0.50)) << ", p90 "
+            << fmt_us(quantile_sorted(sorted, 0.90)) << ", p99 "
+            << fmt_us(quantile_sorted(sorted, 0.99)) << ", max "
+            << fmt_us(sorted.back()) << "\n";
+
+  // Log2 histogram from 1us up; one row per occupied decade-ish bucket.
+  std::map<int, std::size_t> buckets;
+  for (const double us : sorted) {
+    const int b = us < 1.0
+                      ? 0
+                      : 1 + static_cast<int>(std::floor(std::log2(us)));
+    ++buckets[b];
+  }
+  std::size_t max_count = 0;
+  for (const auto& [b, n] : buckets) max_count = std::max(max_count, n);
+  for (const auto& [b, n] : buckets) {
+    const double lo = b == 0 ? 0.0 : std::exp2(b - 1);
+    const double hi = std::exp2(b);
+    const std::size_t bar =
+        max_count > 0 ? (n * 40 + max_count - 1) / max_count : 0;
+    std::cout << "  " << std::right << std::setw(10) << fmt_us(lo) << " .. "
+              << std::left << std::setw(10) << fmt_us(hi) << std::right
+              << std::setw(8) << n << "  " << std::string(bar, '#') << "\n";
+  }
+
+  std::sort(faults.begin(), faults.end(), [](const Span* a, const Span* b) {
+    return a->dur_us > b->dur_us;
+  });
+  std::cout << "Slowest faults (site, topology, work):\n";
+  for (std::size_t i = 0; i < faults.size() && i < top_k; ++i) {
+    const Span& f = *faults[i];
+    const std::string site = arg_text(f, "site");
+    const long long branch = arg_int(f, "branch", -1);
+    std::cout << "  " << std::right << std::setw(12) << fmt_us(f.dur_us)
+              << "  " << (site.empty() ? "(no attrs)" : site);
+    if (branch >= 0) {
+      std::cout << (branch ? "  [fanout branch]" : "  [stem]");
+    }
+    std::cout << "  po_distance=" << arg_int(f, "po_distance", -1)
+              << " gates=" << arg_int(f, "gates_evaluated", 0) << "+"
+              << arg_int(f, "gates_skipped", 0) << " skipped"
+              << (arg_int(f, "detectable", -1) == 0 ? "  REDUNDANT" : "")
+              << "\n";
+  }
+  std::cout << "\n";
+}
+
+void print_profile(const Trace& t) {
+  if (!t.profile) return;
+  const JsonValue* series = t.profile->find("series");
+  if (!series || !series->is_array() || series->size() == 0) return;
+  std::cout << "Profiler series ("
+            << static_cast<long long>(num_or(t.profile->find("ticks"), 0))
+            << " ticks @ "
+            << static_cast<long long>(num_or(t.profile->find("period_ms"), 0))
+            << " ms):\n";
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    const JsonValue& s = series->at(i);
+    const JsonValue* name = s.find("name");
+    const JsonValue* samples = s.find("samples");
+    if (!name || !samples || !samples->is_array() || samples->size() == 0) {
+      continue;
+    }
+    double lo = 0.0, hi = 0.0, last = 0.0;
+    for (std::size_t k = 0; k < samples->size(); ++k) {
+      const JsonValue& sample = samples->at(k);
+      if (!sample.is_array() || sample.size() != 2) continue;
+      const double v = sample.at(std::size_t{1}).as_double();
+      if (k == 0) {
+        lo = hi = v;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      last = v;
+    }
+    std::cout << "  " << std::left << std::setw(32) << name->as_string()
+              << std::right << "  min " << lo << "  max " << hi << "  last "
+              << last << " (" << samples->size() << " samples)\n";
+  }
+  std::cout << "\n";
+}
+
+double print_report(const Trace& t, std::size_t top_k) {
+  std::cout << "Trace: " << t.id << " (jobs " << t.jobs << ", wall "
+            << std::fixed << std::setprecision(3) << t.wall_seconds
+            << " s; spans " << t.recorded << " recorded / " << t.dropped
+            << " dropped on " << t.threads << " threads)\n\n";
+  if (t.dropped > 0) {
+    std::cout << "  WARNING: " << t.dropped
+              << " spans dropped (ring wrap) -- attribution is partial\n\n";
+  }
+  print_phases(t);
+  print_flame(t, top_k);
+  print_workers(t);
+  print_fault_latency(t, top_k);
+  print_profile(t);
+  const double wall_us = t.wall_seconds * 1e6;
+  return wall_us > 0 ? root_total_us(phase_rows(t)) / wall_us : 0.0;
+}
+
+void print_diff(const Trace& a, const Trace& b) {
+  std::cout << "Diff: " << a.id << " (wall " << std::fixed
+            << std::setprecision(3) << a.wall_seconds << " s) vs " << b.id
+            << " (wall " << b.wall_seconds << " s)\n\n";
+
+  const auto ra = phase_rows(a);
+  const auto rb = phase_rows(b);
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [name, r] : ra) merged[name].first = r.total_us;
+  for (const auto& [name, r] : rb) merged[name].second = r.total_us;
+  std::cout << "Per-phase totals (A, B, delta):\n";
+  for (const auto& [name, v] : merged) {
+    const double delta = v.second - v.first;
+    std::cout << "  " << std::left << std::setw(26) << name << std::right
+              << std::setw(12) << fmt_us(v.first) << std::setw(12)
+              << fmt_us(v.second) << std::setw(13)
+              << (delta >= 0 ? "+" : "-") + fmt_us(std::fabs(delta));
+    if (v.first > 0) {
+      std::cout << "  (" << std::showpos << std::setprecision(1)
+                << 100.0 * delta / v.first << std::noshowpos << "%)";
+    }
+    std::cout << "\n";
+  }
+
+  const std::vector<double> fa = sorted_fault_us(fault_spans(a));
+  const std::vector<double> fb = sorted_fault_us(fault_spans(b));
+  if (!fa.empty() || !fb.empty()) {
+    std::cout << "\nPer-fault latency quantiles (A -> B):\n";
+    for (const double q : {0.50, 0.90, 0.99}) {
+      std::cout << "  p" << static_cast<int>(q * 100) << ": "
+                << fmt_us(quantile_sorted(fa, q)) << " -> "
+                << fmt_us(quantile_sorted(fb, q)) << "\n";
+    }
+    std::cout << "  faults: " << fa.size() << " -> " << fb.size() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::size_t top_k = 10;
+  double assert_coverage = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value_of = [&]() -> std::string {
+      if (i + 1 >= argc) fail(a + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--top") {
+      top_k = static_cast<std::size_t>(std::atoll(value_of().c_str()));
+    } else if (a == "--assert-coverage") {
+      assert_coverage = std::atof(value_of().c_str());
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: dptrace FILE [FILE2] [--top K] "
+                   "[--assert-coverage FRACTION]\n"
+                   "  FILE            dp.trace.v1 document (--trace-out)\n"
+                   "  FILE2           second document: print a two-run diff\n"
+                   "  --top K         slowest-fault / span-path rows "
+                   "(default 10)\n"
+                   "  --assert-coverage F  exit 1 unless root spans cover\n"
+                   "                  >= F of the run's wall clock\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      fail("unknown option '" + a + "'");
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty() || files.size() > 2) {
+    fail("expected one or two trace files (see --help)");
+  }
+
+  const Trace t = load_trace(files[0]);
+  if (files.size() == 2) {
+    const Trace u = load_trace(files[1]);
+    print_diff(t, u);
+    return 0;
+  }
+
+  const double coverage = print_report(t, top_k);
+  if (assert_coverage >= 0.0) {
+    std::cout << "coverage check: root spans cover " << fmt_frac(coverage)
+              << " of wall (require >= " << fmt_frac(assert_coverage)
+              << "): " << (coverage >= assert_coverage ? "OK" : "FAIL")
+              << "\n";
+    if (coverage < assert_coverage) return 1;
+  }
+  return 0;
+}

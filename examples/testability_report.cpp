@@ -83,8 +83,7 @@ int main(int argc, char** argv) {
     const analysis::HybridProfile hp =
         analysis::analyze_stuck_at_hybrid(circuit, opt, hopt);
     hp.engine_stats.export_metrics(tel.metrics());
-    tel.metrics().timer("phase.prefilter").record(hp.prefilter_seconds);
-    tel.metrics().timer("phase.dp_remainder").record(hp.dp_seconds);
+    hp.export_metrics(tel.metrics());
     std::cout << "Hybrid pipeline (" << hp.prefilter_patterns
               << " random patterns, then exact DP on the remainder)\n";
     std::cout << "Collapsed checkpoint faults : " << hp.faults.size() << "\n";

@@ -1,6 +1,9 @@
 #include "analysis/hybrid.hpp"
 
 #include <chrono>
+#include <string>
+
+#include "obs/span.hpp"
 
 namespace dp::analysis {
 
@@ -35,6 +38,24 @@ double HybridProfile::prefilter_fraction() const {
                               static_cast<double>(faults.size());
 }
 
+void HybridProfile::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.timer("phase.prefilter").record(prefilter_seconds);
+  registry.timer("phase.dp_remainder").record(dp_seconds);
+  registry.counter("hybrid.faults").add(faults.size());
+  registry.counter("hybrid.prefilter_resolved").add(prefilter_resolved());
+  registry.counter("hybrid.dp_resolved").add(dp_resolved());
+  registry.counter("sim.patterns").add(prefilter_patterns);
+  registry.counter("sim.events").add(sim_events);
+  for (std::size_t level = 0; level < sim_level_events.size(); ++level) {
+    if (sim_level_events[level] == 0) continue;
+    // Zero-padded so the registry's sorted export lists levels in order.
+    std::string suffix = std::to_string(level);
+    while (suffix.size() < 3) suffix.insert(suffix.begin(), '0');
+    registry.counter("sim.level_events." + suffix)
+        .add(sim_level_events[level]);
+  }
+}
+
 HybridProfile analyze_hybrid(const Circuit& circuit,
                              const std::vector<fault::StuckAtFault>& faults,
                              const AnalysisOptions& options,
@@ -50,14 +71,24 @@ HybridProfile analyze_hybrid(const Circuit& circuit,
   p.prefilter_seed = hybrid.prefilter_seed;
   p.faults.resize(faults.size());
 
+  obs::SpanCollector* const spans = obs::SpanCollector::current();
   const auto t0 = clock::now();
-  const sim::WideFaultSimulator wide(circuit);
-  sim::WideSimOptions wopt;
-  wopt.drop_detected = hybrid.drop_detected;
-  const sim::WideFaultSimulator::Grade grade = wide.grade_random(
-      faults, hybrid.prefilter_patterns, hybrid.prefilter_seed, wopt);
+  sim::WideFaultSimulator::Grade grade;
+  {
+    obs::ScopedSpan span(spans, "hybrid.prefilter");
+    span.attr("faults", faults.size());
+    span.attr("patterns", hybrid.prefilter_patterns);
+    const sim::WideFaultSimulator wide(circuit);
+    sim::WideSimOptions wopt;
+    wopt.drop_detected = hybrid.drop_detected;
+    grade = wide.grade_random(faults, hybrid.prefilter_patterns,
+                              hybrid.prefilter_seed, wopt);
+    span.attr("resolved", grade.detected());
+  }
   const auto t1 = clock::now();
   p.prefilter_seconds = std::chrono::duration<double>(t1 - t0).count();
+  p.sim_events = grade.events();
+  p.sim_level_events = grade.level_events;
 
   std::vector<std::size_t> remainder;
   std::vector<fault::StuckAtFault> remainder_faults;
@@ -77,6 +108,8 @@ HybridProfile analyze_hybrid(const Circuit& circuit,
   }
 
   if (!remainder_faults.empty()) {
+    obs::ScopedSpan span(spans, "hybrid.dp_remainder");
+    span.attr("faults", remainder_faults.size());
     const Structure structure(circuit);
     core::ParallelEngine::Options popt;
     popt.jobs = options.jobs;

@@ -71,6 +71,11 @@ struct HybridProfile {
   core::ParallelStats engine_stats;
   double prefilter_seconds = 0.0;
   double dp_seconds = 0.0;
+  /// Wide-sim faulty-value evaluations during the prefilter, total and per
+  /// circuit level (copied from Grade::level_events; deterministic for a
+  /// fixed fault list / pattern budget / seed).
+  std::uint64_t sim_events = 0;
+  std::vector<std::uint64_t> sim_level_events;
 
   std::size_t prefilter_resolved() const;
   std::size_t dp_resolved() const;
@@ -78,6 +83,16 @@ struct HybridProfile {
   std::size_t redundant_count() const;
   /// Fraction of faults the prefilter resolved (0 on an empty list).
   double prefilter_fraction() const;
+
+  /// Folds this run's pipeline-level instruments into `registry`: timers
+  /// phase.prefilter / phase.dp_remainder plus deterministic counters
+  /// (hybrid.faults, hybrid.prefilter_resolved, hybrid.dp_resolved,
+  /// sim.patterns, sim.events, per-level sim.level_events.NNN) -- all
+  /// identical across --jobs 1/N runs of the same workload. The DP
+  /// remainder's engine telemetry is NOT included; export engine_stats
+  /// separately (callers like bench::Session::record_engine already do)
+  /// so the dp.* instruments are never double-counted.
+  void export_metrics(obs::MetricsRegistry& registry) const;
 };
 
 /// Runs the pipeline over an explicit fault list (the fuzzer's oracle and

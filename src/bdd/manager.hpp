@@ -16,17 +16,19 @@
 #include "bdd/bdd_types.hpp"
 #include "bdd/computed_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace dp::bdd {
 
 class Bdd;
 
-class Manager {
+class Manager : public obs::ProfileSource {
  public:
   /// `max_nodes` bounds the pool; exceeding it throws OutOfNodes so callers
   /// (e.g. cut-point decomposition in the DP engine) can react.
   explicit Manager(std::size_t num_vars = 0,
                    std::size_t max_nodes = 32u * 1024 * 1024);
+  ~Manager() override;
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
@@ -129,6 +131,14 @@ class Manager {
   void export_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "bdd") const;
 
+  /// SamplingProfiler hook (obs::ProfileSource): emits
+  /// `bdd.mgr<N>.live_nodes`, `.unique_load`, and `.cache_hit_rate`
+  /// where N is this manager's process-unique id. Reads are word-sized
+  /// and unsynchronized -- a sample racing a mutation may be one update
+  /// stale, which is fine for a 10ms-period gauge series.
+  void profile_sample(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
   // ---- edge accessors --------------------------------------------------
   // All three child/label accessors take *edges* and fold the edge's
   // complement bit into the children, so lo(e)/hi(e) are the true cofactor
@@ -190,6 +200,9 @@ class Manager {
   ComputedCache cache_;
 
   ManagerStats stats_;
+
+  std::uint64_t profile_id_ = 0;  ///< process-unique id for profiler series
+
 };
 
 }  // namespace dp::bdd

@@ -4,6 +4,8 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 #include <unordered_set>
 
 #include "bdd/bdd.hpp"
@@ -17,6 +19,9 @@ std::size_t next_pow2(std::size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+/// Process-wide manager id sequence for profiler series names.
+std::atomic<std::uint64_t> g_next_profile_id{0};
 
 }  // namespace
 
@@ -44,6 +49,32 @@ Manager::Manager(std::size_t num_vars, std::size_t max_nodes)
   gc_threshold_ = gc_threshold_floor_;
 
   rehash_unique(1u << 12);
+
+  profile_id_ = g_next_profile_id.fetch_add(1, std::memory_order_relaxed);
+  obs::SourceRegistry::instance().add(this);
+}
+
+Manager::~Manager() {
+  // Unregister before any member is torn down: the profiler thread holds
+  // the registry mutex across collect(), so after remove() returns no
+  // sample can still be reading this manager.
+  obs::SourceRegistry::instance().remove(this);
+}
+
+void Manager::profile_sample(
+    std::vector<std::pair<std::string, double>>& out) const {
+  const std::string prefix = "bdd.mgr" + std::to_string(profile_id_);
+  const double live = static_cast<double>(live_nodes_);
+  out.emplace_back(prefix + ".live_nodes", live);
+  if (!unique_.empty()) {
+    out.emplace_back(prefix + ".unique_load",
+                     live / static_cast<double>(unique_.size()));
+  }
+  if (stats_.apply_calls > 0) {
+    out.emplace_back(prefix + ".cache_hit_rate",
+                     static_cast<double>(stats_.cache_hits) /
+                         static_cast<double>(stats_.apply_calls));
+  }
 }
 
 Var Manager::new_var() {

@@ -144,6 +144,7 @@ PropagationStats DifferencePropagator::propagate_multi(
 
 FaultAnalysis DifferencePropagator::analyze(
     const fault::MultipleStuckAtFault& fault) const {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "dp.fault");
   if (fault.components.empty()) {
     throw netlist::NetlistError("analyze: multiple fault with no components");
   }
@@ -184,6 +185,17 @@ FaultAnalysis DifferencePropagator::analyze(
   PropagationStats st = propagate_multi(diff, pins, nets);
   FaultAnalysis out = finish(diff, site_nets, upper, st);
   trace_fault(fault::describe(fault, c), site_nets.size(), out);
+  if (span.enabled()) {
+    span.attr("site", fault::describe(fault, c));
+    int po_distance = 0;
+    for (const NetId net : site_nets) {
+      po_distance = std::max(po_distance, structure_.max_levels_to_po(net));
+    }
+    span.attr("po_distance", po_distance);
+    span.attr("gates_evaluated", out.stats.gates_evaluated);
+    span.attr("gates_skipped", out.stats.gates_skipped);
+    span.attr("detectable", out.detectable ? 1 : 0);
+  }
   return out;
 }
 
@@ -228,6 +240,7 @@ FaultAnalysis DifferencePropagator::finish(
 
 FaultAnalysis DifferencePropagator::analyze(
     const fault::StuckAtFault& fault) const {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "dp.fault");
   const Circuit& c = good_.circuit();
   std::vector<bdd::Bdd> diff(c.num_nets());
 
@@ -251,11 +264,20 @@ FaultAnalysis DifferencePropagator::analyze(
   // output, so pos_fed counts the POs the stem feeds.
   FaultAnalysis out = finish(diff, {fault.net}, upper, st);
   trace_fault(fault::describe(fault, c), 1, out);
+  if (span.enabled()) {
+    span.attr("site", fault::describe(fault, c));
+    span.attr("branch", fault.branch ? 1 : 0);
+    span.attr("po_distance", structure_.max_levels_to_po(fault.net));
+    span.attr("gates_evaluated", out.stats.gates_evaluated);
+    span.attr("gates_skipped", out.stats.gates_skipped);
+    span.attr("detectable", out.detectable ? 1 : 0);
+  }
   return out;
 }
 
 FaultAnalysis DifferencePropagator::analyze(
     const fault::BridgingFault& fault) const {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "dp.fault");
   const Circuit& c = good_.circuit();
   bdd::Manager& mgr = good_.manager();
   std::vector<bdd::Bdd> diff(c.num_nets());
@@ -278,6 +300,14 @@ FaultAnalysis DifferencePropagator::analyze(
   FaultAnalysis out = finish(diff, {fault.a, fault.b}, upper, st);
   out.bridge_stuck_at = wired.is_constant();
   trace_fault(fault::describe(fault, c), 2, out);
+  if (span.enabled()) {
+    span.attr("site", fault::describe(fault, c));
+    span.attr("po_distance", std::max(structure_.max_levels_to_po(fault.a),
+                                      structure_.max_levels_to_po(fault.b)));
+    span.attr("gates_evaluated", out.stats.gates_evaluated);
+    span.attr("gates_skipped", out.stats.gates_skipped);
+    span.attr("detectable", out.detectable ? 1 : 0);
+  }
   (void)mgr;
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <iomanip>
 #include <limits>
@@ -32,6 +33,17 @@ std::string human_count(std::uint64_t n) {
     os << n;
   }
   return os.str();
+}
+
+/// Nearest-rank quantile; reorders `v` in place. 0.0 when empty.
+double quantile_of(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size())));
+  if (rank > 0) --rank;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(rank),
+                   v.end());
+  return v[rank];
 }
 
 }  // namespace
@@ -102,6 +114,14 @@ double ParallelStats::cache_hit_rate() const {
              : 0.0;
 }
 
+std::vector<double> ParallelStats::all_fault_seconds() const {
+  std::vector<double> all;
+  for (const WorkerStats& w : workers) {
+    all.insert(all.end(), w.fault_seconds.begin(), w.fault_seconds.end());
+  }
+  return all;
+}
+
 void ParallelStats::merge(const ParallelStats& other) {
   jobs = std::max(jobs, other.jobs);
   faults += other.faults;
@@ -118,6 +138,8 @@ void ParallelStats::merge(const ParallelStats& other) {
     w.analyze_seconds += o.analyze_seconds;
     w.max_fault_seconds = std::max(w.max_fault_seconds, o.max_fault_seconds);
     w.build_seconds = std::max(w.build_seconds, o.build_seconds);
+    w.fault_seconds.insert(w.fault_seconds.end(), o.fault_seconds.begin(),
+                           o.fault_seconds.end());
     w.live_nodes = o.live_nodes;  // end-of-sweep gauge: latest wins
     w.peak_live_nodes = std::max(w.peak_live_nodes, o.peak_live_nodes);
     w.gc_runs += o.gc_runs;
@@ -140,6 +162,14 @@ void ParallelStats::print(std::ostream& os) const {
             total_gates_evaluated()) << " eval / "
      << human_count(total_gates_skipped()) << " skip, "
      << total_ref_underflows() << " ref underflows)\n";
+  std::vector<double> lat = all_fault_seconds();
+  if (!lat.empty()) {
+    os << "  fault latency: p50 " << std::setprecision(3)
+       << 1e3 * quantile_of(lat, 0.50) << " ms, p90 "
+       << 1e3 * quantile_of(lat, 0.90) << " ms, p99 "
+       << 1e3 * quantile_of(lat, 0.99) << " ms over " << lat.size()
+       << " faults\n";
+  }
   os << "  worker   faults   busy(s)   max(ms)   build(s)  peak nodes  "
         "gc   apply    cache-hit\n";
   for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -199,6 +229,8 @@ void ParallelStats::export_metrics(obs::MetricsRegistry& registry,
     live += static_cast<double>(w.live_nodes);
     registry.histogram(prefix + ".worker_busy_seconds")
         .observe(w.analyze_seconds);
+    obs::Histogram& lat = registry.histogram(prefix + ".fault_seconds");
+    for (const double dt : w.fault_seconds) lat.observe(dt);
   }
   registry.gauge(prefix + ".peak_live_nodes").set_max(peak);
   registry.gauge(prefix + ".live_nodes").set(live);
@@ -238,9 +270,15 @@ ParallelEngine::ParallelEngine(const netlist::Circuit& circuit,
   // Build the private managers concurrently; every build runs the same
   // deterministic topological sweep, so all workers end up with
   // structurally identical BDDs (same node budget, same variable order).
+  obs::SpanCollector* const spans = obs::SpanCollector::current();
+  obs::ScopedSpan build_span(spans, "dp.build");
+  build_span.attr("jobs", jobs);
   std::mutex error_mutex;
   std::exception_ptr build_error;
   auto build_one = [&](std::size_t slot) {
+    // Parent is passed explicitly: worker threads have no TLS span stack.
+    obs::ScopedSpan span(spans, "dp.build_worker", build_span.id());
+    span.attr("worker", slot);
     const auto start = Clock::now();
     try {
       auto w = std::make_unique<Worker>();
@@ -283,6 +321,10 @@ template <typename Fault>
 void ParallelEngine::run(const std::vector<Fault>& faults,
                          const ResultSink& sink) {
   const auto sweep_start = Clock::now();
+  obs::SpanCollector* const spans = obs::SpanCollector::current();
+  obs::ScopedSpan sweep_span(spans, "dp.sweep");
+  sweep_span.attr("jobs", workers_.size());
+  sweep_span.attr("faults", faults.size());
 
   // Dynamic sharding: workers pull the next unclaimed fault index, so an
   // expensive fault does not stall the rest of the list. Each index is
@@ -294,6 +336,11 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
   std::exception_ptr error;
 
   auto work = [&](std::size_t slot) {
+    // Explicit parent: the sweep span lives on the calling thread's stack,
+    // not this worker thread's. Per-fault dp.fault spans (opened inside
+    // the propagator) nest under this one via the worker's own TLS stack.
+    obs::ScopedSpan worker_span(spans, "dp.worker", sweep_span.id());
+    worker_span.attr("worker", slot);
     Worker& w = *workers_[slot];
     WorkerStats& ws = stats_.workers[slot];
     ws.faults_analyzed = 0;
@@ -301,6 +348,7 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
     ws.gates_skipped = 0;
     ws.analyze_seconds = 0.0;
     ws.max_fault_seconds = 0.0;
+    ws.fault_seconds.clear();
     const bdd::ManagerStats before = w.manager->stats();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -325,6 +373,7 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
       ++ws.faults_analyzed;
       ws.analyze_seconds += dt;
       ws.max_fault_seconds = std::max(ws.max_fault_seconds, dt);
+      ws.fault_seconds.push_back(dt);
     }
     const bdd::ManagerStats after = w.manager->stats();
     ws.gc_runs = after.gc_runs - before.gc_runs;
@@ -337,6 +386,8 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
     ws.ref_underflows = after.ref_underflows - before.ref_underflows;
     ws.live_nodes = w.manager->live_nodes();
     ws.peak_live_nodes = after.peak_live_nodes;
+    worker_span.attr("faults", ws.faults_analyzed);
+    worker_span.attr("busy_seconds", ws.analyze_seconds);
   };
 
   if (workers_.size() == 1) {
@@ -347,6 +398,9 @@ void ParallelEngine::run(const std::vector<Fault>& faults,
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       threads.emplace_back(work, i);
     }
+    // The barrier span measures how long the calling thread sat waiting
+    // for the slowest worker -- end-of-sweep skew shows up as its width.
+    obs::ScopedSpan barrier(spans, "dp.merge_barrier", sweep_span.id());
     for (std::thread& t : threads) t.join();
   }
 

@@ -37,6 +37,9 @@ struct WorkerStats {
   std::uint64_t gates_skipped = 0;    ///< summed PropagationStats
   double analyze_seconds = 0.0;     ///< summed per-fault wall clock
   double max_fault_seconds = 0.0;   ///< slowest single fault
+  /// Wall clock of every fault this worker analyzed, in claim order --
+  /// the raw material for the sweep's per-fault latency quantiles.
+  std::vector<double> fault_seconds;
   double build_seconds = 0.0;       ///< good-function construction
   std::size_t live_nodes = 0;       ///< manager gauge after the sweep
   std::size_t peak_live_nodes = 0;  ///< manager high-water mark
@@ -72,6 +75,9 @@ struct ParallelStats {
   std::uint64_t total_cache_canonical_swaps() const;
   std::uint64_t total_ref_underflows() const;
   double cache_hit_rate() const;
+  /// Concatenation of every worker's per-fault wall clocks (worker-index
+  /// order). Feeds latency quantiles in print()/export_metrics().
+  std::vector<double> all_fault_seconds() const;
 
   /// Folds another sweep's stats into this one (per-worker fields sum,
   /// peaks take the max, node gauges take the latest) so a batched sweep

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -64,6 +65,7 @@ void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = std::lower_bound(s_.bounds.begin(), s_.bounds.end(), v);
   ++s_.counts[static_cast<std::size_t>(it - s_.bounds.begin())];
+  if (s_.samples.size() < kMaxSamples) s_.samples.push_back(v);
   if (s_.count == 0) {
     s_.min = s_.max = v;
   } else {
@@ -72,6 +74,20 @@ void Histogram::observe(double v) {
   }
   ++s_.count;
   s_.sum += v;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest sample with cumulative fraction >= q.
+  std::vector<double> sorted = samples;
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sorted.end());
+  return sorted[rank];
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -87,6 +103,12 @@ void Histogram::merge(const Snapshot& s) {
   for (std::size_t i = 0; i < s.counts.size(); ++i) {
     s_.counts[i] += s.counts[i];
   }
+  const std::size_t room =
+      kMaxSamples - std::min(kMaxSamples, s_.samples.size());
+  s_.samples.insert(
+      s_.samples.end(), s.samples.begin(),
+      s.samples.begin() +
+          static_cast<std::ptrdiff_t>(std::min(room, s.samples.size())));
   if (s.count > 0) {
     if (s_.count == 0) {
       s_.min = s.min;
@@ -101,6 +123,7 @@ void Histogram::merge(const Snapshot& s) {
 }
 
 double ScopedTimer::stop() {
+  span_.stop();
   if (!timer_) return 0.0;
   const double dt = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start_)
@@ -170,6 +193,9 @@ JsonValue MetricsRegistry::to_json() const {
     hv["sum"] = s.sum;
     hv["min"] = s.min;
     hv["max"] = s.max;
+    hv["p50"] = s.quantile(0.50);
+    hv["p90"] = s.quantile(0.90);
+    hv["p99"] = s.quantile(0.99);
     JsonValue& buckets = hv["buckets"];
     buckets = JsonValue::array();
     for (std::size_t i = 0; i < s.counts.size(); ++i) {

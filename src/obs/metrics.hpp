@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 
 namespace dp::obs {
 
@@ -79,24 +80,38 @@ class Timer {
 };
 
 /// Bucketed distribution. Bucket i counts samples <= bounds[i]; one
-/// implicit overflow bucket counts the rest.
+/// implicit overflow bucket counts the rest. Raw samples are retained
+/// (up to kMaxSamples) alongside the buckets so quantiles are EXACT and
+/// merge exactly: merging concatenates the sample sets, so p50/p90/p99
+/// of a merged registry equal the quantiles over the union of samples,
+/// not an interpolation over coarse buckets.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
 
+  /// Raw samples kept per histogram; beyond this the buckets/sum/extrema
+  /// stay exact but quantiles are computed over the first kMaxSamples.
+  static constexpr std::size_t kMaxSamples = 1u << 20;
+
   struct Snapshot {
     std::vector<double> bounds;        ///< upper bounds, ascending
     std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
+    std::vector<double> samples;       ///< raw samples (insertion order)
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+
+    /// Exact q-quantile (0 <= q <= 1) over the retained samples by the
+    /// nearest-rank rule; 0.0 when no samples were retained.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
-  /// Bucket-wise fold of another histogram with identical bounds;
-  /// throws std::invalid_argument on a bounds mismatch.
+  /// Bucket-wise fold of another histogram with identical bounds
+  /// (samples concatenate); throws std::invalid_argument on a bounds
+  /// mismatch.
   void merge(const Snapshot& s);
 
  private:
@@ -105,13 +120,21 @@ class Histogram {
 };
 
 /// RAII phase timer: records the elapsed wall clock into a Timer when it
-/// goes out of scope (or at an explicit stop()).
+/// goes out of scope (or at an explicit stop()). Optionally carries a
+/// ScopedSpan so one `phase(...)` call site feeds both the timer
+/// aggregate and the span timeline; the span stops with the timer.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Timer& timer)
       : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(Timer& timer, ScopedSpan&& span)
+      : timer_(&timer),
+        span_(std::move(span)),
+        start_(std::chrono::steady_clock::now()) {}
   ScopedTimer(ScopedTimer&& other) noexcept
-      : timer_(other.timer_), start_(other.start_) {
+      : timer_(other.timer_),
+        span_(std::move(other.span_)),
+        start_(other.start_) {
     other.timer_ = nullptr;
   }
   ScopedTimer(const ScopedTimer&) = delete;
@@ -125,6 +148,7 @@ class ScopedTimer {
 
  private:
   Timer* timer_;
+  ScopedSpan span_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -153,7 +177,8 @@ class MetricsRegistry {
   /// Deterministic export: sections in fixed order, names sorted.
   /// Shape: {"counters": {name: int}, "gauges": {name: num},
   ///         "timers": {name: {count,total_s,min_s,max_s}},
-  ///         "histograms": {name: {count,sum,min,max,buckets:[{le,count}]}}
+  ///         "histograms": {name: {count,sum,min,max,p50,p90,p99,
+  ///                                buckets:[{le,count}]}}
   JsonValue to_json() const;
 
   /// Fold another registry in: counters add, timers merge, gauges take

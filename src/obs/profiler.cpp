@@ -1,0 +1,167 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#ifdef __linux__
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace dp::obs {
+
+SourceRegistry& SourceRegistry::instance() {
+  static SourceRegistry registry;
+  return registry;
+}
+
+void SourceRegistry::add(const ProfileSource* source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.push_back(source);
+}
+
+void SourceRegistry::remove(const ProfileSource* source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.erase(std::remove(sources_.begin(), sources_.end(), source),
+                 sources_.end());
+}
+
+void SourceRegistry::collect(
+    std::vector<std::pair<std::string, double>>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const ProfileSource* s : sources_) s->profile_sample(out);
+}
+
+std::size_t SourceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sources_.size();
+}
+
+SamplingProfiler::SamplingProfiler(std::chrono::milliseconds period)
+    : period_(std::max(std::chrono::milliseconds(1), period)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::start() {
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void SamplingProfiler::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void SamplingProfiler::run() {
+  std::unique_lock<std::mutex> lock(cv_mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, period_, [this] { return stop_requested_; })) {
+      // One final sample so a short phase right before stop() still
+      // shows up in the series.
+      lock.unlock();
+      sample_now();
+      return;
+    }
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void SamplingProfiler::sample_now() {
+  std::vector<std::pair<std::string, double>> values;
+  SourceRegistry::instance().collect(values);
+
+  // Aggregate gauge: total live BDD nodes across all managers, so the
+  // timeline shows overall node pressure even when per-manager series
+  // come and go with worker lifetimes.
+  double total_live = 0.0;
+  bool any_live = false;
+  for (const auto& [name, v] : values) {
+    const std::string suffix = ".live_nodes";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      total_live += v;
+      any_live = true;
+    }
+  }
+  if (any_live) values.emplace_back("bdd.total_live_nodes", total_live);
+  const double rss = rss_megabytes();
+  if (rss >= 0.0) values.emplace_back("process.rss_mb", rss);
+
+  const std::uint64_t t_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  ++ticks_;
+  for (auto& [name, v] : values) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      if (series_.size() >= kMaxSeries) {
+        ++dropped_samples_;
+        continue;
+      }
+      it = series_.emplace(name, decltype(series_)::mapped_type{}).first;
+    }
+    if (it->second.size() >= kMaxSamplesPerSeries) {
+      ++dropped_samples_;
+      continue;
+    }
+    it->second.emplace_back(t_us, v);
+  }
+}
+
+JsonValue SamplingProfiler::to_json() const {
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  JsonValue root = JsonValue::object();
+  root["period_ms"] = period_.count();
+  root["ticks"] = ticks_;
+  root["dropped_samples"] = dropped_samples_;
+  JsonValue& series = root["series"];
+  series = JsonValue::array();
+  for (const auto& [name, samples] : series_) {
+    JsonValue s = JsonValue::object();
+    s["name"] = name;
+    JsonValue& arr = s["samples"];
+    arr = JsonValue::array();
+    for (const auto& [t_us, v] : samples) {
+      JsonValue pair = JsonValue::array();
+      pair.push_back(static_cast<double>(t_us));
+      pair.push_back(v);
+      arr.push_back(std::move(pair));
+    }
+    series.push_back(std::move(s));
+  }
+  return root;
+}
+
+double SamplingProfiler::rss_megabytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return -1.0;
+  long long pages_total = 0, pages_resident = 0;
+  const int matched =
+      std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (matched != 2) return -1.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(pages_resident) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
+#else
+  return -1.0;
+#endif
+}
+
+}  // namespace dp::obs

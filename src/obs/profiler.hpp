@@ -1,0 +1,109 @@
+// Sampling profiler: a background thread that periodically polls every
+// registered ProfileSource (each bdd::Manager self-registers) plus the
+// process RSS, and accumulates timestamped gauge series for the
+// dp.trace.v1 "profile" section (and its Chrome counter-track mirror).
+//
+// Thread-safety contract: SourceRegistry::collect() holds the registry
+// mutex for the whole poll, and sources unregister in their destructor
+// (taking the same mutex), so a source can never be destroyed mid-
+// sample. The values a source reports are plain reads of word-sized
+// counters that the owning thread may be mutating concurrently -- a
+// deliberately benign race: a sample may be one update stale, which is
+// irrelevant for a 10ms-resolution gauge series and never dereferences
+// freed memory. Do not report values whose reads require consistency
+// across multiple fields.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dp::obs {
+
+/// Something the profiler can poll. Implementations append (series name,
+/// value) pairs; names should be stable across calls so samples line up
+/// into series.
+class ProfileSource {
+ public:
+  virtual ~ProfileSource() = default;
+  virtual void profile_sample(
+      std::vector<std::pair<std::string, double>>& out) const = 0;
+};
+
+/// Process-wide registry of live ProfileSources. add() in the source's
+/// constructor, remove() FIRST THING in its destructor (before any state
+/// the sample reads is torn down).
+class SourceRegistry {
+ public:
+  static SourceRegistry& instance();
+
+  void add(const ProfileSource* source);
+  void remove(const ProfileSource* source);
+  /// Polls every registered source under the registry lock.
+  void collect(std::vector<std::pair<std::string, double>>& out) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<const ProfileSource*> sources_;
+};
+
+/// Periodic sampler thread. start() spawns it, stop() (or the
+/// destructor) joins it; to_json() exports the accumulated series as
+///   {"period_ms":P,"ticks":N,"series":[{"name":S,
+///     "samples":[[t_us,value],...]},...]}.
+/// Series and sample counts are capped so a runaway run cannot grow the
+/// document without bound; truncation is reported via "dropped_samples".
+class SamplingProfiler {
+ public:
+  explicit SamplingProfiler(
+      std::chrono::milliseconds period = std::chrono::milliseconds(10));
+  ~SamplingProfiler();
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Takes one sample immediately on the calling thread (also used by
+  /// the sampler thread; public so tests need not race the clock).
+  void sample_now();
+
+  JsonValue to_json() const;
+
+  /// Resident set size in MiB from /proc/self/statm; -1.0 when the
+  /// platform does not expose it.
+  static double rss_megabytes();
+
+  static constexpr std::size_t kMaxSeries = 256;
+  static constexpr std::size_t kMaxSamplesPerSeries = 1u << 14;
+
+ private:
+  void run();
+
+  const std::chrono::milliseconds period_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex series_mutex_;
+  std::map<std::string, std::vector<std::pair<std::uint64_t, double>>>
+      series_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t dropped_samples_ = 0;
+
+  std::mutex cv_mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dp::obs

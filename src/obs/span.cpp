@@ -1,0 +1,328 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace dp::obs {
+
+namespace {
+
+std::atomic<SpanCollector*> g_current{nullptr};
+std::atomic<std::uint64_t> g_serial{0};
+
+/// Per-thread cache of "my ring in the current collector". Keyed by the
+/// collector's serial (not its address) so a collector destroyed and
+/// another constructed at the same address can never alias a stale ring.
+struct RingCache {
+  std::uint64_t serial = 0;
+  void* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+
+/// Per-thread stack of open span ids, for automatic parenting. Also
+/// keyed by collector serial: ids from a previous collector must not
+/// leak in as parents of the next one's spans.
+struct OpenStack {
+  std::uint64_t serial = 0;
+  std::vector<std::uint64_t> ids;
+};
+thread_local OpenStack t_open;
+
+std::vector<std::uint64_t>& open_stack_for(std::uint64_t serial) {
+  if (t_open.serial != serial) {
+    t_open.serial = serial;
+    t_open.ids.clear();
+  }
+  return t_open.ids;
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t per_thread_capacity)
+    : capacity_(std::max<std::size_t>(1, per_thread_capacity)),
+      serial_(g_serial.fetch_add(1, std::memory_order_relaxed) + 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SpanCollector::~SpanCollector() {
+  SpanCollector* self = this;
+  g_current.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_relaxed);
+}
+
+SpanCollector* SpanCollector::current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+void SpanCollector::install(SpanCollector* collector) {
+  g_current.store(collector, std::memory_order_relaxed);
+}
+
+std::uint64_t SpanCollector::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+double SpanCollector::elapsed_seconds() const {
+  return static_cast<double>(now_ns()) * 1e-9;
+}
+
+SpanCollector::Ring& SpanCollector::ring_for_this_thread() {
+  if (t_ring_cache.serial == serial_) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(rings_.size());
+  ring->events.reserve(std::min<std::size_t>(capacity_, 1024));
+  rings_.push_back(std::move(ring));
+  Ring& r = *rings_.back();
+  t_ring_cache.serial = serial_;
+  t_ring_cache.ring = &r;
+  return r;
+}
+
+void SpanCollector::record(SpanRecord&& rec) {
+  Ring& r = ring_for_this_thread();
+  rec.tid = r.tid;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.events.size() < capacity_) {
+    r.events.push_back(std::move(rec));
+  } else {
+    r.events[r.next] = std::move(rec);
+    r.next = (r.next + 1) % capacity_;
+  }
+  ++r.total;
+}
+
+SpanCollector::Snapshot SpanCollector::snapshot() const {
+  std::vector<const Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+
+  Snapshot out;
+  out.threads = rings.size();
+  for (const Ring* r : rings) {
+    std::lock_guard<std::mutex> lock(r->mutex);
+    out.recorded += r->total;
+    out.dropped += r->total - std::min<std::uint64_t>(r->total,
+                                                      r->events.size());
+    if (r->events.size() < capacity_) {
+      out.spans.insert(out.spans.end(), r->events.begin(), r->events.end());
+    } else {
+      // Full ring: next points at the oldest slot.
+      out.spans.insert(out.spans.end(),
+                       r->events.begin() +
+                           static_cast<std::ptrdiff_t>(r->next),
+                       r->events.end());
+      out.spans.insert(out.spans.end(), r->events.begin(),
+                       r->events.begin() +
+                           static_cast<std::ptrdiff_t>(r->next));
+    }
+  }
+  // Chronological merge across threads. stable_sort keeps same-timestamp
+  // spans in ring order, so the output is deterministic for a fixed set
+  // of recorded spans.
+  std::stable_sort(out.spans.begin(), out.spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+namespace {
+
+void append_args(JsonValue& args, const std::vector<SpanAttr>& attrs) {
+  for (const SpanAttr& a : attrs) {
+    switch (a.kind) {
+      case SpanAttr::Kind::Int: args[a.key] = a.i; break;
+      case SpanAttr::Kind::Float: args[a.key] = a.f; break;
+      case SpanAttr::Kind::Text: args[a.key] = a.text; break;
+    }
+  }
+}
+
+JsonValue span_section(const SpanCollector::Snapshot& snap,
+                       std::size_t capacity) {
+  JsonValue root = JsonValue::object();
+  root["capacity"] = capacity;
+  root["threads"] = snap.threads;
+  root["recorded"] = snap.recorded;
+  root["dropped"] = snap.dropped;
+  JsonValue& arr = root["events"];
+  arr = JsonValue::array();
+  for (const SpanRecord& s : snap.spans) {
+    JsonValue e = JsonValue::object();
+    e["id"] = s.id;
+    e["parent"] = s.parent;
+    e["tid"] = s.tid;
+    e["name"] = s.name;
+    e["ts_us"] = static_cast<double>(s.start_ns) * 1e-3;
+    e["dur_us"] = static_cast<double>(s.dur_ns) * 1e-3;
+    if (!s.attrs.empty()) {
+      JsonValue& args = e["args"];
+      args = JsonValue::object();
+      append_args(args, s.attrs);
+    }
+    arr.push_back(std::move(e));
+  }
+  return root;
+}
+
+}  // namespace
+
+JsonValue SpanCollector::to_json() const {
+  return span_section(snapshot(), capacity_);
+}
+
+ScopedSpan::ScopedSpan(SpanCollector* collector, std::string_view name) {
+  open(collector, name, 0, /*infer_parent=*/true);
+}
+
+ScopedSpan::ScopedSpan(SpanCollector* collector, std::string_view name,
+                       std::uint64_t parent_id) {
+  open(collector, name, parent_id, /*infer_parent=*/false);
+}
+
+void ScopedSpan::open(SpanCollector* collector, std::string_view name,
+                      std::uint64_t parent_id, bool infer_parent) {
+  if (!collector) return;
+  collector_ = collector;
+  rec_.id = collector->next_id();
+  rec_.name.assign(name);
+  std::vector<std::uint64_t>& stack = open_stack_for(collector->serial());
+  rec_.parent = infer_parent ? (stack.empty() ? 0 : stack.back()) : parent_id;
+  stack.push_back(rec_.id);
+  rec_.start_ns = collector->now_ns();
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : collector_(other.collector_), rec_(std::move(other.rec_)) {
+  other.collector_ = nullptr;
+  other.rec_ = SpanRecord{};  // id() == 0 on the moved-from span
+}
+
+ScopedSpan& ScopedSpan::attr_int(std::string_view key, std::int64_t v) {
+  if (collector_) {
+    SpanAttr a;
+    a.key.assign(key);
+    a.kind = SpanAttr::Kind::Int;
+    a.i = v;
+    rec_.attrs.push_back(std::move(a));
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::attr(std::string_view key, double v) {
+  if (collector_) {
+    SpanAttr a;
+    a.key.assign(key);
+    a.kind = SpanAttr::Kind::Float;
+    a.f = v;
+    rec_.attrs.push_back(std::move(a));
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::attr(std::string_view key, std::string_view v) {
+  if (collector_) {
+    SpanAttr a;
+    a.key.assign(key);
+    a.kind = SpanAttr::Kind::Text;
+    a.text.assign(v);
+    rec_.attrs.push_back(std::move(a));
+  }
+  return *this;
+}
+
+void ScopedSpan::stop() {
+  if (!collector_) return;
+  rec_.dur_ns = collector_->now_ns() - rec_.start_ns;
+  // Erase our id from this thread's open stack (search from the top: the
+  // common case is perfectly nested scopes, where it IS the top; a span
+  // moved within the thread and stopped out of order is still found).
+  std::vector<std::uint64_t>& stack = open_stack_for(collector_->serial());
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == rec_.id) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  SpanCollector* c = collector_;
+  collector_ = nullptr;
+  c->record(std::move(rec_));
+}
+
+JsonValue make_trace_document(const std::string& id_key, const std::string& id,
+                              std::size_t jobs, const SpanCollector& spans,
+                              JsonValue profile, double wall_seconds) {
+  const SpanCollector::Snapshot snap = spans.snapshot();
+
+  JsonValue doc = JsonValue::object();
+  doc["schema"] = "dp.trace.v1";
+  doc[id_key] = id;
+  doc["jobs"] = jobs;
+  doc["wall_seconds"] = wall_seconds;
+  doc["spans"] = span_section(snap, spans.per_thread_capacity());
+  if (!profile.is_null()) doc["profile"] = std::move(profile);
+
+  // Chrome trace-event mirror: "M" thread-name metadata, one "X"
+  // complete event per span, and "C" counter events for every profiler
+  // series. Viewers ignore the other top-level keys.
+  JsonValue& events = doc["traceEvents"];
+  events = JsonValue::array();
+  for (std::size_t t = 0; t < snap.threads; ++t) {
+    JsonValue m = JsonValue::object();
+    m["name"] = "thread_name";
+    m["ph"] = "M";
+    m["pid"] = 1;
+    m["tid"] = t;
+    JsonValue& args = m["args"];
+    args["name"] = t == 0 ? std::string("main") : "t" + std::to_string(t);
+    events.push_back(std::move(m));
+  }
+  for (const SpanRecord& s : snap.spans) {
+    JsonValue e = JsonValue::object();
+    e["name"] = s.name;
+    e["cat"] = "span";
+    e["ph"] = "X";
+    e["ts"] = static_cast<double>(s.start_ns) * 1e-3;
+    e["dur"] = static_cast<double>(s.dur_ns) * 1e-3;
+    e["pid"] = 1;
+    e["tid"] = s.tid;
+    JsonValue& args = e["args"];
+    args = JsonValue::object();
+    args["id"] = s.id;
+    args["parent"] = s.parent;
+    append_args(args, s.attrs);
+    events.push_back(std::move(e));
+  }
+  if (const JsonValue* prof = doc.find("profile")) {
+    if (const JsonValue* series = prof->find("series")) {
+      for (std::size_t i = 0; series->is_array() && i < series->size(); ++i) {
+        const JsonValue& s = series->at(i);
+        const JsonValue* name = s.find("name");
+        const JsonValue* samples = s.find("samples");
+        if (!name || !samples || !samples->is_array()) continue;
+        for (std::size_t k = 0; k < samples->size(); ++k) {
+          const JsonValue& sample = samples->at(k);
+          if (!sample.is_array() || sample.size() != 2) continue;
+          JsonValue e = JsonValue::object();
+          e["name"] = *name;
+          e["ph"] = "C";
+          e["ts"] = sample.at(std::size_t{0}).as_double();
+          e["pid"] = 1;
+          JsonValue& args = e["args"];
+          args["value"] = sample.at(std::size_t{1}).as_double();
+          events.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace dp::obs

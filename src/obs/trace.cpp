@@ -64,6 +64,14 @@ std::vector<TraceEvent> TraceBuffer::snapshot() const {
     out.insert(out.end(), ring_.begin(),
                ring_.begin() + static_cast<std::ptrdiff_t>(next_));
   }
+  // Timestamps are taken BEFORE the recording lock, so concurrent
+  // recorders can land in the ring slightly out of time order; the
+  // snapshot guarantees chronological output regardless (stable, so
+  // same-timestamp events keep their insertion order).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t < b.t;
+                   });
   return out;
 }
 

@@ -45,7 +45,9 @@ class TraceBuffer {
   void record(TraceKind kind, std::string label, std::int64_t a = 0,
               std::int64_t b = 0, std::int64_t c = 0, std::int64_t d = 0);
 
-  /// Events oldest-first (at most capacity() of them).
+  /// Events in chronological order (at most capacity() of them; the
+  /// oldest are the ones a wrap sheds). Guaranteed sorted by t even when
+  /// concurrent recorders interleaved out of insertion order.
   std::vector<TraceEvent> snapshot() const;
 
   std::size_t capacity() const { return capacity_; }

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace dp::sim {
 
 using netlist::GateType;
@@ -40,6 +42,7 @@ WideFaultSimulator::WideFaultSimulator(const Circuit& circuit)
   // good-circuit sweep with no per-gate indirection through the netlist.
   schedule_index_.assign(circuit.num_nets(), kNotScheduled);
   schedule_.reserve(circuit.num_nets());
+  net_level_.assign(circuit.num_nets(), 0);
   for (NetId id : circuit.topo_order()) {
     if (circuit.type(id) == GateType::Input) continue;
     const auto& fi = circuit.fanins(id);
@@ -51,7 +54,12 @@ WideFaultSimulator::WideFaultSimulator(const Circuit& circuit)
     fanin_flat_.insert(fanin_flat_.end(), fi.begin(), fi.end());
     schedule_index_[id] = static_cast<std::uint32_t>(schedule_.size());
     schedule_.push_back(g);
+    std::uint32_t level = 0;
+    for (const NetId f : fi) level = std::max(level, net_level_[f] + 1);
+    net_level_[id] = level;
+    num_levels_ = std::max<std::size_t>(num_levels_, level + 1);
   }
+  if (num_levels_ == 0) num_levels_ = 1;  // PI-only circuit
 }
 
 template <typename FaninValue>
@@ -130,11 +138,13 @@ WideFaultSimulator::Grade WideFaultSimulator::run(
     const std::vector<StuckAtFault>& faults, std::size_t num_patterns,
     const Options& options, LoadBlock&& load_block) const {
   const Circuit& c = *circuit_;
+  obs::ScopedSpan span(obs::SpanCollector::current(), "sim.grade");
   Grade g;
   g.total = faults.size();
   g.num_patterns = num_patterns;
   g.detection_counts.assign(faults.size(), 0);
   g.first_detection.assign(faults.size(), kNotDetected);
+  g.level_events.assign(num_levels_, 0);
 
   std::vector<FaultPlan> plans;
   plans.reserve(faults.size());
@@ -194,6 +204,7 @@ WideFaultSimulator::Grade WideFaultSimulator::run(
       if (v == good[plan.site]) continue;  // no lane differs under this block
       scratch[plan.site] = v;
       stamp[plan.site] = epoch;
+      ++g.level_events[net_level_[plan.site]];
 
       // Chase the difference through the cone; a gate whose fanins all
       // carry good values is skipped, and a gate whose faulty value equals
@@ -208,6 +219,7 @@ WideFaultSimulator::Grade WideFaultSimulator::run(
           }
         }
         if (!touched) continue;
+        ++g.level_events[net_level_[gr.net]];
         const WideWord fv =
             eval_entry(gr, [&](std::uint32_t k) -> const WideWord& {
               const NetId f = fanin_flat_[gr.fanin_begin + k];
@@ -248,6 +260,12 @@ WideFaultSimulator::Grade WideFaultSimulator::run(
         --num_alive;
       }
     }
+  }
+  if (span.enabled()) {
+    span.attr("faults", g.total);
+    span.attr("patterns", g.num_patterns);
+    span.attr("events", g.events());
+    span.attr("detected", g.detected());
   }
   return g;
 }
@@ -323,6 +341,12 @@ std::vector<std::vector<bool>> WideFaultSimulator::random_patterns(
 std::size_t WideFaultSimulator::Grade::detected() const {
   std::size_t n = 0;
   for (const std::uint64_t count : detection_counts) n += count > 0;
+  return n;
+}
+
+std::uint64_t WideFaultSimulator::Grade::events() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t e : level_events) n += e;
   return n;
 }
 

@@ -64,8 +64,16 @@ class WideFaultSimulator {
     /// Pattern index of the first detection, kNotDetected if none. Exact
     /// regardless of dropping (dropping only skips post-detection blocks).
     std::vector<std::uint64_t> first_detection;
+    /// Faulty-value evaluations per circuit level (index = longest path
+    /// from a PI; PIs are level 0): one count per difference injection and
+    /// per touched cone-gate evaluation. Deterministic for a fixed fault
+    /// list / pattern stream, and a direct picture of how deep differences
+    /// travel before dying.
+    std::vector<std::uint64_t> level_events;
 
     std::size_t detected() const;
+    /// Total faulty-value evaluations (sum of level_events).
+    std::uint64_t events() const;
   };
 
   /// Random-pattern grading; the pattern stream for a given (num_patterns,
@@ -119,6 +127,9 @@ class WideFaultSimulator {
   std::vector<NetId> fanin_flat_;
   /// Per net: its index in schedule_, or kNotScheduled for PIs.
   std::vector<std::uint32_t> schedule_index_;
+  /// Per net: longest path (in gate levels) from any PI; PIs are 0.
+  std::vector<std::uint32_t> net_level_;
+  std::size_t num_levels_ = 0;  ///< deepest level + 1
 
   static constexpr std::uint32_t kNotScheduled = 0xffffffffu;
 };

@@ -57,18 +57,27 @@ std::optional<std::string> ArtifactStore::read_file(const std::string& path,
 
 std::optional<obs::JsonValue> ArtifactStore::load_document(
     const std::string& key, const std::string& kind) {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "store.load");
+  span.attr("kind", kind);
+  span.attr("key", key);
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.load_seconds"))
                : std::nullopt;
   const auto bytes = read_file(document_path(key, kind), kind);
-  if (!bytes) return std::nullopt;
+  if (!bytes) {
+    span.attr("hit", 0);
+    return std::nullopt;
+  }
   try {
     obs::JsonValue doc = obs::JsonValue::parse(*bytes);
     count("store." + kind + ".hits");
+    span.attr("hit", 1);
+    span.attr("bytes", bytes->size());
     return doc;
   } catch (const obs::JsonError&) {
     count("store." + kind + ".corrupt");
+    span.attr("hit", 0);
     return std::nullopt;
   }
 }
@@ -77,6 +86,9 @@ bool ArtifactStore::store_document(const std::string& key,
                                    const std::string& kind,
                                    const obs::JsonValue& doc,
                                    std::string* error) {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "store.store");
+  span.attr("kind", kind);
+  span.attr("key", key);
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.store_seconds"))
@@ -85,6 +97,7 @@ bool ArtifactStore::store_document(const std::string& key,
   doc.write(os, 2);
   os << '\n';
   const std::string bytes = os.str();
+  span.attr("bytes", bytes.size());
   if (!obs::atomic_write_file(document_path(key, kind), bytes, error)) {
     return false;
   }
@@ -96,6 +109,9 @@ bool ArtifactStore::store_document(const std::string& key,
 
 std::optional<std::vector<bdd::Bdd>> ArtifactStore::load_forest(
     const std::string& key, const std::string& kind, bdd::Manager& manager) {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "store.load");
+  span.attr("kind", kind);
+  span.attr("key", key);
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.load_seconds"))
@@ -104,17 +120,23 @@ std::optional<std::vector<bdd::Bdd>> ArtifactStore::load_forest(
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     count("store." + kind + ".misses");
+    span.attr("hit", 0);
     return std::nullopt;
   }
   try {
     std::vector<bdd::Bdd> roots = load_forest_file(path, manager);
     std::error_code ec;
     const auto sz = fs::file_size(path, ec);
-    if (!ec) count("store.bytes_read", sz);
+    if (!ec) {
+      count("store.bytes_read", sz);
+      span.attr("bytes", static_cast<std::uint64_t>(sz));
+    }
     count("store." + kind + ".hits");
+    span.attr("hit", 1);
     return roots;
   } catch (const StoreError&) {
     count("store." + kind + ".corrupt");
+    span.attr("hit", 0);
     return std::nullopt;
   }
 }
@@ -124,6 +146,9 @@ bool ArtifactStore::store_forest(const std::string& key,
                                  bdd::Manager& manager,
                                  const std::vector<bdd::Bdd>& roots,
                                  std::string* error) {
+  obs::ScopedSpan span(obs::SpanCollector::current(), "store.store");
+  span.attr("kind", kind);
+  span.attr("key", key);
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.store_seconds"))
@@ -133,7 +158,10 @@ bool ArtifactStore::store_forest(const std::string& key,
     save_forest_file(path, manager, roots);
     std::error_code ec;
     const auto sz = fs::file_size(path, ec);
-    if (!ec) count("store.bytes_written", sz);
+    if (!ec) {
+      count("store.bytes_written", sz);
+      span.attr("bytes", static_cast<std::uint64_t>(sz));
+    }
     count("store." + kind + ".stores");
     prune();
     return true;

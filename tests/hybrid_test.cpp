@@ -5,11 +5,15 @@
 // everything.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "analysis/hybrid.hpp"
 #include "analysis/profiles.hpp"
 #include "netlist/generators.hpp"
+#include "obs/metrics.hpp"
 
 namespace dp::analysis {
 namespace {
@@ -137,6 +141,75 @@ TEST(HybridTest, ProfileAccountingIsConsistent) {
       EXPECT_EQ(f.resolved_by, ResolvedBy::ExactDp);
     }
   }
+}
+
+TEST(HybridTest, ExportMetricsCarriesPhaseTimersAndCounters) {
+  const netlist::Circuit c = netlist::make_c17();
+  AnalysisOptions opt;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 20;
+  const HybridProfile hp = analyze_stuck_at_hybrid(c, opt, hopt);
+
+  obs::MetricsRegistry reg;
+  hp.export_metrics(reg);
+  const obs::JsonValue j = reg.to_json();
+  // The per-phase timers every trace/metrics consumer keys on.
+  EXPECT_TRUE(j.at("timers").contains("phase.prefilter"));
+  EXPECT_TRUE(j.at("timers").contains("phase.dp_remainder"));
+  // Deterministic pipeline counters.
+  EXPECT_EQ(j.at("counters").at("hybrid.faults").as_int(),
+            static_cast<long long>(hp.faults.size()));
+  EXPECT_EQ(j.at("counters").at("hybrid.prefilter_resolved").as_int(),
+            static_cast<long long>(hp.prefilter_resolved()));
+  EXPECT_EQ(j.at("counters").at("hybrid.dp_resolved").as_int(),
+            static_cast<long long>(hp.dp_resolved()));
+  EXPECT_EQ(j.at("counters").at("sim.patterns").as_int(), 20);
+  EXPECT_EQ(j.at("counters").at("sim.events").as_int(),
+            static_cast<long long>(hp.sim_events));
+  // The engine's dp.* instruments are exported by callers via
+  // engine_stats, never here -- exporting both would double-count.
+  for (const auto& [key, value] : j.at("counters").members()) {
+    EXPECT_NE(key.rfind("dp.", 0), 0u) << key;
+  }
+}
+
+TEST(HybridTest, SimLevelEventAccountingIsConsistent) {
+  const netlist::Circuit c = netlist::make_benchmark("alu181");
+  AnalysisOptions opt;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 48;
+  const HybridProfile hp = analyze_stuck_at_hybrid(c, opt, hopt);
+  ASSERT_FALSE(hp.sim_level_events.empty());
+  const std::uint64_t level_sum =
+      std::accumulate(hp.sim_level_events.begin(),
+                      hp.sim_level_events.end(), std::uint64_t{0});
+  EXPECT_EQ(level_sum, hp.sim_events);
+  EXPECT_GT(hp.sim_events, 0u);
+}
+
+TEST(HybridTest, ExportedCountersIdenticalAcrossJobCounts) {
+  // The observability contract: counters (fault partition, sim events,
+  // per-level activity) are deterministic properties of the workload, so
+  // a --jobs 1 and a --jobs 4 run must export bit-identical counter
+  // sections. Timers/gauges may of course differ.
+  const netlist::Circuit c = netlist::make_benchmark("alu181");
+  AnalysisOptions opt1, opt4;
+  opt1.jobs = 1;
+  opt4.jobs = 4;
+  HybridOptions hopt;
+  hopt.prefilter_patterns = 48;
+  const HybridProfile a = analyze_stuck_at_hybrid(c, opt1, hopt);
+  const HybridProfile b = analyze_stuck_at_hybrid(c, opt4, hopt);
+
+  obs::MetricsRegistry ra, rb;
+  a.export_metrics(ra);
+  b.export_metrics(rb);
+  const std::string ca = ra.to_json().at("counters").dump();
+  const std::string cb = rb.to_json().at("counters").dump();
+  EXPECT_EQ(ca, cb);
+  // And the per-level series itself, element for element.
+  EXPECT_EQ(a.sim_level_events, b.sim_level_events);
+  EXPECT_EQ(a.sim_events, b.sim_events);
 }
 
 }  // namespace

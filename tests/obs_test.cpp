@@ -1,7 +1,8 @@
 // The observability layer's contract: instrument semantics (counters,
 // gauges, timers, histograms), exact sums under concurrent mutation,
-// deterministic registry merges, trace-ring wrap accounting, and a JSON
-// model whose writer and parser round-trip each other.
+// deterministic registry merges, trace-ring wrap accounting, span
+// hierarchy/export semantics, the sampling profiler's source registry,
+// and a JSON model whose writer and parser round-trip each other.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,6 +14,8 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace dp::obs {
@@ -123,6 +126,20 @@ TEST(Metrics, ScopedTimerRecordsOnceEvenWhenMoved) {
     EXPECT_GE(b.stop(), 0.0);
     EXPECT_DOUBLE_EQ(b.stop(), 0.0);  // second stop is a no-op
   }
+  EXPECT_EQ(r.timer("phase").snapshot().count, 1u);
+}
+
+TEST(Metrics, ScopedTimerMovedFromIsInertAndStopIsIdempotent) {
+  MetricsRegistry r;
+  ScopedTimer a = r.scoped_timer("phase");
+  ScopedTimer b = std::move(a);
+  // The moved-from timer must record nothing, however it's poked.
+  EXPECT_DOUBLE_EQ(a.stop(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stop(), 0.0);
+  EXPECT_EQ(r.timer("phase").snapshot().count, 0u);
+  EXPECT_GE(b.stop(), 0.0);
+  EXPECT_DOUBLE_EQ(b.stop(), 0.0);
+  EXPECT_DOUBLE_EQ(b.stop(), 0.0);  // arbitrary further stops stay no-ops
   EXPECT_EQ(r.timer("phase").snapshot().count, 1u);
 }
 
@@ -239,6 +256,44 @@ TEST(Metrics, ToJsonShapeIsSortedAndComplete) {
   EXPECT_EQ(JsonValue::parse(j.dump()).dump(), j.dump());
 }
 
+TEST(Metrics, HistogramQuantilesAreExactNearestRank) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("lat", {5.0});
+  // Insert out of order: quantiles must sort, not trust insertion order.
+  for (double v : {7.0, 2.0, 10.0, 1.0, 5.0, 3.0, 9.0, 4.0, 8.0, 6.0}) {
+    h.observe(v);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.samples.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.50), 5.0);  // rank ceil(5)-1 over 1..10
+  EXPECT_DOUBLE_EQ(s.quantile(0.90), 9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+
+  const JsonValue j = r.to_json();
+  const JsonValue& hist = j.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hist.at("p50").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.at("p90").as_double(), 9.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").as_double(), 10.0);
+}
+
+TEST(Metrics, HistogramMergeConcatenatesSamplesSoQuantilesStayExact) {
+  MetricsRegistry a, b;
+  for (double v : {1.0, 2.0, 3.0}) a.histogram("h", {10.0}).observe(v);
+  for (double v : {100.0, 200.0, 300.0}) {
+    b.histogram("h", {10.0}).observe(v);
+  }
+  a.merge_from(b);
+  const Histogram::Snapshot s = a.histogram("h", {10.0}).snapshot();
+  ASSERT_EQ(s.samples.size(), 6u);
+  // Union quantiles, not a bucket interpolation: the p50 of
+  // {1,2,3,100,200,300} is 3, which no bucket-midpoint scheme produces
+  // with one coarse bound at 10.
+  EXPECT_DOUBLE_EQ(s.quantile(0.50), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 300.0);
+}
+
 // ---------------------------------------------------------------------------
 // Trace ring
 
@@ -310,6 +365,261 @@ TEST(Trace, ToJsonShape) {
   EXPECT_EQ(e.at("label").as_string(), "f");
   EXPECT_EQ(e.at("a").as_int(), 1);
   EXPECT_EQ(e.at("d").as_int(), 4);
+}
+
+TEST(Trace, SnapshotIsChronologicalEvenAfterWrap) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 11; ++i) {
+    buf.record(TraceKind::Mark, "e" + std::to_string(i), i);
+  }
+  // The ring's physical layout has wrapped twice; the logical snapshot
+  // must still come back oldest-first by timestamp.
+  const std::vector<TraceEvent> events = buf.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t, events[i - 1].t);
+    EXPECT_GT(events[i].a, events[i - 1].a);
+  }
+  EXPECT_EQ(events.front().label, "e7");
+  EXPECT_EQ(events.back().label, "e10");
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+TEST(Span, NestedSpansParentViaThreadLocalStack) {
+  SpanCollector c(16);
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    ScopedSpan outer(&c, "outer");
+    ASSERT_TRUE(outer.enabled());
+    outer_id = outer.id();
+    {
+      ScopedSpan inner(&c, "inner");
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, outer_id);
+    }
+  }
+  const SpanCollector::Snapshot s = c.snapshot();
+  ASSERT_EQ(s.spans.size(), 2u);
+  EXPECT_EQ(s.recorded, 2u);
+  EXPECT_EQ(s.dropped, 0u);
+  // Chronological by start: outer opened first.
+  EXPECT_EQ(s.spans[0].name, "outer");
+  EXPECT_EQ(s.spans[0].parent, 0u);
+  EXPECT_EQ(s.spans[1].name, "inner");
+  EXPECT_EQ(s.spans[1].parent, outer_id);
+  EXPECT_EQ(s.spans[1].id, inner_id);
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(s.spans[1].start_ns, s.spans[0].start_ns);
+  EXPECT_LE(s.spans[1].start_ns + s.spans[1].dur_ns,
+            s.spans[0].start_ns + s.spans[0].dur_ns);
+}
+
+TEST(Span, ExplicitParentCrossesThreadsAndChildrenNestLocally) {
+  SpanCollector c(16);
+  std::uint64_t root_id = 0, worker_id = 0;
+  {
+    ScopedSpan root(&c, "sweep");
+    root_id = root.id();
+    std::thread worker([&] {
+      ScopedSpan w(&c, "worker", root.id());
+      worker_id = w.id();
+      ScopedSpan child(&c, "fault");  // nests under w via the local stack
+    });
+    worker.join();
+  }
+  const SpanCollector::Snapshot s = c.snapshot();
+  ASSERT_EQ(s.spans.size(), 3u);
+  EXPECT_EQ(s.threads, 2u);
+  std::uint64_t fault_parent = 0, worker_parent = 0;
+  std::uint32_t worker_tid = 0, root_tid = 0;
+  for (const SpanRecord& r : s.spans) {
+    if (r.name == "fault") fault_parent = r.parent;
+    if (r.name == "worker") {
+      worker_parent = r.parent;
+      worker_tid = r.tid;
+    }
+    if (r.name == "sweep") root_tid = r.tid;
+  }
+  EXPECT_EQ(worker_parent, root_id);
+  EXPECT_EQ(fault_parent, worker_id);
+  EXPECT_NE(worker_tid, root_tid);
+}
+
+TEST(Span, AttrsSurviveToSnapshotAndJson) {
+  SpanCollector c(16);
+  {
+    ScopedSpan s(&c, "op");
+    s.attr("faults", std::size_t{42});
+    s.attr("rate", 0.5);
+    s.attr("site", "n1 sa0");
+  }
+  const SpanCollector::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  ASSERT_EQ(snap.spans[0].attrs.size(), 3u);
+  EXPECT_EQ(snap.spans[0].attrs[0].key, "faults");
+  EXPECT_EQ(snap.spans[0].attrs[0].i, 42);
+  EXPECT_DOUBLE_EQ(snap.spans[0].attrs[1].f, 0.5);
+  EXPECT_EQ(snap.spans[0].attrs[2].text, "n1 sa0");
+
+  const JsonValue j = c.to_json();
+  ASSERT_EQ(j.at("events").size(), 1u);
+  const JsonValue& args = j.at("events").at(0).at("args");
+  EXPECT_EQ(args.at("faults").as_int(), 42);
+  EXPECT_DOUBLE_EQ(args.at("rate").as_double(), 0.5);
+  EXPECT_EQ(args.at("site").as_string(), "n1 sa0");
+}
+
+TEST(Span, ScopedSpanRecordsOnceEvenWhenMoved) {
+  SpanCollector c(16);
+  {
+    ScopedSpan a(&c, "phase");
+    ScopedSpan b = std::move(a);  // a is disarmed, b owns the record
+    EXPECT_FALSE(a.enabled());
+    EXPECT_EQ(a.id(), 0u);
+    EXPECT_TRUE(b.enabled());
+    a.stop();  // no-op on the moved-from span
+    b.stop();
+    b.stop();  // second stop is a no-op, mirroring ScopedTimer
+    EXPECT_FALSE(b.enabled());
+  }
+  const SpanCollector::Snapshot s = c.snapshot();
+  ASSERT_EQ(s.spans.size(), 1u);
+  EXPECT_EQ(s.recorded, 1u);
+}
+
+TEST(Span, NullCollectorIsANoOp) {
+  ScopedSpan s(nullptr, "anything");
+  EXPECT_FALSE(s.enabled());
+  EXPECT_EQ(s.id(), 0u);
+  s.attr("k", 1);  // must not crash
+  s.stop();
+  s.stop();
+}
+
+TEST(Span, InstallAndCurrentLifecycle) {
+  EXPECT_EQ(SpanCollector::current(), nullptr);
+  {
+    SpanCollector c(16);
+    SpanCollector::install(&c);
+    EXPECT_EQ(SpanCollector::current(), &c);
+    // The destructor uninstalls itself if still current.
+  }
+  EXPECT_EQ(SpanCollector::current(), nullptr);
+}
+
+TEST(Span, PerThreadRingWrapDropsOldestAndCounts) {
+  SpanCollector c(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan s(&c, "s" + std::to_string(i));
+  }
+  const SpanCollector::Snapshot snap = c.snapshot();
+  EXPECT_EQ(snap.recorded, 10u);
+  EXPECT_EQ(snap.dropped, 6u);
+  ASSERT_EQ(snap.spans.size(), 4u);
+  // The tail survives, chronologically.
+  EXPECT_EQ(snap.spans.front().name, "s6");
+  EXPECT_EQ(snap.spans.back().name, "s9");
+  for (std::size_t i = 1; i < snap.spans.size(); ++i) {
+    EXPECT_GE(snap.spans[i].start_ns, snap.spans[i - 1].start_ns);
+  }
+}
+
+TEST(Span, ConcurrentRecordingMergesChronologically) {
+  SpanCollector c(1u << 10);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) ScopedSpan s(&c, "m");
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const SpanCollector::Snapshot snap = c.snapshot();
+  EXPECT_EQ(snap.recorded,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.threads, static_cast<std::size_t>(kThreads));
+  ASSERT_EQ(snap.spans.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 1; i < snap.spans.size(); ++i) {
+    EXPECT_GE(snap.spans[i].start_ns, snap.spans[i - 1].start_ns);
+  }
+}
+
+TEST(Span, MakeTraceDocumentShape) {
+  SpanCollector c(16);
+  { ScopedSpan s(&c, "phase.total"); }
+  const JsonValue doc =
+      make_trace_document("bench", "unit", 2, c, JsonValue(), 0.5);
+  EXPECT_EQ(doc.at("schema").as_string(), "dp.trace.v1");
+  EXPECT_EQ(doc.at("bench").as_string(), "unit");
+  EXPECT_EQ(doc.at("jobs").as_int(), 2);
+  EXPECT_DOUBLE_EQ(doc.at("wall_seconds").as_double(), 0.5);
+  EXPECT_EQ(doc.at("spans").at("recorded").as_int(), 1);
+  EXPECT_EQ(doc.at("spans").at("dropped").as_int(), 0);
+  ASSERT_EQ(doc.at("spans").at("events").size(), 1u);
+  EXPECT_FALSE(doc.contains("profile"));  // null profile omits the section
+  // The Chrome mirror carries at least the thread-name metadata event
+  // plus one complete ("X") event per span.
+  const JsonValue& te = doc.at("traceEvents");
+  ASSERT_TRUE(te.is_array());
+  ASSERT_GE(te.size(), 2u);
+  bool saw_complete = false;
+  for (std::size_t i = 0; i < te.size(); ++i) {
+    if (te.at(i).at("ph").as_string() == "X") {
+      saw_complete = true;
+      EXPECT_EQ(te.at(i).at("name").as_string(), "phase.total");
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  // Round-trips through the parser (the file the benches write).
+  EXPECT_EQ(JsonValue::parse(doc.dump()).dump(), doc.dump());
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler
+
+namespace {
+class FixedSource : public ProfileSource {
+ public:
+  void profile_sample(
+      std::vector<std::pair<std::string, double>>& out) const override {
+    out.emplace_back("test.fixed_gauge", 17.0);
+  }
+};
+}  // namespace
+
+TEST(Profiler, CollectsRegisteredSourcesIntoSeries) {
+  FixedSource source;
+  SourceRegistry::instance().add(&source);
+  SamplingProfiler profiler(std::chrono::milliseconds(1000));
+  profiler.sample_now();
+  profiler.sample_now();
+  SourceRegistry::instance().remove(&source);
+  // After remove() returns the profiler can no longer touch the source.
+  const JsonValue j = profiler.to_json();
+  EXPECT_GE(j.at("ticks").as_int(), 2);
+  const JsonValue& series = j.at("series");
+  ASSERT_TRUE(series.is_array());
+  bool found = false;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const JsonValue& s = series.at(i);
+    if (s.at("name").as_string() != "test.fixed_gauge") continue;
+    found = true;
+    ASSERT_EQ(s.at("samples").size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        s.at("samples").at(0).at(std::size_t{1}).as_double(), 17.0);
+  }
+  EXPECT_TRUE(found);
+  // The process RSS gauge is always present.
+  bool rss = false;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    rss |= series.at(i).at("name").as_string() == "process.rss_mb";
+  }
+  EXPECT_TRUE(rss);
 }
 
 }  // namespace
