@@ -37,6 +37,13 @@ void ArtifactStore::count(const std::string& name, std::uint64_t n) {
   if (metrics_) metrics_->counter(name).add(n);
 }
 
+std::mutex& ArtifactStore::stripe(const std::string& key,
+                                  const std::string& kind) const {
+  // '\0' keeps ("ab","c") and ("a","bc") on independent stripes.
+  const std::size_t h = std::hash<std::string>{}(key + '\0' + kind);
+  return stripes_[h % kLockStripes];
+}
+
 std::optional<std::string> ArtifactStore::read_file(const std::string& path,
                                                     const std::string& kind) {
   std::ifstream is(path, std::ios::binary);
@@ -60,6 +67,7 @@ std::optional<obs::JsonValue> ArtifactStore::load_document(
   obs::ScopedSpan span(obs::SpanCollector::current(), "store.load");
   span.attr("kind", kind);
   span.attr("key", key);
+  std::lock_guard<std::mutex> entry_lock(stripe(key, kind));
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.load_seconds"))
@@ -89,6 +97,7 @@ bool ArtifactStore::store_document(const std::string& key,
   obs::ScopedSpan span(obs::SpanCollector::current(), "store.store");
   span.attr("kind", kind);
   span.attr("key", key);
+  std::lock_guard<std::mutex> entry_lock(stripe(key, kind));
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.store_seconds"))
@@ -112,6 +121,7 @@ std::optional<std::vector<bdd::Bdd>> ArtifactStore::load_forest(
   obs::ScopedSpan span(obs::SpanCollector::current(), "store.load");
   span.attr("kind", kind);
   span.attr("key", key);
+  std::lock_guard<std::mutex> entry_lock(stripe(key, kind));
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.load_seconds"))
@@ -149,6 +159,7 @@ bool ArtifactStore::store_forest(const std::string& key,
   obs::ScopedSpan span(obs::SpanCollector::current(), "store.store");
   span.attr("kind", kind);
   span.attr("key", key);
+  std::lock_guard<std::mutex> entry_lock(stripe(key, kind));
   const auto timer =
       metrics_ ? std::optional<obs::ScopedTimer>(
                      metrics_->scoped_timer("store.store_seconds"))
@@ -172,6 +183,7 @@ bool ArtifactStore::store_forest(const std::string& key,
 }
 
 void ArtifactStore::remove(const std::string& key, const std::string& kind) {
+  std::lock_guard<std::mutex> entry_lock(stripe(key, kind));
   std::error_code ec;
   fs::remove(document_path(key, kind), ec);
   fs::remove(forest_path(key, kind), ec);
@@ -188,7 +200,13 @@ std::uintmax_t ArtifactStore::size_bytes() const {
 
 std::size_t ArtifactStore::prune() {
   if (options_.max_bytes == 0) return 0;
+  // One sweep at a time: concurrent size-triggered prunes would each
+  // compute a stale total and together evict far below the budget.
+  std::lock_guard<std::mutex> prune_lock(prune_mutex_);
+  return prune_locked();
+}
 
+std::size_t ArtifactStore::prune_locked() {
   struct File {
     fs::path path;
     std::uintmax_t size;

@@ -20,9 +20,24 @@
 // bytes moved (`store.bytes_read`/`store.bytes_written`), evictions
 // (`store.evictions`), and load/store wall clock (`store.load_seconds`,
 // `store.store_seconds` timers).
+//
+// Thread safety: one ArtifactStore may be shared by concurrent callers
+// (the dpserved worker pool hits one store from every worker). Artifact
+// accesses are serialized per entry through a fixed pool of striped
+// mutexes -- the stripe is chosen by hashing (key, kind), so operations
+// on DIFFERENT artifacts proceed in parallel while a load of an entry
+// concurrent with a store of the same entry observes either the complete
+// old version or the complete new one, never an in-progress write's
+// metrics/span attribution interleaved with its own. prune() runs under
+// its own mutex so two size-triggered sweeps cannot double-evict. The
+// atomic temp-file + rename write path remains the cross-PROCESS
+// guarantee; the stripes add the cross-THREAD ordering a resident daemon
+// needs.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,13 +105,22 @@ class ArtifactStore {
                           const std::string& kind) const;
 
  private:
+  /// Entry-lock stripe count; a power of two comfortably above the
+  /// worker counts the daemon runs with, so same-stripe collisions of
+  /// distinct artifacts stay rare.
+  static constexpr std::size_t kLockStripes = 16;
+
   void count(const std::string& name, std::uint64_t n = 1);
   std::optional<std::string> read_file(const std::string& path,
                                        const std::string& kind);
+  std::mutex& stripe(const std::string& key, const std::string& kind) const;
+  std::size_t prune_locked();
 
   std::string dir_;
   Options options_;
   obs::MetricsRegistry* metrics_;
+  mutable std::array<std::mutex, kLockStripes> stripes_;
+  mutable std::mutex prune_mutex_;
 };
 
 }  // namespace dp::store
