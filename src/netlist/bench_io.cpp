@@ -55,14 +55,52 @@ Call parse_call(const std::string& text, std::size_t line) {
 
 }  // namespace
 
+namespace {
+
+/// Reads one logical line, accepting Unix (\n), DOS (\r\n) and classic
+/// Mac (\r) terminators. Plain std::getline splits on \n only: a CR-only
+/// file then arrives as ONE line whose inner \r bytes survive into net
+/// names, silently declaring garbage nets instead of failing loudly.
+/// Trailing \r from CRLF endings is dropped here; any other surrounding
+/// whitespace is handled by strip() as before.
+bool getline_any_ending(std::istream& is, std::string& out) {
+  out.clear();
+  std::istream::sentry sentry(is, /*noskipws=*/true);
+  if (!sentry) return false;
+  std::streambuf* buf = is.rdbuf();
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::streambuf::traits_type::eof()) {
+      if (out.empty()) is.setstate(std::ios::eofbit | std::ios::failbit);
+      return !out.empty();
+    }
+    if (c == '\n') return true;
+    if (c == '\r') {
+      if (buf->sgetc() == '\n') buf->sbumpc();  // swallow the LF of CRLF
+      return true;
+    }
+    out += static_cast<char>(c);
+  }
+}
+
+}  // namespace
+
 Circuit read_bench(std::istream& is, const std::string& name) {
   Circuit circuit(name);
   std::vector<NetId> output_ids;
 
   std::string raw;
   std::size_t line_no = 0;
-  while (std::getline(is, raw)) {
+  bool first_line = true;
+  while (getline_any_ending(is, raw)) {
     ++line_no;
+    if (first_line) {
+      first_line = false;
+      // Tolerate a UTF-8 byte-order mark from Windows editors.
+      if (raw.size() >= 3 && raw.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+        raw.erase(0, 3);
+      }
+    }
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
     std::string line = strip(raw);

@@ -212,6 +212,12 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  /// Containers may nest at most this deep. The parser recurses once per
+  /// level, so without a bound a hostile document ("[[[[..." from a
+  /// network peer -- the serve protocol feeds frames straight in here)
+  /// turns into stack exhaustion instead of a clean JsonError.
+  static constexpr int kMaxDepth = 192;
+
   JsonValue parse_document() {
     JsonValue v = parse_value();
     skip_ws();
@@ -257,6 +263,19 @@ class Parser {
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
+      case 'N':
+      case 'I':
+      case 'i':
+        // "NaN" / "Infinity" / "inf": some printf-style writers emit
+        // these, but they are not JSON; name them in the error instead of
+        // the generic bad-number path ("-Infinity" still lands there).
+        fail("NaN/Infinity literals are not valid JSON");
+      case '-':
+        if (pos_ + 1 < text_.size() &&
+            (text_[pos_ + 1] == 'I' || text_[pos_ + 1] == 'i')) {
+          fail("NaN/Infinity literals are not valid JSON");
+        }
+        return parse_number();
       case '"': return JsonValue(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -271,7 +290,17 @@ class Parser {
     }
   }
 
+  /// RAII depth tick for the two recursive productions.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) p_.fail("containers nested too deeply");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonValue obj = JsonValue::object();
     skip_ws();
@@ -294,6 +323,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonValue arr = JsonValue::array();
     skip_ws();
@@ -401,6 +431,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -79,6 +79,10 @@ class JsonValue {
   std::string dump(int indent = 2) const;
 
   /// Strict parser: exactly one JSON value plus trailing whitespace.
+  /// Rejects NaN/Infinity literals (not JSON) and containers nested
+  /// deeper than 192 levels (the recursion bound that keeps a hostile
+  /// "[[[[..." document -- e.g. a malicious serve-protocol frame -- from
+  /// exhausting the stack).
   static JsonValue parse(std::string_view text);
 
  private:

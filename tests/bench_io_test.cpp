@@ -92,6 +92,73 @@ INSTANTIATE_TEST_SUITE_P(Suite, BenchRoundTripTest,
                                            "alu181", "c432", "c499", "c1355",
                                            "c1908"));
 
+// ---- line-ending / whitespace tolerance --------------------------------
+// .bench files travel through Windows editors and zip archives; the
+// parser must accept CRLF and classic-Mac CR terminators and trailing
+// whitespace, and must NOT let a \r byte leak into a net name.
+
+TEST(BenchIoTest, CrlfLineEndingsParseIdentically) {
+  const std::string unix_text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+  std::string crlf_text = unix_text;
+  std::string with_crlf;
+  for (const char c : crlf_text) {
+    if (c == '\n') with_crlf += '\r';
+    with_crlf += c;
+  }
+  const Circuit u = read_bench_string(unix_text, "t");
+  const Circuit d = read_bench_string(with_crlf, "t");
+  EXPECT_EQ(write_bench_string(u), write_bench_string(d));
+  EXPECT_TRUE(d.find_net("y").has_value());
+  EXPECT_FALSE(d.find_net("y\r").has_value());
+}
+
+TEST(BenchIoTest, CrOnlyLineEndingsParse) {
+  // Before getline_any_ending, this entire file arrived as one line and
+  // the parser silently declared a garbage net named
+  // "INPUT(a)\rINPUT(b)\r..." -- then failed finalize with a confusing
+  // "net referenced but never defined".
+  const Circuit c = read_bench_string(
+      "INPUT(a)\rINPUT(b)\rOUTPUT(y)\ry = AND(a, b)\r", "t");
+  EXPECT_EQ(c.num_inputs(), 2u);
+  EXPECT_EQ(c.num_gates(), 1u);
+  EXPECT_TRUE(c.find_net("y").has_value());
+}
+
+TEST(BenchIoTest, TrailingWhitespaceAndTabsTolerated) {
+  const Circuit c = read_bench_string(
+      "INPUT(a)   \t\nINPUT(b)\t\r\nOUTPUT(y)  \n"
+      "y = AND( a ,\tb )\t \r\n\r\n", "t");
+  EXPECT_EQ(c.num_inputs(), 2u);
+  EXPECT_EQ(c.num_gates(), 1u);
+}
+
+TEST(BenchIoTest, Utf8BomTolerated) {
+  const Circuit c = read_bench_string(
+      "\xEF\xBB\xBFINPUT(a)\r\nOUTPUT(y)\r\ny = BUF(a)\r\n", "t");
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_gates(), 1u);
+}
+
+TEST(BenchIoErrorTest, CrlfErrorKeepsLineNumbers) {
+  // Line accounting must treat \r\n as ONE terminator.
+  try {
+    read_bench_string(
+        "INPUT(a)\r\nOUTPUT(o)\r\no = BUF(a)\r\no = NOT(a)\r\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(BenchIoErrorTest, MalformedCrlfInputStillRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a\r\n"), BenchParseError);
+  EXPECT_THROW(read_bench_string("INPUT(a)\r\nOUTPUT(o)\r\no = AND(a,)\r\n"),
+               BenchParseError);
+  EXPECT_THROW(read_bench_string("\r\n\r\n# only comments\r\n"),
+               NetlistError);
+}
+
 TEST(BenchIoErrorTest, UnknownGateType) {
   EXPECT_THROW(
       read_bench_string("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n"),

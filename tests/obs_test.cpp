@@ -66,6 +66,81 @@ TEST(Json, StrictParserRejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse("nul"), JsonError);
 }
 
+// ---- protocol-facing edge cases ----------------------------------------
+// The serve protocol feeds network frames straight into parse(); these
+// pin exactly the shapes a hostile or broken peer can produce.
+
+TEST(Json, DeepNestingIsBoundedNotAStackOverflow) {
+  // Within the bound: parses fine and round-trips.
+  const int ok_depth = 64;
+  std::string ok(static_cast<std::size_t>(ok_depth), '[');
+  ok += "1";
+  ok.append(static_cast<std::size_t>(ok_depth), ']');
+  const JsonValue v = JsonValue::parse(ok);
+  EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump());
+
+  // Far past the bound: a clean JsonError naming the problem, not UB.
+  std::string hostile(100000, '[');
+  try {
+    JsonValue::parse(hostile);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("nested too deeply"),
+              std::string::npos);
+  }
+  // Same bound for objects.
+  std::string hostile_obj;
+  for (int i = 0; i < 100000; ++i) hostile_obj += "{\"k\":";
+  EXPECT_THROW(JsonValue::parse(hostile_obj), JsonError);
+}
+
+TEST(Json, EscapedUnicodeRoundTrips) {
+  // \uXXXX escapes decode to UTF-8; the writer re-escapes only control
+  // characters, so a parse→dump→parse cycle is stable.
+  const JsonValue v = JsonValue::parse("\"\\u0041\\u00e9\\u20ac\\u0007\"");
+  EXPECT_EQ(v.as_string(),
+            "A\xC3\xA9\xE2\x82\xAC\x07");  // A, é, €, BEL
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back.as_string(), v.as_string());
+  // Escapes inside object KEYS round-trip too (the protocol hashes on
+  // exact key bytes).
+  const JsonValue obj = JsonValue::parse("{\"a\\u0062c\": 1}");
+  EXPECT_TRUE(obj.contains("abc"));
+  // Malformed escapes are rejected, not decoded permissively.
+  EXPECT_THROW(JsonValue::parse("\"\\u12\""), JsonError);    // short
+  EXPECT_THROW(JsonValue::parse("\"\\u12g4\""), JsonError);  // bad hex
+  EXPECT_THROW(JsonValue::parse("\"\\x41\""), JsonError);    // bad escape
+}
+
+TEST(Json, RejectsNanAndInfLiterals) {
+  for (const char* bad :
+       {"NaN", "nan", "-NaN", "Infinity", "-Infinity", "inf", "-inf",
+        "[1, NaN]", "{\"x\": Infinity}"}) {
+    EXPECT_THROW(JsonValue::parse(bad), JsonError) << bad;
+  }
+  // The writer's stand-in for non-finite doubles is null -- pinned so
+  // exported metrics can never smuggle a NaN into a consumer.
+  JsonValue v = JsonValue::object();
+  v["bad"] = std::numeric_limits<double>::quiet_NaN();
+  v["worse"] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(v.dump(0), "{\"bad\":null,\"worse\":null}");
+}
+
+TEST(Json, TruncatedDocumentsThrowWithOffset) {
+  for (const char* bad :
+       {"{\"a\"", "{\"a\":", "{\"a\":1,", "[1, 2", "\"unterminated",
+        "\"esc\\", "\"u\\u00", "tru", "12e", "-"}) {
+    try {
+      JsonValue::parse(bad);
+      FAIL() << "expected JsonError for: " << bad;
+    } catch (const JsonError& e) {
+      // Every parse error carries the byte offset for debuggability.
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << bad;
+    }
+  }
+}
+
 TEST(Json, TypedAccessorsThrowOnKindMismatch) {
   const JsonValue v = JsonValue::parse("{\"a\": 1}");
   EXPECT_THROW(v.as_int(), JsonError);
