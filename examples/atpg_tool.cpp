@@ -44,6 +44,7 @@ constexpr std::uint64_t kPrefilterSeed = 0x5eedb10cull;
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  cli::handle_version_flag(args, "atpg_tool");
   cli::Telemetry tel;
   tel.strip_flags(args);
 

@@ -11,6 +11,7 @@
 
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
+#include "cli_common.hpp"
 #include "fault/sampling.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generators.hpp"
@@ -18,6 +19,8 @@
 using namespace dp;
 
 int main(int argc, char** argv) {
+  cli::handle_version_flag(std::vector<std::string>(argv + 1, argv + argc),
+                           "bridging_analysis");
   const std::string arg = argc > 1 ? argv[1] : "c95";
   const std::size_t count = argc > 2 ? std::stoul(argv[2]) : 1000;
 

@@ -29,6 +29,30 @@
 
 namespace dp::cli {
 
+/// Build identity every CLI reports: the `git describe` of the tree the
+/// binary was configured from, baked in by examples/CMakeLists.txt.
+/// "unknown" only when the build ran outside a git checkout.
+inline const char* version_string() {
+#ifdef DP_GIT_DESCRIBE
+  return DP_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Uniform `--version` across every example CLI: when the flag appears
+/// anywhere in `args`, print "<tool> <version>" and exit 0. Call before
+/// any other argument parsing so `--version` wins over usage errors.
+inline void handle_version_flag(const std::vector<std::string>& args,
+                                const std::string& tool) {
+  for (const std::string& a : args) {
+    if (a == "--version") {
+      std::cout << tool << " " << version_string() << "\n";
+      std::exit(0);
+    }
+  }
+}
+
 /// Strict flag-value parser: exits 2 on anything but a non-negative
 /// integer, so `--jobs` can never silently fall back to a default.
 inline std::size_t parse_count(const std::string& flag,
@@ -103,6 +127,9 @@ class Telemetry {
   /// Whether --cache-dir runs may consume existing checkpoints
   /// (--no-resume turns a warm start into a full recompute).
   bool resume() const { return resume_; }
+  /// The raw --cache-dir value (empty when absent), for tools that
+  /// construct their own store on the directory (dpserved's Service).
+  const std::string& cache_dir() const { return cache_dir_; }
   bool requested() const { return !path_.empty(); }
   /// Non-null only with --trace-out (already installed process-wide).
   obs::SpanCollector* spans() { return spans_.get(); }

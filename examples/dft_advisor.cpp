@@ -14,6 +14,7 @@
 
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
+#include "cli_common.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
 #include "netlist/testpoints.hpp"
@@ -55,6 +56,8 @@ void report_row(analysis::TextTable& t, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::handle_version_flag(std::vector<std::string>(argv + 1, argv + argc),
+                           "dft_advisor");
   const std::string arg = argc > 1 ? argv[1] : "c1355";
   const std::size_t k = argc > 2 ? std::stoul(argv[2]) : 4;
 

@@ -431,6 +431,7 @@ int dispatch(const std::vector<std::string>& args, std::size_t jobs,
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  cli::handle_version_flag(args, "dpcli");
   if (args.empty()) return usage();
 
   cli::Telemetry tel;

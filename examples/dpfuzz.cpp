@@ -40,6 +40,8 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dp::cli::handle_version_flag(
+      std::vector<std::string>(argv + 1, argv + argc), "dpfuzz");
   using dp::cli::parse_count;
   namespace fs = std::filesystem;
 

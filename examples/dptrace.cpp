@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "obs/json.hpp"
 
 using dp::obs::JsonValue;
@@ -465,6 +466,8 @@ void print_diff(const Trace& a, const Trace& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dp::cli::handle_version_flag(
+      std::vector<std::string>(argv + 1, argv + argc), "dptrace");
   std::vector<std::string> files;
   std::size_t top_k = 10;
   double assert_coverage = -1.0;

@@ -4,12 +4,15 @@
 //   $ ./quickstart
 #include <iostream>
 
+#include "cli_common.hpp"
 #include "dp/engine.hpp"
 #include "fault/stuck_at.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/structure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dp::cli::handle_version_flag(
+      std::vector<std::string>(argv + 1, argv + argc), "quickstart");
   using namespace dp;
 
   // 1. A circuit. Generators cover the paper's suite; read_bench_file()

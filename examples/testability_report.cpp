@@ -43,6 +43,7 @@ netlist::Circuit load(const std::string& arg) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  cli::handle_version_flag(args, "testability_report");
   cli::Telemetry tel;
   tel.strip_flags(args);
 
