@@ -5,9 +5,10 @@
 # against the checked-in perf baseline, checks the span/profiler trace
 # perf_hybrid emits (validate_metrics + dptrace coverage assertion),
 # runs the dpfuzz differential fuzz corpus (DP_FUZZ_BUDGET env var
-# scales the case count), and finally runs the bdd/store/verify test
-# binaries plus a reduced fuzz corpus under the `asan` preset. Driven by
-# the `bench_smoke` custom target:
+# scales the case count), runs the bdd/store/verify test binaries plus a
+# reduced fuzz corpus under the `asan` preset, and finally reruns the
+# concurrent surfaces (serving layer, parallel engine, artifact store)
+# under the `tsan` preset. Driven by the `bench_smoke` custom target:
 #
 #   cmake -DBENCH_DIR=<bindir>/bench -DOUT_DIR=<bindir>/bench_smoke \
 #         -DVALIDATOR=<bindir>/bench/validate_metrics \
@@ -228,4 +229,49 @@ if(SOURCE_DIR)
     message(FATAL_ERROR "bench_smoke: asan dpfuzz failed (${rc}):\n${out}")
   endif()
   message(STATUS "bench_smoke: asan pass clean (${asan_tests} dpfuzz)")
+
+  # ---- TSan pass over the concurrent surfaces ---------------------------
+  # The serving layer (worker pool, bounded admission queue, reader
+  # threads, drain) and the parallel sweep engine are the two places a
+  # data race survives functional testing; rerun their suites under the
+  # `tsan` preset (build-tsan/). The c432 identity case is excluded: it
+  # is a single-threaded determinism check and dominates instrumented
+  # runtime without adding thread coverage.
+  set(tsan_tests serve_test parallel_engine_test store_test)
+  message(STATUS "bench_smoke: configuring tsan preset")
+  execute_process(
+      COMMAND "${CMAKE_COMMAND}" --preset tsan
+      WORKING_DIRECTORY "${SOURCE_DIR}"
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: tsan configure failed (${rc}):\n${out}")
+  endif()
+  execute_process(
+      COMMAND "${CMAKE_COMMAND}" --build "${SOURCE_DIR}/build-tsan"
+              --parallel --target ${tsan_tests}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: tsan build failed (${rc}):\n${out}")
+  endif()
+  foreach(test IN LISTS tsan_tests)
+    set(tsan_filter "")
+    if(test STREQUAL "serve_test")
+      set(tsan_filter
+          "--gtest_filter=-Suite/FieldIdentityTest.ServedEqualsInProcessAtWorkers1And4/2")
+    endif()
+    message(STATUS "bench_smoke: tsan ${test}")
+    execute_process(
+        COMMAND "${SOURCE_DIR}/build-tsan/tests/${test}" ${tsan_filter}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE out)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "bench_smoke: tsan ${test} failed (${rc}):\n${out}")
+    endif()
+  endforeach()
+  message(STATUS "bench_smoke: tsan pass clean (${tsan_tests})")
 endif()

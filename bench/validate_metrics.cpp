@@ -139,6 +139,72 @@ JsonValue validate_trace(const std::string& file, const JsonValue& doc) {
   return rec;
 }
 
+/// dp.served.v1: dpload's serving-bench document. The shape gate covers
+/// the load parameters, the warm/cold latency split (both blocks must
+/// carry count/p50/p99), and the structured error tally -- the contract
+/// the serving quickstart and CI dashboards read. A dpload run that
+/// completed zero requests fails outright: an all-errors run must not
+/// pass the smoke tier on JSON well-formedness alone.
+JsonValue validate_served(const std::string& file, const JsonValue& doc) {
+  const JsonValue* tool = doc.find("tool");
+  if (!tool || !tool->is_string()) {
+    fail(file, "missing string key 'tool'");
+  }
+  for (const char* key : {"target_qps", "achieved_qps", "requests", "ok"}) {
+    const JsonValue* v = doc.find(key);
+    if (!v || !v->is_number()) {
+      fail(file, std::string("missing number key '") + key + "'");
+    }
+  }
+  const JsonValue* latency = doc.find("latency");
+  if (!latency || !latency->is_object()) {
+    fail(file, "missing 'latency' object");
+    return JsonValue();
+  }
+  for (const char* phase : {"cold", "warm"}) {
+    const JsonValue* block = latency->find(phase);
+    if (!block || !block->is_object()) {
+      fail(file, std::string("missing 'latency.") + phase + "' object");
+      continue;
+    }
+    for (const char* key : {"count", "p50_ms", "p99_ms"}) {
+      const JsonValue* v = block->find(key);
+      if (!v || !v->is_number()) {
+        fail(file, std::string("latency.") + phase + "." + key +
+                       " missing or non-numeric");
+      }
+    }
+  }
+  const JsonValue* errors = doc.find("errors");
+  if (!errors || !errors->is_object()) {
+    fail(file, "missing 'errors' object");
+  }
+  if (const JsonValue* ok = doc.find("ok")) {
+    if (ok->is_number() && ok->as_int() == 0) {
+      fail(file, "load run completed zero requests");
+    }
+  }
+
+  JsonValue rec = JsonValue::object();
+  rec["file"] = file;
+  if (tool && tool->is_string()) rec["tool"] = *tool;
+  for (const char* key : {"requests", "ok", "target_qps", "achieved_qps"}) {
+    if (const JsonValue* v = doc.find(key)) {
+      rec[std::string("served.") + key] = *v;
+    }
+  }
+  for (const char* phase : {"cold", "warm"}) {
+    if (const JsonValue* block = latency->find(phase)) {
+      if (block->is_object()) {
+        if (const JsonValue* p50 = block->find("p50_ms")) {
+          rec[std::string("served.") + phase + "_p50_ms"] = *p50;
+        }
+      }
+    }
+  }
+  return rec;
+}
+
 /// Checks one document; returns a summary record (null on hard failure).
 JsonValue validate(const std::string& file) {
   JsonValue doc;
@@ -167,10 +233,14 @@ JsonValue validate(const std::string& file) {
   if (schema->as_string() == "dp.trace.v1") {
     return validate_trace(file, doc);
   }
+  if (schema->as_string() == "dp.served.v1") {
+    return validate_served(file, doc);
+  }
   if (schema->as_string() != "dp.metrics.v1") {
     fail(file, "unsupported schema \"" + schema->as_string() +
                    "\" (this validator understands \"dp.metrics.v1\", "
-                   "\"dp.fuzzreport.v1\", and \"dp.trace.v1\")");
+                   "\"dp.fuzzreport.v1\", \"dp.trace.v1\", and "
+                   "\"dp.served.v1\")");
     return JsonValue();
   }
 
@@ -374,6 +444,7 @@ int main(int argc, char** argv) {
   long long faults = 0, evaluated = 0, skipped = 0;
   long long fuzz_cases = 0, fuzz_faults = 0, fuzz_discrepancies = 0;
   long long trace_spans = 0, trace_dropped = 0;
+  long long served_requests = 0, served_ok = 0;
   double negations = 0.0, canonical_swaps = 0.0;
   int perf_violations = 0;
   for (const std::string& file : files) {
@@ -394,6 +465,12 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* v = rec.find("trace.dropped")) {
       trace_dropped += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("served.requests")) {
+      served_requests += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("served.ok")) {
+      served_ok += v->as_int();
     }
     if (const JsonValue* v = rec.find("dp.faults_analyzed")) {
       faults += v->as_int();
@@ -453,6 +530,8 @@ int main(int argc, char** argv) {
     totals["fuzz.cases_run"] = fuzz_cases;
     totals["fuzz.faults_checked"] = fuzz_faults;
     totals["fuzz.discrepancies"] = fuzz_discrepancies;
+    totals["served.requests"] = served_requests;
+    totals["served.ok"] = served_ok;
     summary["totals"] = std::move(totals);
     summary["benches"] = std::move(documents);
     std::string error;

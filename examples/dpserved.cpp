@@ -1,0 +1,151 @@
+// dpserved -- resident fault-analysis service.
+//
+// Keeps parsed circuits, analysis profiles and (optionally) an artifact
+// store hot in one long-lived process, and serves analyze / grade /
+// hash / evict / metrics requests over a length-prefixed JSON protocol
+// (see src/serve/protocol.hpp). Companion load generator: dpload.
+//
+//   dpserved --unix /tmp/dp.sock [flags]     Unix-domain socket
+//   dpserved --port 0 [flags]                TCP on 127.0.0.1 (0 = pick)
+//
+//   --workers N        request-level worker threads (default 1)
+//   --jobs N           default per-request engine jobs (default 1;
+//                      a request's options.jobs overrides)
+//   --queue-depth N    admission queue capacity (default 64)
+//   --deadline-ms N    default per-request deadline (default 0 = none)
+//   --cache-entries N  in-memory profile LRU capacity (default 64)
+//   --quiet            no startup/shutdown chatter on stdout
+//
+// Shared telemetry flags: --metrics-json PATH, --trace-out PATH,
+// --cache-dir PATH (persistent artifact store). --version prints the
+// build id.
+//
+// SIGTERM/SIGINT (or a "shutdown" request) drain: in-flight and queued
+// requests finish, late arrivals get {"error":{"code":"shutting_down"}},
+// then the process exits 0. The metrics document is written after the
+// drain so it covers the whole run.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli_common.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: dpserved (--unix PATH | --port N) [--workers N]\n"
+               "                [--jobs N] [--queue-depth N] [--deadline-ms N]\n"
+               "                [--cache-entries N] [--quiet]\n"
+               "                [--metrics-json PATH] [--trace-out PATH]\n"
+               "                [--cache-dir PATH] [--version]\n";
+  return 2;
+}
+
+// Self-pipe: the signal handler writes one byte; a watcher thread turns
+// that into an orderly drain (signal handlers must not take locks).
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  dp::cli::handle_version_flag(args, "dpserved");
+  dp::cli::Telemetry telemetry;
+  telemetry.strip_flags(args);
+
+  dp::serve::ServerOptions server_opts;
+  dp::serve::ServiceOptions service_opts;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--unix") {
+      server_opts.unix_path = value("--unix");
+    } else if (args[i] == "--port") {
+      server_opts.tcp_port =
+          static_cast<int>(dp::cli::parse_count("--port", value("--port")));
+    } else if (args[i] == "--workers") {
+      server_opts.workers =
+          dp::cli::parse_count("--workers", value("--workers"));
+    } else if (args[i] == "--jobs") {
+      service_opts.jobs = dp::cli::parse_count("--jobs", value("--jobs"));
+    } else if (args[i] == "--queue-depth") {
+      server_opts.queue_depth =
+          dp::cli::parse_count("--queue-depth", value("--queue-depth"));
+    } else if (args[i] == "--deadline-ms") {
+      server_opts.default_deadline_ms =
+          dp::cli::parse_count("--deadline-ms", value("--deadline-ms"));
+    } else if (args[i] == "--cache-entries") {
+      service_opts.profile_cache_entries =
+          dp::cli::parse_count("--cache-entries", value("--cache-entries"));
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "error: unknown flag '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (server_opts.unix_path.empty() && server_opts.tcp_port < 0) {
+    return usage();
+  }
+
+  // --cache-dir means what it means to dpcli: persistent profiles and
+  // checkpoint/resume, here shared by every request. The service opens
+  // its own store on the directory and shares the telemetry registry,
+  // so --metrics-json and the "metrics" request expose one view.
+  service_opts.cache_dir = telemetry.cache_dir();
+  dp::serve::Service service(service_opts, &telemetry.metrics());
+  dp::serve::Server server(server_opts, &service, &telemetry.metrics());
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "dpserved: " << error << "\n";
+    return 1;
+  }
+  if (!quiet) {
+    if (!server_opts.unix_path.empty()) {
+      std::cout << "dpserved: listening on " << server_opts.unix_path << "\n";
+    } else {
+      std::cout << "dpserved: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    }
+    std::cout.flush();
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "dpserved: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::thread watcher([&server] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.initiate_drain();
+  });
+
+  server.wait();  // returns when drained (signal or "shutdown" request)
+  // Unblock the watcher if the drain came from a "shutdown" request.
+  on_signal(0);
+  watcher.join();
+  if (!quiet) std::cout << "dpserved: drained, exiting\n";
+  return telemetry.write("dpserved") ? 0 : 1;
+}

@@ -113,6 +113,94 @@ std::optional<CircuitProfile> profile_from_json(const JsonValue& doc,
   }
 }
 
+JsonValue hybrid_profile_to_json(const HybridProfile& profile) {
+  JsonValue doc = JsonValue::object();
+  doc["schema"] = kHybridProfileSchema;
+  doc["circuit"] = profile.circuit;
+  doc["netlist_size"] = profile.netlist_size;
+  doc["num_inputs"] = profile.num_inputs;
+  doc["num_outputs"] = profile.num_outputs;
+  doc["prefilter_patterns"] = profile.prefilter_patterns;
+  doc["prefilter_seed"] = profile.prefilter_seed;
+  doc["sim_events"] = profile.sim_events;
+  JsonValue levels = JsonValue::array();
+  for (const std::uint64_t n : profile.sim_level_events) levels.push_back(n);
+  doc["sim_level_events"] = std::move(levels);
+  JsonValue faults = JsonValue::array();
+  for (const HybridFaultRecord& r : profile.faults) {
+    JsonValue j = JsonValue::object();
+    j["resolved_by"] =
+        r.resolved_by == ResolvedBy::Prefilter ? "prefilter" : "dp";
+    j["detectable"] = r.detectable;
+    j["detection_count"] = r.detection_count;
+    // kNotDetected is ~0ull, which does not fit a JSON int exactly;
+    // the wire form of "never detected" is -1.
+    j["first_detection"] =
+        r.first_detection == sim::WideFaultSimulator::kNotDetected
+            ? static_cast<long long>(-1)
+            : static_cast<long long>(r.first_detection);
+    if (r.resolved_by == ResolvedBy::ExactDp) j["dp"] = record_to_json(r.dp);
+    faults.push_back(std::move(j));
+  }
+  doc["faults"] = std::move(faults);
+  return doc;
+}
+
+std::optional<HybridProfile> hybrid_profile_from_json(const JsonValue& doc) {
+  try {
+    if (!doc.is_object()) return std::nullopt;
+    const JsonValue* schema = doc.find("schema");
+    if (!schema || !schema->is_string() ||
+        schema->as_string() != kHybridProfileSchema) {
+      return std::nullopt;
+    }
+    HybridProfile p;
+    p.circuit = doc.at("circuit").as_string();
+    p.netlist_size = static_cast<std::size_t>(doc.at("netlist_size").as_int());
+    p.num_inputs = static_cast<std::size_t>(doc.at("num_inputs").as_int());
+    p.num_outputs = static_cast<std::size_t>(doc.at("num_outputs").as_int());
+    p.prefilter_patterns =
+        static_cast<std::size_t>(doc.at("prefilter_patterns").as_int());
+    p.prefilter_seed =
+        static_cast<std::uint64_t>(doc.at("prefilter_seed").as_int());
+    p.sim_events = static_cast<std::uint64_t>(doc.at("sim_events").as_int());
+    const JsonValue& levels = doc.at("sim_level_events");
+    if (!levels.is_array()) return std::nullopt;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      p.sim_level_events.push_back(
+          static_cast<std::uint64_t>(levels.at(i).as_int()));
+    }
+    const JsonValue& faults = doc.at("faults");
+    if (!faults.is_array()) return std::nullopt;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const JsonValue& j = faults.at(i);
+      HybridFaultRecord r;
+      const std::string& by = j.at("resolved_by").as_string();
+      if (by == "prefilter") {
+        r.resolved_by = ResolvedBy::Prefilter;
+      } else if (by == "dp") {
+        r.resolved_by = ResolvedBy::ExactDp;
+      } else {
+        return std::nullopt;
+      }
+      r.detectable = j.at("detectable").as_bool();
+      r.detection_count =
+          static_cast<std::uint64_t>(j.at("detection_count").as_int());
+      const long long first = j.at("first_detection").as_int();
+      r.first_detection = first < 0
+                              ? sim::WideFaultSimulator::kNotDetected
+                              : static_cast<std::uint64_t>(first);
+      if (r.resolved_by == ResolvedBy::ExactDp) {
+        r.dp = record_from_json(j.at("dp"));
+      }
+      p.faults.push_back(std::move(r));
+    }
+    return p;
+  } catch (const obs::JsonError&) {
+    return std::nullopt;
+  }
+}
+
 JsonValue checkpoint_to_json(const SweepCheckpoint& ckpt) {
   JsonValue doc = JsonValue::object();
   doc["schema"] = kCheckpointSchema;

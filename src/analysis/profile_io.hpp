@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hybrid.hpp"
 #include "analysis/profiles.hpp"
 #include "obs/json.hpp"
 
@@ -32,6 +33,7 @@ namespace dp::analysis {
 
 inline constexpr const char* kProfileSchema = "dp.profile.v1";
 inline constexpr const char* kCheckpointSchema = "dp.checkpoint.v1";
+inline constexpr const char* kHybridProfileSchema = "dp.hybrid_profile.v1";
 
 /// Stable artifact key for one (circuit, fault model, options) sweep.
 /// `kind` is "sa", "bf.and", or "bf.or" (callers may mint new kinds).
@@ -48,6 +50,19 @@ obs::JsonValue profile_to_json(const CircuitProfile& profile,
 /// dp.profile.v1 for `key` (wrong schema, wrong key, missing fields).
 std::optional<CircuitProfile> profile_from_json(const obs::JsonValue& doc,
                                                 const std::string& key);
+
+/// Serializes a hybrid sim/DP pipeline result (dp.hybrid_profile.v1).
+/// Like profile_to_json, run observations are excluded: engine_stats and
+/// the prefilter/dp wall-clock seconds are properties of one execution,
+/// so two runs of the same workload -- any worker count, served or
+/// in-process -- serialize to byte-identical documents. That identity is
+/// what the serve layer's field-identity tests compare.
+obs::JsonValue hybrid_profile_to_json(const HybridProfile& profile);
+
+/// Strict parse; nullopt when `doc` is not a well-formed
+/// dp.hybrid_profile.v1 document.
+std::optional<HybridProfile> hybrid_profile_from_json(
+    const obs::JsonValue& doc);
 
 /// A checkpoint is the contiguous completed prefix of a sweep.
 struct SweepCheckpoint {

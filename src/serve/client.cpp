@@ -1,0 +1,97 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dp::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<Client> Client::connect_unix(const std::string& path,
+                                           std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "unix socket path too long: " + path;
+    return std::nullopt;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  return Client(fd);
+}
+
+std::optional<Client> Client::connect_tcp(const std::string& host, int port,
+                                          std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "not an IPv4 address: " + host;
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return std::nullopt;
+  }
+  return Client(fd);
+}
+
+bool Client::call(const obs::JsonValue& request, obs::JsonValue* response,
+                  std::string* error, std::uint32_t max_frame_bytes) {
+  if (fd_ < 0) {
+    if (error) *error = "client is not connected";
+    return false;
+  }
+  if (!write_frame(fd_, request.dump(0), error)) return false;
+  std::string payload;
+  const ReadStatus st = read_frame(fd_, &payload, max_frame_bytes, error);
+  if (st == ReadStatus::Eof) {
+    if (error) *error = "server closed the connection";
+    return false;
+  }
+  if (st != ReadStatus::Ok) return false;
+  try {
+    *response = obs::JsonValue::parse(payload);
+  } catch (const obs::JsonError& e) {
+    if (error) *error = std::string("response is not JSON: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,44 @@
+// Blocking client for the dpserved protocol: connect, call, done.
+// One Client = one connection; call() writes a request frame and reads
+// the next response frame, so a single Client is strictly
+// request/response ordered. For pipelining, open one Client per
+// in-flight request (what dpload's sender threads do).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace dp::serve {
+
+class Client {
+ public:
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// nullopt (error filled) when the socket cannot be connected.
+  static std::optional<Client> connect_unix(const std::string& path,
+                                            std::string* error);
+  static std::optional<Client> connect_tcp(const std::string& host, int port,
+                                           std::string* error);
+
+  /// Sends `request`, blocks for the response. False (error filled) on
+  /// any transport failure -- a server-side failure is a successful call
+  /// whose response has ok=false.
+  bool call(const obs::JsonValue& request, obs::JsonValue* response,
+            std::string* error,
+            std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace dp::serve

@@ -1,0 +1,428 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analysis/hybrid.hpp"
+#include "analysis/profile_io.hpp"
+#include "analysis/profiles.hpp"
+#include "fault/stuck_at.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generators.hpp"
+#include "obs/span.hpp"
+#include "serve/protocol.hpp"
+#include "sim/wide_sim.hpp"
+#include "store/hash.hpp"
+
+namespace dp::serve {
+
+using obs::JsonValue;
+
+namespace {
+
+/// Thrown for anything the client got wrong; handle() maps it to a
+/// bad_request response (engine exceptions stay "internal").
+class BadRequest : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+long long request_id(const JsonValue& request) {
+  const JsonValue* id = request.find("id");
+  if (!id) return 0;
+  if (!id->is_number()) throw BadRequest("'id' must be an integer");
+  return id->as_int();
+}
+
+std::string require_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is_string()) {
+    throw BadRequest(std::string("missing string field '") + key + "'");
+  }
+  return v->as_string();
+}
+
+/// Typed option readers: wrong types are client errors, not crashes.
+bool opt_bool(const JsonValue& obj, const char* key, bool fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return fallback;
+  if (v->kind() != JsonValue::Kind::Bool) {
+    throw BadRequest(std::string("option '") + key + "' must be a boolean");
+  }
+  return v->as_bool();
+}
+
+std::uint64_t opt_u64(const JsonValue& obj, const char* key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return fallback;
+  if (!v->is_number() || v->as_int() < 0) {
+    throw BadRequest(std::string("option '") + key +
+                     "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v->as_int());
+}
+
+double opt_double(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return fallback;
+  if (!v->is_number()) {
+    throw BadRequest(std::string("option '") + key + "' must be a number");
+  }
+  return v->as_double();
+}
+
+/// Every option object is closed: an unknown key is a bad_request, so a
+/// typo like "colapse" can never silently run with defaults.
+void reject_unknown_keys(const JsonValue& obj,
+                         std::initializer_list<const char*> allowed) {
+  if (obj.is_null()) return;
+  if (!obj.is_object()) throw BadRequest("'options' must be an object");
+  for (const auto& [key, value] : obj.members()) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw BadRequest("unknown option '" + key + "'");
+  }
+}
+
+const JsonValue& options_of(const JsonValue& request) {
+  static const JsonValue kNull;
+  const JsonValue* v = request.find("options");
+  return v ? *v : kNull;
+}
+
+}  // namespace
+
+/// One cached analyze response: the serialized profile document plus the
+/// circuit name (evict-by-circuit) and its key (unlink on LRU eviction).
+struct Service::CacheEntry {
+  std::string key;
+  std::string circuit;
+  JsonValue payload;
+};
+
+Service::Service(const ServiceOptions& options, obs::MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {
+  if (!options_.cache_dir.empty()) {
+    store_ = std::make_unique<store::ArtifactStore>(
+        options_.cache_dir, store::ArtifactStore::Options{}, metrics_);
+  }
+}
+
+Service::~Service() = default;
+
+std::size_t Service::profile_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+bool Service::cache_lookup(const std::string& key, JsonValue* out) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    if (metrics_) metrics_->counter("serve.profile_cache.misses").add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (metrics_) metrics_->counter("serve.profile_cache.hits").add();
+  *out = it->second->payload;  // copy out under the lock
+  return true;
+}
+
+void Service::cache_insert(const std::string& key, const std::string& circuit,
+                           JsonValue payload) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent request computed the same profile; results are
+    // deterministic, so either copy is THE result. Keep the incumbent.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{key, circuit, std::move(payload)});
+  cache_[key] = lru_.begin();
+  while (cache_.size() > options_.profile_cache_entries && !lru_.empty()) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+    if (metrics_) metrics_->counter("serve.profile_cache.evictions").add();
+  }
+}
+
+std::shared_ptr<const netlist::Circuit> Service::circuit_for(
+    const JsonValue& request) {
+  const JsonValue* bench = request.find("bench");
+  std::string key;
+  if (bench) {
+    if (!bench->is_string()) throw BadRequest("'bench' must be a string");
+    // Inline netlists are keyed by text hash, so re-sending the same
+    // .bench body hits the resident parse.
+    key = "bench:" + store::KeyBuilder().str(bench->as_string()).hex();
+  } else {
+    key = "name:" + require_string(request, "circuit");
+  }
+  {
+    std::lock_guard<std::mutex> lock(circuits_mutex_);
+    auto it = circuits_.find(key);
+    if (it != circuits_.end()) return it->second;
+  }
+  // Parse outside the lock; a duplicate racing parse is wasted work but
+  // harmless (first insert wins below).
+  std::shared_ptr<const netlist::Circuit> circuit;
+  try {
+    if (bench) {
+      circuit = std::make_shared<netlist::Circuit>(
+          netlist::read_bench_string(bench->as_string(), "inline"));
+    } else {
+      const std::string name = require_string(request, "circuit");
+      for (const std::string& known : netlist::benchmark_names()) {
+        if (known == name) {
+          circuit = std::make_shared<netlist::Circuit>(
+              netlist::make_benchmark(name));
+          break;
+        }
+      }
+      if (!circuit) {
+        throw BadRequest("unknown circuit '" + name +
+                         "' (send a built-in benchmark name, or the "
+                         "netlist text in 'bench')");
+      }
+    }
+  } catch (const netlist::NetlistError& e) {
+    throw BadRequest(std::string("netlist: ") + e.what());
+  }
+  std::lock_guard<std::mutex> lock(circuits_mutex_);
+  auto [it, inserted] = circuits_.emplace(key, std::move(circuit));
+  return it->second;
+}
+
+JsonValue Service::handle(const JsonValue& request) noexcept {
+  long long id = 0;
+  try {
+    if (!request.is_object()) throw BadRequest("request must be an object");
+    id = request_id(request);
+    const std::string type = require_string(request, "type");
+    obs::ScopedSpan span(obs::SpanCollector::current(), "serve." + type);
+    if (type == "analyze") return handle_analyze(id, request);
+    if (type == "grade") return handle_grade(id, request);
+    if (type == "hash") return handle_hash(id, request);
+    if (type == "evict") return handle_evict(id, request);
+    if (type == "metrics") return handle_metrics(id);
+    if (type == "sleep") return handle_sleep(id, request);
+    if (type == "ping") return make_ok_response(id, "ping");
+    throw BadRequest("unknown request type '" + type + "'");
+  } catch (const BadRequest& e) {
+    if (metrics_) metrics_->counter("serve.errors.bad_request").add();
+    return make_error_response(id, ErrorCode::BadRequest, e.what());
+  } catch (const std::exception& e) {
+    if (metrics_) metrics_->counter("serve.errors.internal").add();
+    return make_error_response(id, ErrorCode::Internal, e.what());
+  }
+}
+
+JsonValue Service::handle_analyze(long long id, const JsonValue& request) {
+  const JsonValue& opts = options_of(request);
+  reject_unknown_keys(opts, {"model", "jobs", "collapse", "bridge_count",
+                             "bridge_theta", "bridge_seed",
+                             "prefilter_patterns", "prefilter_seed",
+                             "persist"});
+  const std::shared_ptr<const netlist::Circuit> circuit =
+      circuit_for(request);
+
+  std::string model = "sa";
+  if (const JsonValue* m = opts.find("model")) {
+    if (!m->is_string()) throw BadRequest("option 'model' must be a string");
+    model = m->as_string();
+  }
+  if (model != "sa" && model != "bf.and" && model != "bf.or" &&
+      model != "hybrid") {
+    throw BadRequest("option 'model' must be sa, bf.and, bf.or or hybrid");
+  }
+
+  analysis::AnalysisOptions a;
+  a.collapse = opt_bool(opts, "collapse", true);
+  a.jobs = static_cast<std::size_t>(opt_u64(opts, "jobs", options_.jobs));
+  a.sampling.target_count = static_cast<std::size_t>(
+      opt_u64(opts, "bridge_count", a.sampling.target_count));
+  a.sampling.theta = opt_double(opts, "bridge_theta", a.sampling.theta);
+  a.sampling.seed = opt_u64(opts, "bridge_seed", a.sampling.seed);
+  const bool persist = opt_bool(opts, "persist", true);
+  if (store_ && persist) a.persistence.store = store_.get();
+
+  analysis::HybridOptions h;
+  h.prefilter_patterns = static_cast<std::size_t>(
+      opt_u64(opts, "prefilter_patterns", h.prefilter_patterns));
+  h.prefilter_seed = opt_u64(opts, "prefilter_seed", h.prefilter_seed);
+
+  // One key addresses both caches. For sa/bf it IS the artifact-store
+  // key; hybrid extends it with the prefilter policy (jobs stays
+  // excluded -- results are worker-count invariant end to end).
+  std::string key;
+  if (model == "hybrid") {
+    key = store::KeyBuilder()
+              .str(analysis::profile_cache_key(*circuit, "sa", a))
+              .str("hybrid")
+              .u64(h.prefilter_patterns)
+              .u64(h.prefilter_seed)
+              .flag(h.drop_detected)
+              .hex();
+  } else {
+    key = analysis::profile_cache_key(*circuit, model, a);
+  }
+
+  if (metrics_) metrics_->counter("serve.requests.analyze").add();
+  JsonValue cached;
+  if (cache_lookup(key, &cached)) {
+    JsonValue resp = make_ok_response(id, "analyze");
+    resp["model"] = model;
+    resp["circuit"] = circuit->name();
+    resp["cached"] = true;
+    resp["key"] = key;
+    resp["profile"] = std::move(cached);
+    return resp;
+  }
+
+  JsonValue profile;
+  {
+    obs::ScopedSpan span(obs::SpanCollector::current(),
+                         "serve.analyze." + model);
+    span.attr("circuit", circuit->name()).attr("jobs", a.jobs);
+    if (model == "sa") {
+      profile = analysis::profile_to_json(analysis::analyze_stuck_at(*circuit, a), key);
+    } else if (model == "bf.and" || model == "bf.or") {
+      const fault::BridgeType bt = model == "bf.and" ? fault::BridgeType::And
+                                                     : fault::BridgeType::Or;
+      profile = analysis::profile_to_json(
+          analysis::analyze_bridging(*circuit, bt, a), key);
+    } else {
+      profile = analysis::hybrid_profile_to_json(
+          analysis::analyze_stuck_at_hybrid(*circuit, a, h));
+    }
+  }
+  cache_insert(key, circuit->name(), profile);
+
+  JsonValue resp = make_ok_response(id, "analyze");
+  resp["model"] = model;
+  resp["circuit"] = circuit->name();
+  resp["cached"] = false;
+  resp["key"] = key;
+  resp["profile"] = std::move(profile);
+  return resp;
+}
+
+JsonValue Service::handle_grade(long long id, const JsonValue& request) {
+  const JsonValue& opts = options_of(request);
+  reject_unknown_keys(opts,
+                      {"patterns", "seed", "collapse", "drop_detected"});
+  const std::shared_ptr<const netlist::Circuit> circuit =
+      circuit_for(request);
+  const std::size_t patterns =
+      static_cast<std::size_t>(opt_u64(opts, "patterns", 1024));
+  const std::uint64_t seed = opt_u64(opts, "seed", 0x5eedb10cull);
+  const bool collapse = opt_bool(opts, "collapse", true);
+
+  if (metrics_) metrics_->counter("serve.requests.grade").add();
+  const std::vector<fault::StuckAtFault> faults =
+      collapse ? fault::collapse_checkpoint_faults(*circuit)
+               : fault::checkpoint_faults(*circuit);
+  sim::WideFaultSimulator sim(*circuit);
+  sim::WideSimOptions wopts;
+  wopts.drop_detected = opt_bool(opts, "drop_detected", true);
+  const auto grade = sim.grade_random(faults, patterns, seed, wopts);
+
+  JsonValue resp = make_ok_response(id, "grade");
+  resp["circuit"] = circuit->name();
+  resp["total"] = grade.total;
+  resp["detected"] = grade.detected();
+  resp["num_patterns"] = grade.num_patterns;
+  resp["coverage"] =
+      grade.total == 0 ? 0.0
+                       : static_cast<double>(grade.detected()) /
+                             static_cast<double>(grade.total);
+  resp["events"] = grade.events();
+  return resp;
+}
+
+JsonValue Service::handle_hash(long long id, const JsonValue& request) {
+  const std::shared_ptr<const netlist::Circuit> circuit =
+      circuit_for(request);
+  JsonValue resp = make_ok_response(id, "hash");
+  resp["circuit"] = circuit->name();
+  resp["hash"] = store::circuit_content_hash(*circuit);
+  return resp;
+}
+
+JsonValue Service::handle_evict(long long id, const JsonValue& request) {
+  // With "circuit": drop that circuit's cached profiles and its resident
+  // netlist. Without: drop everything (a full cache reset between load
+  // phases). The artifact store on disk is never touched.
+  std::size_t evicted = 0;
+  const JsonValue* which = request.find("circuit");
+  if (which && !which->is_string()) {
+    throw BadRequest("'circuit' must be a string");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (!which || it->circuit == which->as_string()) {
+        cache_.erase(it->key);
+        it = lru_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(circuits_mutex_);
+    if (!which) {
+      circuits_.clear();
+    } else {
+      for (auto it = circuits_.begin(); it != circuits_.end();) {
+        if ((*it->second).name() == which->as_string()) {
+          it = circuits_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (metrics_) metrics_->counter("serve.requests.evict").add();
+  JsonValue resp = make_ok_response(id, "evict");
+  resp["evicted"] = evicted;
+  return resp;
+}
+
+JsonValue Service::handle_metrics(long long id) {
+  JsonValue resp = make_ok_response(id, "metrics");
+  // Shaped exactly like a CLI --metrics-json file, so a client can dump
+  // it to disk and validate_metrics accepts it unchanged.
+  JsonValue doc = JsonValue::object();
+  doc["tool"] = "dpserved";
+  doc["schema"] = "dp.metrics.v1";
+  doc["metrics"] = metrics_ ? metrics_->to_json() : JsonValue::object();
+  resp["document"] = std::move(doc);
+  return resp;
+}
+
+JsonValue Service::handle_sleep(long long id, const JsonValue& request) {
+  // Deterministic busy-worker stand-in for deadline/backpressure tests
+  // and load shaping; capped so a client cannot park a worker for long.
+  const JsonValue& opts = options_of(request);
+  reject_unknown_keys(opts, {"ms"});
+  const std::uint64_t ms = std::min<std::uint64_t>(
+      opt_u64(opts, "ms", 10), 10'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  JsonValue resp = make_ok_response(id, "sleep");
+  resp["slept_ms"] = ms;
+  return resp;
+}
+
+}  // namespace dp::serve

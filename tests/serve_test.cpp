@@ -1,0 +1,473 @@
+// dpserved serving-layer tests: protocol framing, request dispatch, the
+// field-identity contract between served and in-process analysis,
+// admission control (queue_full / deadline_exceeded), the resident
+// profile cache, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/hybrid.hpp"
+#include "analysis/profile_io.hpp"
+#include "analysis/profiles.hpp"
+#include "fault/stuck_at.hpp"
+#include "netlist/generators.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sim/wide_sim.hpp"
+
+namespace dp::serve {
+namespace {
+
+using obs::JsonValue;
+
+// ---- protocol framing --------------------------------------------------
+
+TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string error;
+  ASSERT_TRUE(write_frame(fds[0], R"({"type":"ping"})", &error)) << error;
+  std::string payload;
+  ASSERT_EQ(read_frame(fds[1], &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Ok)
+      << error;
+  EXPECT_EQ(payload, R"({"type":"ping"})");
+  // Empty payload is a legal frame.
+  ASSERT_TRUE(write_frame(fds[0], "", &error));
+  ASSERT_EQ(read_frame(fds[1], &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Ok);
+  EXPECT_TRUE(payload.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, CleanCloseIsEofMidFrameIsError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  std::string payload, error;
+  EXPECT_EQ(read_frame(fds[1], &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Eof);
+  ::close(fds[1]);
+
+  // Header cut off after 3 bytes: truncation, not clean EOF.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[0], "dps", 3, 0), 3);
+  ::close(fds[0]);
+  EXPECT_EQ(read_frame(fds[1], &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Error);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, BadMagicAndOversizedLengthRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[0], "HTTP/1.1", 8, 0), 8);
+  std::string payload, error;
+  EXPECT_EQ(read_frame(fds[1], &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Error);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // Hostile length field: rejected by the cap before any allocation.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char huge[8] = {'d', 'p', 's', '1', 0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::send(fds[0], huge, 8, 0), 8);
+  EXPECT_EQ(read_frame(fds[1], &payload, /*max_payload=*/1 << 20, &error),
+            ReadStatus::Error);
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---- in-process service dispatch ---------------------------------------
+
+JsonValue req(const char* type, const char* circuit = nullptr) {
+  JsonValue r = JsonValue::object();
+  r["type"] = type;
+  if (circuit) r["circuit"] = circuit;
+  return r;
+}
+
+TEST(ServiceTest, PingHashAndUnknownType) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+  EXPECT_TRUE(service.handle(req("ping")).at("ok").as_bool());
+
+  JsonValue h = service.handle(req("hash", "c17"));
+  ASSERT_TRUE(h.at("ok").as_bool());
+  EXPECT_EQ(h.at("hash").as_string().size(), 32u);
+
+  JsonValue bad = service.handle(req("frobnicate"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServiceTest, UnknownCircuitAndUnknownOptionAreBadRequests) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+  JsonValue r = service.handle(req("analyze", "not_a_circuit"));
+  EXPECT_FALSE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("error").at("code").as_string(), "bad_request");
+
+  JsonValue typo = req("analyze", "c17");
+  JsonValue opts = JsonValue::object();
+  opts["colapse"] = true;  // misspelled: must fail, not silently default
+  typo["options"] = std::move(opts);
+  r = service.handle(typo);
+  EXPECT_FALSE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(r.at("error").at("message").as_string().find("colapse"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, InlineBenchTextIsAccepted) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+  JsonValue r = JsonValue::object();
+  r["type"] = "analyze";
+  r["bench"] = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+  JsonValue resp = service.handle(r);
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+  EXPECT_GT(resp.at("profile").at("faults").size(), 0u);
+
+  r["bench"] = "INPUT(a\n";  // malformed inline netlist
+  resp = service.handle(r);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServiceTest, GradeMatchesDirectWideSim) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+  JsonValue r = req("grade", "c95");
+  JsonValue opts = JsonValue::object();
+  opts["patterns"] = 512;
+  opts["seed"] = 7;
+  r["options"] = std::move(opts);
+  JsonValue resp = service.handle(r);
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+
+  const netlist::Circuit c = netlist::make_benchmark("c95");
+  const auto faults = fault::collapse_checkpoint_faults(c);
+  const auto grade =
+      sim::WideFaultSimulator(c).grade_random(faults, 512, 7, {});
+  EXPECT_EQ(static_cast<std::size_t>(resp.at("total").as_int()),
+            grade.total);
+  EXPECT_EQ(static_cast<std::size_t>(resp.at("detected").as_int()),
+            grade.detected());
+  EXPECT_EQ(static_cast<std::uint64_t>(resp.at("events").as_int()),
+            grade.events());
+}
+
+TEST(ServiceTest, ProfileCacheHitsEvictsAndLruBound) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.profile_cache_entries = 2;
+  Service service(options, &metrics);
+
+  JsonValue r1 = service.handle(req("analyze", "c17"));
+  ASSERT_TRUE(r1.at("ok").as_bool());
+  EXPECT_FALSE(r1.at("cached").as_bool());
+  JsonValue r2 = service.handle(req("analyze", "c17"));
+  ASSERT_TRUE(r2.at("ok").as_bool());
+  EXPECT_TRUE(r2.at("cached").as_bool());
+  // The cached response carries the identical profile document.
+  EXPECT_EQ(r1.at("profile").dump(0), r2.at("profile").dump(0));
+  EXPECT_EQ(metrics.counter("serve.profile_cache.hits").value(), 1u);
+
+  // Two more distinct keys through a 2-entry LRU evict the c17 profile.
+  JsonValue bf = req("analyze", "c17");
+  JsonValue opts = JsonValue::object();
+  opts["model"] = "bf.and";
+  bf["options"] = std::move(opts);
+  ASSERT_TRUE(service.handle(bf).at("ok").as_bool());
+  ASSERT_TRUE(service.handle(req("analyze", "fulladder")).at("ok").as_bool());
+  EXPECT_EQ(service.profile_cache_size(), 2u);
+  EXPECT_TRUE(metrics.counter("serve.profile_cache.evictions").value() >= 1u);
+
+  JsonValue r3 = service.handle(req("analyze", "c17"));
+  EXPECT_FALSE(r3.at("cached").as_bool());  // was evicted, recomputed
+  EXPECT_EQ(r1.at("profile").dump(0), r3.at("profile").dump(0));
+
+  JsonValue ev = service.handle(req("evict"));
+  ASSERT_TRUE(ev.at("ok").as_bool());
+  EXPECT_EQ(service.profile_cache_size(), 0u);
+}
+
+// ---- served vs in-process field identity -------------------------------
+
+/// One in-process server on a Unix socket in /tmp (sun_path caps at ~107
+/// bytes; a build-tree path can blow it).
+struct TestServer {
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<Service> service;
+  std::unique_ptr<Server> server;
+  std::string path;
+
+  explicit TestServer(std::size_t workers, std::size_t queue_depth = 64,
+                      std::size_t cache_entries = 64) {
+    path = "/tmp/dp_serve_test." + std::to_string(::getpid()) + "." +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this) & 0xffff) +
+           ".sock";
+    ServiceOptions sopts;
+    sopts.profile_cache_entries = cache_entries;
+    service = std::make_unique<Service>(sopts, &metrics);
+    ServerOptions opts;
+    opts.unix_path = path;
+    opts.workers = workers;
+    opts.queue_depth = queue_depth;
+    server = std::make_unique<Server>(opts, service.get(), &metrics);
+    std::string error;
+    if (!server->start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+    }
+  }
+
+  Client connect() {
+    std::string error;
+    auto c = Client::connect_unix(path, &error);
+    EXPECT_TRUE(c.has_value()) << error;
+    return std::move(*c);
+  }
+
+  ~TestServer() {
+    server->initiate_drain();
+    server->wait();
+  }
+};
+
+JsonValue call(Client& client, const JsonValue& request) {
+  JsonValue resp;
+  std::string error;
+  EXPECT_TRUE(client.call(request, &resp, &error)) << error;
+  return resp;
+}
+
+JsonValue analyze_req(const std::string& circuit, const std::string& model,
+                      std::size_t jobs) {
+  JsonValue r = JsonValue::object();
+  r["type"] = "analyze";
+  r["circuit"] = circuit;
+  JsonValue opts = JsonValue::object();
+  opts["model"] = model;
+  opts["jobs"] = jobs;
+  if (model == "bf.and" || model == "bf.or") opts["bridge_count"] = 40;
+  if (model == "hybrid") opts["prefilter_patterns"] = 512;
+  r["options"] = std::move(opts);
+  return r;
+}
+
+/// The acceptance contract: a served analyze response's profile document
+/// equals serializing the in-process engine result, byte for byte, at
+/// request-level worker counts 1 and 4 (engine jobs follow the worker
+/// count; sweeps are jobs-invariant, doubles round-trip exactly).
+class FieldIdentityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FieldIdentityTest, ServedEqualsInProcessAtWorkers1And4) {
+  const std::string circuit_name = GetParam();
+  const netlist::Circuit circuit = netlist::make_benchmark(circuit_name);
+
+  // sa/hybrid requests send no sampling options, so the in-process
+  // reference uses default AnalysisOptions; the bridging request caps
+  // bridge_count at 40 (test runtime), mirrored here.
+  analysis::AnalysisOptions a;
+  analysis::AnalysisOptions a_bf;
+  a_bf.sampling.target_count = 40;
+  analysis::HybridOptions h;
+  h.prefilter_patterns = 512;
+
+  const JsonValue expected_sa = analysis::profile_to_json(
+      analysis::analyze_stuck_at(circuit, a),
+      analysis::profile_cache_key(circuit, "sa", a));
+  const JsonValue expected_bf = analysis::profile_to_json(
+      analysis::analyze_bridging(circuit, fault::BridgeType::And, a_bf),
+      analysis::profile_cache_key(circuit, "bf.and", a_bf));
+  const JsonValue expected_hy = analysis::hybrid_profile_to_json(
+      analysis::analyze_stuck_at_hybrid(circuit, a, h));
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    TestServer ts(workers);
+    Client client = ts.connect();
+    JsonValue sa =
+        call(client, analyze_req(circuit_name, "sa", workers));
+    ASSERT_TRUE(sa.at("ok").as_bool()) << sa.dump(0);
+    EXPECT_EQ(sa.at("profile").dump(0), expected_sa.dump(0))
+        << circuit_name << " sa, workers=" << workers;
+
+    JsonValue bf =
+        call(client, analyze_req(circuit_name, "bf.and", workers));
+    ASSERT_TRUE(bf.at("ok").as_bool()) << bf.dump(0);
+    EXPECT_EQ(bf.at("profile").dump(0), expected_bf.dump(0))
+        << circuit_name << " bf.and, workers=" << workers;
+
+    JsonValue hy =
+        call(client, analyze_req(circuit_name, "hybrid", workers));
+    ASSERT_TRUE(hy.at("ok").as_bool()) << hy.dump(0);
+    EXPECT_EQ(hy.at("profile").dump(0), expected_hy.dump(0))
+        << circuit_name << " hybrid, workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, FieldIdentityTest,
+                         ::testing::Values("c17", "alu181", "c432"));
+
+TEST(ServeIdentityTest, BfOrServedEqualsInProcess) {
+  analysis::AnalysisOptions a;
+  a.sampling.target_count = 40;
+  const netlist::Circuit circuit = netlist::make_benchmark("alu181");
+  const JsonValue expected = analysis::profile_to_json(
+      analysis::analyze_bridging(circuit, fault::BridgeType::Or, a),
+      analysis::profile_cache_key(circuit, "bf.or", a));
+  TestServer ts(2);
+  Client client = ts.connect();
+  JsonValue resp = call(client, analyze_req("alu181", "bf.or", 2));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+  EXPECT_EQ(resp.at("profile").dump(0), expected.dump(0));
+}
+
+// ---- admission control, deadlines, drain -------------------------------
+
+JsonValue sleep_req(std::uint64_t ms) {
+  JsonValue r = JsonValue::object();
+  r["type"] = "sleep";
+  JsonValue opts = JsonValue::object();
+  opts["ms"] = static_cast<long long>(ms);
+  r["options"] = std::move(opts);
+  return r;
+}
+
+TEST(ServeAdmissionTest, QueueFullReturnsStructuredBackpressure) {
+  TestServer ts(/*workers=*/1, /*queue_depth=*/1);
+  Client blocker = ts.connect();
+  Client queued = ts.connect();
+  Client rejected = ts.connect();
+
+  // Occupy the only worker...
+  std::thread t1([&] {
+    JsonValue resp = call(blocker, sleep_req(700));
+    EXPECT_TRUE(resp.at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...fill the one queue slot...
+  std::thread t2([&] {
+    JsonValue resp = call(queued, sleep_req(5));
+    EXPECT_TRUE(resp.at("ok").as_bool());  // admitted: must complete
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...and the next arrival must bounce immediately.
+  JsonValue resp = call(rejected, sleep_req(5));
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "queue_full");
+  t1.join();
+  t2.join();
+  EXPECT_GE(ts.metrics.counter("serve.rejected.queue_full").value(), 1u);
+}
+
+TEST(ServeAdmissionTest, DeadlineExpiredInQueueIsNotExecuted) {
+  TestServer ts(/*workers=*/1);
+  Client blocker = ts.connect();
+  Client impatient = ts.connect();
+
+  std::thread t1([&] {
+    JsonValue resp = call(blocker, sleep_req(600));
+    EXPECT_TRUE(resp.at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  JsonValue r = sleep_req(5);
+  r["deadline_ms"] = 100;  // expires ~350ms before the worker frees up
+  JsonValue resp = call(impatient, r);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "deadline_exceeded");
+  t1.join();
+  EXPECT_GE(ts.metrics.counter("serve.rejected.deadline").value(), 1u);
+}
+
+TEST(ServeDrainTest, ShutdownFinishesInFlightAndRejectsLateArrivals) {
+  auto ts = std::make_unique<TestServer>(/*workers=*/1);
+  Client worker_conn = ts->connect();
+  Client ctl = ts->connect();
+
+  std::thread t1([&] {
+    // Admitted before the drain: must complete despite the shutdown.
+    JsonValue resp = call(worker_conn, sleep_req(500));
+    EXPECT_TRUE(resp.at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  JsonValue shutdown = JsonValue::object();
+  shutdown["type"] = "shutdown";
+  JsonValue ack = call(ctl, shutdown);
+  EXPECT_TRUE(ack.at("ok").as_bool());
+  EXPECT_TRUE(ts->server->draining());
+
+  // Late arrival on a still-open connection: structured rejection.
+  JsonValue late = call(ctl, sleep_req(5));
+  EXPECT_FALSE(late.at("ok").as_bool());
+  EXPECT_EQ(late.at("error").at("code").as_string(), "shutting_down");
+
+  t1.join();
+  ts->server->wait();  // returns only when drained
+  ts.reset();
+}
+
+TEST(ServeTransportTest, TcpLoopbackAndEphemeralPort) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+  ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  opts.workers = 1;
+  Server server(opts, &service, &metrics);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.tcp_port(), 0);
+
+  auto client = Client::connect_tcp("127.0.0.1", server.tcp_port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  JsonValue resp = call(*client, req("ping"));
+  EXPECT_TRUE(resp.at("ok").as_bool());
+  server.initiate_drain();
+  server.wait();
+}
+
+TEST(ServeTransportTest, MalformedJsonGetsBadRequestAndStreamSurvives) {
+  TestServer ts(1);
+  Client client = ts.connect();
+  std::string error;
+  ASSERT_TRUE(write_frame(client.fd(), "{not json", &error)) << error;
+  std::string payload;
+  ASSERT_EQ(read_frame(client.fd(), &payload, kDefaultMaxFrameBytes, &error),
+            ReadStatus::Ok)
+      << error;
+  JsonValue resp = JsonValue::parse(payload);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+  // Frame boundaries were respected, so the connection still works.
+  JsonValue pong = call(client, req("ping"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+}
+
+TEST(ServeMetricsTest, MetricsRequestReturnsValidatableDocument) {
+  TestServer ts(1);
+  Client client = ts.connect();
+  ASSERT_TRUE(call(client, req("ping")).at("ok").as_bool());
+  JsonValue resp = call(client, req("metrics"));
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  const JsonValue& doc = resp.at("document");
+  EXPECT_EQ(doc.at("schema").as_string(), "dp.metrics.v1");
+  EXPECT_EQ(doc.at("tool").as_string(), "dpserved");
+  EXPECT_TRUE(doc.at("metrics").at("counters").contains("serve.admitted"));
+}
+
+}  // namespace
+}  // namespace dp::serve
