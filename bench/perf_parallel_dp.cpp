@@ -1,8 +1,11 @@
 // Fault-parallel sweep performance: serial DifferencePropagator loop vs
 // ParallelEngine on the C432-class circuit's collapsed checkpoint faults.
 // Verifies the parallel results are bit-identical to serial, then reports
-// the wall-clock speedup. Usage: perf_parallel_dp [--jobs N] (default 4;
-// DP_BENCH_JOBS env also honored).
+// the wall-clock speedup. A second section measures the shared frozen
+// forest on c1355/c1908: whole-engine peak live nodes with per-worker
+// good-function builds vs one frozen universe (expected >= 2x smaller at
+// 4 workers), plus a warm re-sweep on the shared engine. Usage:
+// perf_parallel_dp [--jobs N] (default 4; DP_BENCH_JOBS env honored).
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -33,6 +36,15 @@ struct Scalars {
 Scalars scalars(const core::FaultAnalysis& a) {
   return {a.detectable, a.detectability, a.upper_bound,
           a.adherence,  a.pos_fed,       a.pos_observable};
+}
+
+/// Whole-engine node footprint: the frozen universe (counted once) plus
+/// every worker's private peak -- what the engine's dp.peak_live_nodes
+/// gauge reports.
+std::size_t footprint(const core::ParallelStats& s) {
+  std::size_t total = s.frozen_nodes;
+  for (const core::WorkerStats& w : s.workers) total += w.peak_live_nodes;
+  return total;
 }
 
 }  // namespace
@@ -129,6 +141,100 @@ int main(int argc, char** argv) {
                  "and --jobs >= 2 (have "
               << hw << " thread(s), jobs " << jobs << "); measured "
               << analysis::TextTable::num(speedup, 2) << "x\n";
+  }
+
+  // ---- Shared frozen forest: node footprint at N workers ----------------
+  // With per-worker good-function builds the engine's footprint is
+  // jobs x (forest + deltas); with the shared frozen universe it is
+  // forest + jobs x deltas. A bounded fault slice keeps the smoke run
+  // cheap -- the footprint is dominated by the good-function forests, not
+  // by how many faults the sweep then analyzes.
+  constexpr std::size_t kFootprintFaults = 128;
+  std::cout << "\nShared frozen forest, --jobs " << jobs << " ("
+            << kFootprintFaults << "-fault slice per circuit):\n";
+  std::cout << "csv:circuit,unshared_nodes,shared_nodes,frozen_nodes,"
+               "reduction,cold_s,warm_s,mismatches\n";
+  for (const char* name : {"c1355", "c1908"}) {
+    const netlist::Circuit c = netlist::make_benchmark(name);
+    const netlist::Structure s(c);
+    std::vector<fault::StuckAtFault> fs = fault::collapse_checkpoint_faults(c);
+    if (fs.size() > kFootprintFaults) fs.resize(kFootprintFaults);
+
+    std::vector<Scalars> unshared_out(fs.size(), Scalars{false, 0, 0, 0, 0, 0});
+    core::ParallelEngine::Options uopt;
+    uopt.jobs = jobs;
+    uopt.shared_forest = false;
+    core::ParallelEngine unshared(c, s, uopt);
+    unshared.analyze_each(fs, [&](std::size_t i, core::FaultAnalysis&& a) {
+      unshared_out[i] = scalars(a);
+    });
+    const std::size_t unshared_nodes = footprint(unshared.stats());
+
+    std::vector<Scalars> shared_out(fs.size(), Scalars{false, 0, 0, 0, 0, 0});
+    core::ParallelEngine::Options sopt;
+    sopt.jobs = jobs;
+    const auto cold_start = Clock::now();
+    core::ParallelEngine shared(c, s, sopt);
+    shared.analyze_each(fs, [&](std::size_t i, core::FaultAnalysis&& a) {
+      shared_out[i] = scalars(a);
+    });
+    const double cold_s = seconds_since(cold_start);
+    const std::size_t shared_nodes = footprint(shared.stats());
+    const std::size_t frozen = shared.stats().frozen_nodes;
+    session.record_engine(c.name(), c.num_gates(), c.num_inputs(),
+                          c.num_outputs(), fs.size(),
+                          cold_s > 0 ? fs.size() / cold_s : 0.0,
+                          shared.stats());
+
+    // Warm re-sweep: the engine (forest, workers, caches) is resident, as
+    // in the serving daemon; only the per-fault work repeats.
+    const auto warm_start = Clock::now();
+    shared.analyze_each(fs, [&](std::size_t i, core::FaultAnalysis&& a) {
+      shared_out[i] = scalars(a);
+    });
+    const double warm_s = seconds_since(warm_start);
+
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      if (!(unshared_out[i] == shared_out[i])) ++bad;
+    }
+    const double reduction =
+        shared_nodes > 0 ? static_cast<double>(unshared_nodes) /
+                               static_cast<double>(shared_nodes)
+                         : 0.0;
+    analysis::write_csv_row(
+        std::cout,
+        {name, std::to_string(unshared_nodes), std::to_string(shared_nodes),
+         std::to_string(frozen), analysis::TextTable::num(reduction, 2),
+         analysis::TextTable::num(cold_s, 3),
+         analysis::TextTable::num(warm_s, 3), std::to_string(bad)});
+
+    const std::string prefix = std::string("parallel_dp.") + name;
+    session.metrics().gauge(prefix + ".unshared.peak_live_nodes")
+        .set(static_cast<double>(unshared_nodes));
+    session.metrics().gauge(prefix + ".shared.peak_live_nodes")
+        .set(static_cast<double>(shared_nodes));
+    session.metrics().gauge(prefix + ".shared.frozen_nodes")
+        .set(static_cast<double>(frozen));
+    session.metrics().gauge(prefix + ".warm.ops_per_second")
+        .set(warm_s > 0 ? fs.size() / warm_s : 0.0);
+
+    bench::shape_check(bad == 0,
+                       std::string(name) +
+                           ": shared-forest scalars bit-identical to "
+                           "per-worker builds (" +
+                           std::to_string(bad) + " mismatches)");
+    if (jobs >= 4) {
+      bench::shape_check(2 * shared_nodes <= unshared_nodes,
+                         std::string(name) + ": peak live nodes reduced >= "
+                                             "2x by the shared forest (" +
+                             analysis::TextTable::num(reduction, 2) + "x)");
+    } else {
+      std::cout << "[shape SKIP] " << name
+                << ": footprint reduction check needs --jobs >= 4 (have "
+                << jobs << "); measured "
+                << analysis::TextTable::num(reduction, 2) << "x\n";
+    }
   }
   return 0;
 }

@@ -35,6 +35,11 @@ endif()
 if(NOT TOLERANCE)
   set(TOLERANCE 3.0)
 endif()
+# Node-count gauges (peak_live_nodes and friends) are load-independent,
+# so they get a tighter band than throughput numbers.
+if(NOT NODE_TOLERANCE)
+  set(NODE_TOLERANCE 1.5)
+endif()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 # Stale documents from an earlier pass would otherwise survive into the
@@ -99,6 +104,31 @@ if(NOT rc EQUAL 0)
 endif()
 message(STATUS "bench_smoke: all documents valid; summary at "
                "${OUT_DIR}/BENCH_summary.json")
+
+# Second guard pass: the parallel-sweep baseline carries the shared-forest
+# node-footprint gauges (dp.peak_live_nodes, dp.frozen_nodes, ...), which
+# are deterministic for a fixed workload -- the tighter NODE_TOLERANCE
+# band applies to those keys, TOLERANCE to the rest.
+if(BASELINE_PARALLEL)
+  if(NOT EXISTS "${BASELINE_PARALLEL}")
+    message(FATAL_ERROR
+            "bench_smoke: baseline ${BASELINE_PARALLEL} does not exist")
+  endif()
+  set(par_guard --baseline "${BASELINE_PARALLEL}" --tolerance "${TOLERANCE}"
+      --node-tolerance "${NODE_TOLERANCE}")
+  if(STRICT)
+    list(APPEND par_guard --strict)
+  endif()
+  execute_process(
+      COMMAND "${VALIDATOR}" ${par_guard} ${json_files}
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_smoke: parallel-sweep node guard failed (${rc})")
+  endif()
+  message(STATUS "bench_smoke: shared-forest node guard clean "
+                 "(node tolerance ${NODE_TOLERANCE}x)")
+endif()
 
 # ---- Trace pipeline ------------------------------------------------------
 # perf_hybrid wrote a dp.trace.v1 span/profile document above; it must
@@ -182,8 +212,8 @@ endif()
 # failing a test, so the smoke target reruns their suites under the
 # `asan` preset (ASan+UBSan, build-asan/).
 if(SOURCE_DIR)
-  set(asan_tests bdd_test bdd_reorder_test gc_stress_test store_test
-      verify_test sim_test hybrid_test)
+  set(asan_tests bdd_test bdd_reorder_test gc_stress_test frozen_forest_test
+      store_test verify_test sim_test hybrid_test)
   message(STATUS "bench_smoke: configuring asan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset asan
@@ -237,7 +267,8 @@ if(SOURCE_DIR)
   # `tsan` preset (build-tsan/). The c432 identity case is excluded: it
   # is a single-threaded determinism check and dominates instrumented
   # runtime without adding thread coverage.
-  set(tsan_tests serve_test parallel_engine_test store_test)
+  set(tsan_tests serve_test parallel_engine_test frozen_forest_test
+      store_test)
   message(STATUS "bench_smoke: configuring tsan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset tsan

@@ -10,7 +10,8 @@
 // never silently report partial attribution as complete.
 //
 //   validate_metrics [--summary PATH]
-//                    [--baseline PATH [--tolerance X] [--strict]] FILE...
+//                    [--baseline PATH [--tolerance X] [--node-tolerance Y]
+//                     [--strict]] FILE...
 //
 // With --summary, an aggregate document (one record per input file plus
 // cross-bench totals) is written to PATH.
@@ -20,8 +21,12 @@
 // regression guard: lower-is-better gauges (ns_per_op, peak_live_nodes,
 // kernel wall clock) may grow at most `tolerance`-fold, higher-is-better
 // gauges (ops_per_second, cache_hit_rate) may shrink at most
-// `tolerance`-fold. The tolerance is deliberately generous (default 3x)
-// because smoke runs share the machine with the build; violations WARN by
+// `tolerance`-fold. The timing tolerance is deliberately generous
+// (default 3x) because smoke runs share the machine with the build.
+// Node-count gauges (peak/frozen/per-worker live nodes) are load-
+// independent, so they get their own much tighter `--node-tolerance`
+// (default 1.5x) -- a shared-forest regression that doubles the node
+// footprint cannot hide inside the timing slack. Violations WARN by
 // default and only fail the run with --strict.
 #include <cmath>
 #include <cstdlib>
@@ -306,6 +311,18 @@ JsonValue validate(const std::string& file) {
       rec["trace.spans"] = *recorded;
     }
   }
+  // Shared-forest footprint gauges (exact keys): whole-engine peak live
+  // nodes, the frozen universe size, and the largest per-worker private
+  // pool. Lifted so the summary totals expose the memory story the
+  // shared-kernel optimisation is about.
+  if (const JsonValue* gauges = metrics->find("gauges")) {
+    for (const char* key : {"dp.peak_live_nodes", "dp.frozen_nodes",
+                            "dp.private_nodes_per_worker_max"}) {
+      if (const JsonValue* v = gauges->find(key)) {
+        if (v->is_number()) rec[key] = *v;
+      }
+    }
+  }
   // Complement-edge kernel gauges, summed across exporters (the DP
   // engine's "dp." prefix, perf_bdd_ops's "bdd." prefix): O(1) negations
   // and commutative cache canonicalization swaps.
@@ -333,14 +350,20 @@ JsonValue validate(const std::string& file) {
 /// neither direction are not compared.
 enum class Direction { LowerBetter, HigherBetter, Skip };
 
+bool key_ends_with(const std::string& key, const char* suffix) {
+  const std::string s(suffix);
+  return key.size() >= s.size() &&
+         key.compare(key.size() - s.size(), s.size(), s) == 0;
+}
+
 Direction direction_of(const std::string& key) {
   auto ends_with = [&](const char* suffix) {
-    const std::string s(suffix);
-    return key.size() >= s.size() &&
-           key.compare(key.size() - s.size(), s.size(), s) == 0;
+    return key_ends_with(key, suffix);
   };
   if (ends_with(".ns_per_op") || ends_with(".peak_live_nodes") ||
-      ends_with(".total_nodes") || ends_with(".kernel_wall_seconds")) {
+      ends_with(".total_nodes") || ends_with(".kernel_wall_seconds") ||
+      ends_with(".frozen_nodes") ||
+      ends_with(".private_nodes_per_worker_max")) {
     return Direction::LowerBetter;
   }
   if (ends_with(".ops_per_second") || ends_with(".cache_hit_rate")) {
@@ -349,10 +372,20 @@ Direction direction_of(const std::string& key) {
   return Direction::Skip;
 }
 
+/// Node-count gauges are deterministic per workload (no machine-load
+/// noise), so the guard holds them to the tighter --node-tolerance.
+bool is_node_gauge(const std::string& key) {
+  return key_ends_with(key, ".peak_live_nodes") ||
+         key_ends_with(key, ".total_nodes") ||
+         key_ends_with(key, ".frozen_nodes") ||
+         key_ends_with(key, ".private_nodes_per_worker_max");
+}
+
 /// Diffs the comparable gauges of `fresh` against `baseline`. Returns the
 /// number of tolerance violations (all are printed either way).
 int compare_gauges(const std::string& file, const JsonValue& fresh,
-                   const JsonValue& baseline, double tolerance) {
+                   const JsonValue& baseline, double tolerance,
+                   double node_tolerance) {
   const JsonValue* base_metrics = baseline.find("metrics");
   const JsonValue* fresh_metrics = fresh.find("metrics");
   const JsonValue* base_gauges =
@@ -375,12 +408,13 @@ int compare_gauges(const std::string& file, const JsonValue& fresh,
     const double now = fresh_value->as_double();
     if (!(base > 0.0)) continue;  // degenerate baseline: nothing to guard
     ++compared;
-    const bool ok = dir == Direction::LowerBetter ? now <= base * tolerance
-                                                  : now >= base / tolerance;
+    const double tol = is_node_gauge(key) ? node_tolerance : tolerance;
+    const bool ok = dir == Direction::LowerBetter ? now <= base * tol
+                                                  : now >= base / tol;
     std::cout << (ok ? "perf ok   " : "perf WARN ") << key << ": baseline "
               << base << ", fresh " << now << " ("
               << (dir == Direction::LowerBetter ? "lower" : "higher")
-              << " is better, tolerance " << tolerance << "x)\n";
+              << " is better, tolerance " << tol << "x)\n";
     if (!ok) ++violations;
   }
   if (compared == 0) {
@@ -394,6 +428,7 @@ int compare_gauges(const std::string& file, const JsonValue& fresh,
 int main(int argc, char** argv) {
   std::string summary_path, baseline_path;
   double tolerance = 3.0;
+  double node_tolerance = 1.5;
   bool strict = false;
   std::vector<std::string> files;
   auto value_of = [&](int& i, const std::string& flag) -> const char* {
@@ -415,6 +450,12 @@ int main(int argc, char** argv) {
         std::cerr << "error: --tolerance must be >= 1.0\n";
         return 2;
       }
+    } else if (a == "--node-tolerance") {
+      node_tolerance = std::atof(value_of(i, a));
+      if (!(node_tolerance >= 1.0)) {
+        std::cerr << "error: --node-tolerance must be >= 1.0\n";
+        return 2;
+      }
     } else if (a == "--strict") {
       strict = true;
     } else {
@@ -423,7 +464,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::cerr << "usage: validate_metrics [--summary PATH] "
-                 "[--baseline PATH [--tolerance X] [--strict]] FILE...\n";
+                 "[--baseline PATH [--tolerance X] [--node-tolerance Y] "
+                 "[--strict]] FILE...\n";
     return 2;
   }
 
@@ -446,6 +488,7 @@ int main(int argc, char** argv) {
   long long trace_spans = 0, trace_dropped = 0;
   long long served_requests = 0, served_ok = 0;
   double negations = 0.0, canonical_swaps = 0.0;
+  double peak_nodes = 0.0, frozen_nodes = 0.0, private_worker_max = 0.0;
   int perf_violations = 0;
   for (const std::string& file : files) {
     const int failures_before = g_failures;
@@ -487,12 +530,22 @@ int main(int argc, char** argv) {
     if (const JsonValue* v = rec.find("cache_canonical_swaps")) {
       canonical_swaps += v->as_double();
     }
+    if (const JsonValue* v = rec.find("dp.peak_live_nodes")) {
+      peak_nodes += v->as_double();
+    }
+    if (const JsonValue* v = rec.find("dp.frozen_nodes")) {
+      frozen_nodes += v->as_double();
+    }
+    if (const JsonValue* v = rec.find("dp.private_nodes_per_worker_max")) {
+      private_worker_max += v->as_double();
+    }
     if (!baseline_bench.empty()) {
       const JsonValue* bench = rec.find("bench");
       if (bench && bench->is_string() &&
           bench->as_string() == baseline_bench) {
-        perf_violations += compare_gauges(
-            file, dp::obs::read_json_file(file), baseline, tolerance);
+        perf_violations += compare_gauges(file, dp::obs::read_json_file(file),
+                                          baseline, tolerance,
+                                          node_tolerance);
       }
     }
     documents.push_back(std::move(rec));
@@ -525,6 +578,9 @@ int main(int argc, char** argv) {
     totals["dp.gates_skipped"] = skipped;
     totals["negations_constant_time"] = negations;
     totals["cache_canonical_swaps"] = canonical_swaps;
+    totals["dp.peak_live_nodes"] = peak_nodes;
+    totals["dp.frozen_nodes"] = frozen_nodes;
+    totals["dp.private_nodes_per_worker_max"] = private_worker_max;
     totals["trace.spans"] = trace_spans;
     totals["trace.dropped"] = trace_dropped;
     totals["fuzz.cases_run"] = fuzz_cases;

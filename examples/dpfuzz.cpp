@@ -5,9 +5,13 @@
 //
 //   dpfuzz [--seed N] [--cases N] [--max-gates N] [--max-inputs N]
 //          [--jobs N] [--shapes a,b,...] [--no-bridging] [--no-parallel]
-//          [--no-store] [--no-hybrid] [--no-shrink] [--scratch-dir PATH]
-//          [--repro-dir PATH] [--metrics-json PATH] [--max-failures N]
-//          [--self-test] [--quiet]
+//          [--no-shared-forest] [--no-store] [--no-hybrid] [--no-shrink]
+//          [--scratch-dir PATH] [--repro-dir PATH] [--metrics-json PATH]
+//          [--max-failures N] [--self-test] [--quiet]
+//
+// --no-shared-forest is the escape hatch for the parallel arm: the
+// engine falls back to per-worker good-function builds and the
+// sharing-mode A/B comparison is skipped.
 //
 // --metrics-json writes the dp.fuzzreport.v1 document (validated by
 // bench/validate_metrics alongside the dp.metrics.v1 bench documents).
@@ -29,7 +33,8 @@ int usage() {
   std::cerr
       << "usage: dpfuzz [--seed N] [--cases N] [--max-gates N]\n"
          "              [--max-inputs N] [--jobs N] [--shapes a,b,...]\n"
-         "              [--no-bridging] [--no-parallel] [--no-store]\n"
+         "              [--no-bridging] [--no-parallel]\n"
+         "              [--no-shared-forest] [--no-store]\n"
          "              [--no-hybrid] [--no-shrink] [--scratch-dir PATH]\n"
          "              [--repro-dir PATH] [--metrics-json PATH]\n"
          "              [--max-failures N] [--self-test] [--quiet]\n"
@@ -89,6 +94,9 @@ int main(int argc, char** argv) {
       config.cases.include_bridging = false;
     } else if (a == "--no-parallel") {
       config.oracle.check_parallel = false;
+    } else if (a == "--no-shared-forest") {
+      config.oracle.shared_forest = false;
+      config.oracle.check_shared_forest = false;
     } else if (a == "--no-store") {
       config.oracle.check_store = false;
     } else if (a == "--no-hybrid") {

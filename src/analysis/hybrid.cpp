@@ -115,6 +115,8 @@ HybridProfile analyze_hybrid(const Circuit& circuit,
     popt.jobs = options.jobs;
     popt.bdd_node_limit = options.bdd_node_limit;
     popt.dp = options.dp;
+    popt.shared_forest = options.shared_forest;
+    popt.shared_good = options.shared_good;
     core::ParallelEngine engine(circuit, structure, popt);
     core::ParallelStats totals = engine.stats();
     // Distinct indices into the pre-sized vector, so the concurrent sink

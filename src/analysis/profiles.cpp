@@ -153,6 +153,8 @@ core::ParallelEngine::Options engine_options(const AnalysisOptions& options) {
   popt.jobs = options.jobs;
   popt.bdd_node_limit = options.bdd_node_limit;
   popt.dp = options.dp;
+  popt.shared_forest = options.shared_forest;
+  popt.shared_good = options.shared_good;
   return popt;
 }
 

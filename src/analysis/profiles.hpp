@@ -99,6 +99,13 @@ struct AnalysisOptions {
   core::DifferencePropagator::Options dp;
   fault::SamplingOptions sampling;  ///< bridging-fault sampling policy
   PersistenceOptions persistence;   ///< artifact cache + checkpoint/resume
+  /// Build good functions once and share them frozen across workers (see
+  /// parallel_engine.hpp). Results are bit-identical either way, so this
+  /// does not enter the profile cache key.
+  bool shared_forest = true;
+  /// Pre-built universe to adopt (serve::Service passes its resident
+  /// forest here); nullptr = build per sweep.
+  std::shared_ptr<const core::SharedGoodFunctions> shared_good;
 };
 
 /// Builds the scalar record for one stuck-at DP result exactly as

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bdd/bdd_types.hpp"
@@ -21,6 +22,7 @@
 namespace dp::bdd {
 
 class Bdd;
+class FrozenForest;
 
 class Manager : public obs::ProfileSource {
  public:
@@ -28,6 +30,20 @@ class Manager : public obs::ProfileSource {
   /// (e.g. cut-point decomposition in the DP engine) can react.
   explicit Manager(std::size_t num_vars = 0,
                    std::size_t max_nodes = 32u * 1024 * 1024);
+
+  /// Adopting constructor: splices `frozen` in as a read-only node prefix
+  /// occupying slots [0, frozen->size()) and hosts only private nodes
+  /// above it. Frozen handles are valid edges of this manager (they keep
+  /// their numeric values), frozen nodes are immortal (ref counting and
+  /// GC ignore them), and mk() probes the frozen unique index first so
+  /// the combined node space stays strongly reduced. The variable count
+  /// and order are inherited from the forest. `max_nodes` is the budget
+  /// for the COMBINED space (frozen prefix + private pool), so a
+  /// `bdd_node_limit` keeps meaning "total nodes in this analysis
+  /// universe" whether or not the universe is shared.
+  explicit Manager(std::shared_ptr<const FrozenForest> frozen,
+                   std::size_t max_nodes = 32u * 1024 * 1024);
+
   ~Manager() override;
 
   Manager(const Manager&) = delete;
@@ -66,8 +82,32 @@ class Manager : public obs::ProfileSource {
   /// the first violation of the canonical complement-edge invariants --
   /// a complemented stored else-edge, lo == hi, a child at a level not
   /// strictly below its parent, a dangling child slot, or a duplicate
-  /// (var, lo, hi) triple.
+  /// (var, lo, hi) triple. In an adopting manager the duplicate check
+  /// also probes the frozen index: a private node replicating a frozen
+  /// triple breaks strong reduction of the combined space.
   void check_canonical() const;
+
+  // ---- frozen forest ---------------------------------------------------
+
+  /// Packs every node reachable from `roots` (terminal included) into an
+  /// immutable FrozenForest readable lock-free by any thread. Slots are
+  /// renumbered densely in ascending order (terminal -> 0); the edges
+  /// denoting the same functions in forest numbering are written to
+  /// `remapped_roots` when non-null, preserving complement bits. The
+  /// source manager is not modified. Throws if this manager itself
+  /// adopts a frozen forest (no stacking).
+  std::shared_ptr<const FrozenForest> freeze(
+      const std::vector<NodeIndex>& roots,
+      std::vector<NodeIndex>* remapped_roots = nullptr) const;
+
+  /// Number of slots occupied by the adopted frozen prefix (0 when this
+  /// manager owns its whole pool).
+  std::size_t frozen_nodes() const { return frozen_base_; }
+  bool has_frozen_base() const { return frozen_base_ != 0; }
+  /// The adopted forest, or nullptr.
+  const std::shared_ptr<const FrozenForest>& frozen_forest() const {
+    return frozen_;
+  }
 
   // ---- handle factories ----------------------------------------------
 
@@ -118,8 +158,23 @@ class Manager : public obs::ProfileSource {
   /// Returns the number of nodes reclaimed.
   std::size_t gc();
 
+  /// Adjusts the adaptive GC trigger floor. The default (1 << 22 nodes)
+  /// favors throughput: small workloads never collect, at the price of
+  /// live-node accounting that includes dropped intermediates. Churn-heavy
+  /// workloads -- a fault sweep builds and drops one test-set BDD per
+  /// fault -- set a small floor so collections track the true working set;
+  /// after each collection the trigger re-arms at max(floor, 2x live)
+  /// either way. Purely a space/time policy: results are unaffected.
+  void set_gc_floor(std::size_t floor_nodes) {
+    gc_threshold_floor_ = std::max<std::size_t>(1, floor_nodes);
+    gc_threshold_ = std::max(gc_threshold_floor_, live_nodes_ * 2);
+  }
+
+  /// Private live nodes (the frozen prefix, being immortal, is not
+  /// included -- see frozen_nodes() for that side).
   std::size_t live_nodes() const { return live_nodes_; }
-  std::size_t pool_size() const { return nodes_.size(); }
+  /// Combined slot-space size: frozen prefix + private pool.
+  std::size_t pool_size() const { return frozen_base_ + nodes_.size(); }
   std::size_t unique_bucket_count() const { return unique_.size(); }
   const ManagerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ManagerStats{}; }
@@ -144,14 +199,21 @@ class Manager : public obs::ProfileSource {
   // complement bit into the children, so lo(e)/hi(e) are the true cofactor
   // edges of the function e denotes. Raw stored fields (canonical form,
   // else always regular) are reachable via node(edge_slot(e)).
+  // Slots below frozen_base_ resolve into the adopted forest's packed
+  // array (read-only, shared across threads); the rest into the private
+  // pool. A standalone manager has frozen_base_ == 0 and the test below
+  // is never true, so the hot path costs one always-false compare.
 
-  const Node& node(NodeIndex slot) const { return nodes_[slot]; }
-  Var var_of(NodeIndex e) const { return nodes_[edge_slot(e)].var; }
+  const Node& node(NodeIndex slot) const {
+    return slot < frozen_base_ ? frozen_nodes_data_[slot]
+                               : nodes_[slot - frozen_base_];
+  }
+  Var var_of(NodeIndex e) const { return node(edge_slot(e)).var; }
   NodeIndex lo(NodeIndex e) const {
-    return nodes_[edge_slot(e)].lo ^ edge_complemented(e);
+    return node(edge_slot(e)).lo ^ edge_complemented(e);
   }
   NodeIndex hi(NodeIndex e) const {
-    return nodes_[edge_slot(e)].hi ^ edge_complemented(e);
+    return node(edge_slot(e)).hi ^ edge_complemented(e);
   }
   bool is_terminal(NodeIndex e) const { return edge_is_terminal(e); }
 
@@ -168,9 +230,16 @@ class Manager : public obs::ProfileSource {
   std::size_t unique_bucket(Var v, NodeIndex lo_child, NodeIndex hi_child) const;
   void maybe_gc();
 
+  /// Mutable private-node access (global slot; must be >= frozen_base_).
+  Node& node_mut(NodeIndex slot) { return nodes_[slot - frozen_base_]; }
+  /// First private *index* worth sweeping: a standalone manager's index 0
+  /// is the terminal (never swept/rehashed); an adopting manager's pool
+  /// holds only decision nodes.
+  NodeIndex first_private_index() const { return frozen_base_ == 0 ? 1 : 0; }
+
   // Recursive workers (no GC inside).
   std::size_t level_of_node(NodeIndex e) const {
-    const Var v = nodes_[edge_slot(e)].var;
+    const Var v = node(edge_slot(e)).var;
     return v == kTerminalVar ? num_vars_ : level_of_var_[v];
   }
   void mark_from_roots(std::vector<bool>& marked) const;
@@ -191,11 +260,17 @@ class Manager : public obs::ProfileSource {
   std::vector<Var> var_at_level_;        ///< level -> variable id
   std::vector<std::size_t> level_of_var_;  ///< variable id -> level
 
-  std::vector<Node> nodes_;              ///< indexed by slot
-  std::vector<std::uint32_t> ext_refs_;  ///< external refcount per slot
-  std::vector<NodeIndex> unique_;        ///< unique-table bucket heads (slots)
+  std::vector<Node> nodes_;  ///< private nodes, indexed by slot - frozen_base_
+  std::vector<std::uint32_t> ext_refs_;  ///< external refcount, same indexing
+  std::vector<NodeIndex> unique_;  ///< bucket heads (global slots, private only)
   std::size_t unique_mask_ = 0;
-  NodeIndex free_list_ = kInvalidNode;
+  NodeIndex free_list_ = kInvalidNode;  ///< global slots
+
+  // Adopted read-only prefix (empty in a standalone manager). The raw
+  // pointer caches frozen_->nodes_data() so node() stays branch+load.
+  std::shared_ptr<const FrozenForest> frozen_;
+  const Node* frozen_nodes_data_ = nullptr;
+  NodeIndex frozen_base_ = 0;
 
   ComputedCache cache_;
 

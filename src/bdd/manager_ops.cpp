@@ -164,7 +164,7 @@ NodeIndex Manager::restrict_rec(NodeIndex f, Var v, bool value) {
   const NodeIndex fr = edge_regular(f);
   if (level_of_node(fr) > level_of_var_[v]) return f;  // v cannot occur below
   // Copy: recursive calls can reallocate the node pool.
-  const Node n = nodes_[edge_slot(fr)];
+  const Node n = node(edge_slot(fr));
   if (n.var == v) return (value ? n.hi : n.lo) ^ c;
 
   const NodeIndex key_b = static_cast<NodeIndex>(v * 2 + (value ? 1 : 0));
@@ -193,7 +193,7 @@ NodeIndex Manager::exists_rec(NodeIndex f, Var v) {
   if (level_of_node(f) > level_of_var_[v]) return f;
   const NodeIndex c = edge_complemented(f);
   // Copy: recursive calls can reallocate the node pool.
-  const Node n = nodes_[edge_slot(f)];
+  const Node n = node(edge_slot(f));
   if (n.var == v) return apply_rec(Op::Or, n.lo ^ c, n.hi ^ c);
 
   NodeIndex cached = cache_.lookup(Op::Exists, f, static_cast<NodeIndex>(v));

@@ -34,7 +34,7 @@ double Manager::sat_count(NodeIndex f, std::size_t nvars) const {
   // levels is equivalent to counting over variables since the order is a
   // permutation of [0, nvars).
   auto level_of = [&](NodeIndex e) -> std::uint64_t {
-    Var v = nodes_[edge_slot(e)].var;
+    Var v = node(edge_slot(e)).var;
     return v == kTerminalVar ? nvars : level_of_var_[v];
   };
 
@@ -56,7 +56,7 @@ double Manager::sat_count(NodeIndex f, std::size_t nvars) const {
       stack.pop_back();
       continue;
     }
-    const Node& nd = nodes_[edge_slot(n)];
+    const Node& nd = node(edge_slot(n));
     if (nd.var >= nvars) {
       throw BddError("sat_count(): function depends on a variable >= nvars");
     }
@@ -87,7 +87,7 @@ std::vector<Var> Manager::support(NodeIndex f) const {
     NodeIndex s = stack.back();
     stack.pop_back();
     if (s == 0 || !visited.insert(s).second) continue;
-    const Node& nd = nodes_[s];
+    const Node& nd = node(s);
     present[nd.var] = true;
     stack.push_back(edge_slot(nd.lo));
     stack.push_back(edge_slot(nd.hi));
@@ -109,8 +109,8 @@ std::size_t Manager::dag_size(NodeIndex f) const {
     stack.pop_back();
     if (!visited.insert(s).second) continue;
     if (s == 0) continue;
-    stack.push_back(edge_slot(nodes_[s].lo));
-    stack.push_back(edge_slot(nodes_[s].hi));
+    stack.push_back(edge_slot(node(s).lo));
+    stack.push_back(edge_slot(node(s).hi));
   }
   return visited.size();
 }
@@ -118,7 +118,7 @@ std::size_t Manager::dag_size(NodeIndex f) const {
 bool Manager::eval(NodeIndex f, const std::vector<bool>& assignment) const {
   NodeIndex e = f;
   while (!edge_is_terminal(e)) {
-    const Node& nd = nodes_[edge_slot(e)];
+    const Node& nd = node(edge_slot(e));
     if (nd.var >= assignment.size()) {
       throw BddError("eval(): assignment shorter than function support");
     }
@@ -132,7 +132,7 @@ std::vector<signed char> Manager::sat_one(NodeIndex f) const {
   std::vector<signed char> cube(num_vars_, -1);
   NodeIndex e = f;
   while (!edge_is_terminal(e)) {
-    const Node& nd = nodes_[edge_slot(e)];
+    const Node& nd = node(edge_slot(e));
     // In a canonical complement-edge BDD every edge other than the FALSE
     // constant is satisfiable (lo != hi bars both cofactors from being
     // FALSE at once), so any non-false child works.
@@ -154,7 +154,8 @@ void Manager::export_metrics(obs::MetricsRegistry& registry,
     registry.gauge(prefix + "." + name).set(v);
   };
   g("live_nodes", static_cast<double>(live_nodes_));
-  g("pool_size", static_cast<double>(nodes_.size()));
+  g("pool_size", static_cast<double>(pool_size()));
+  g("frozen_nodes", static_cast<double>(frozen_base_));
   g("peak_live_nodes", static_cast<double>(stats_.peak_live_nodes));
   g("nodes_created", static_cast<double>(stats_.nodes_created));
   g("unique_table_buckets", static_cast<double>(unique_.size()));

@@ -25,6 +25,14 @@ std::uint64_t child_key(NodeIndex lo, NodeIndex hi) {
 }  // namespace
 
 void Manager::swap_adjacent_levels(std::size_t level) {
+  if (frozen_base_ != 0) {
+    // Reordering rewrites nodes in place; the frozen prefix is shared and
+    // immutable, and rewriting private nodes alone would break the level
+    // invariant against frozen children.
+    throw BddError(
+        "swap_adjacent_levels(): manager adopts a frozen forest "
+        "(reordering must happen before freeze())");
+  }
   if (level + 1 >= num_vars_) {
     throw BddError("swap_adjacent_levels(): level out of range");
   }
@@ -176,6 +184,11 @@ void Manager::sift_one_var(Var v, double max_growth) {
 }
 
 std::size_t Manager::sift_reorder(double max_growth) {
+  if (frozen_base_ != 0) {
+    throw BddError(
+        "sift_reorder(): manager adopts a frozen forest "
+        "(reordering must happen before freeze())");
+  }
   if (max_growth < 1.0) {
     throw BddError("sift_reorder(): max_growth must be >= 1");
   }

@@ -1,5 +1,6 @@
 #include "dp/good_functions.hpp"
 
+#include <chrono>
 #include <numeric>
 
 namespace dp::core {
@@ -88,10 +89,58 @@ GoodFunctions::GoodFunctions(bdd::Manager& manager, const Circuit& circuit,
   }
 }
 
+GoodFunctions::GoodFunctions(bdd::Manager& manager, const Circuit& circuit,
+                             const SharedGoodFunctions& shared)
+    : manager_(manager), circuit_(circuit) {
+  if (!circuit.finalized()) {
+    throw netlist::NetlistError("GoodFunctions: circuit must be finalized");
+  }
+  if (manager.frozen_forest().get() != shared.forest().get()) {
+    throw bdd::BddError(
+        "GoodFunctions: manager does not adopt the shared forest");
+  }
+  if (shared.roots().size() != circuit.num_nets()) {
+    throw bdd::BddError(
+        "GoodFunctions: shared forest built from a different circuit");
+  }
+  order_ = shared.order();
+  cut_nets_ = shared.cut_nets();
+  functions_.reserve(shared.roots().size());
+  // Frozen handles are immortal, so make() costs nothing beyond the wrap.
+  for (bdd::NodeIndex root : shared.roots()) {
+    functions_.push_back(manager.make(root));
+  }
+}
+
 std::size_t GoodFunctions::total_nodes() const {
   std::size_t total = 0;
   for (const bdd::Bdd& f : functions_) total += f.dag_size();
   return total;
+}
+
+SharedGoodFunctions::SharedGoodFunctions(const Circuit& circuit,
+                                         const GoodFunctionOptions& options,
+                                         std::size_t max_nodes) {
+  const auto start = std::chrono::steady_clock::now();
+  // The scaffold manager exists only for the build; freeze() packs the
+  // reachable cone and everything else is dropped with the manager.
+  bdd::Manager scaffold(0, max_nodes);
+  GoodFunctions good(scaffold, circuit, options);
+  std::vector<bdd::NodeIndex> build_roots;
+  build_roots.reserve(circuit.num_nets());
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    build_roots.push_back(good.at(id).index());
+  }
+  forest_ = scaffold.freeze(build_roots, &roots_);
+  order_ = std::vector<std::size_t>(good.circuit().num_inputs());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = good.var_of_input(i);
+  }
+  cut_nets_ = good.cut_nets();
+  num_vars_ = good.num_vars();
+  build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 }  // namespace dp::core

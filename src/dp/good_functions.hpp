@@ -12,9 +12,11 @@
 //     the decomposition "may mask some functional interactions".
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "bdd/frozen_forest.hpp"
 #include "netlist/circuit.hpp"
 
 namespace dp::core {
@@ -30,6 +32,8 @@ struct GoodFunctionOptions {
   std::size_t cut_threshold = 0;
 };
 
+class SharedGoodFunctions;
+
 class GoodFunctions {
  public:
   /// Creates the input variables in `manager` (which must be fresh) and
@@ -37,6 +41,14 @@ class GoodFunctions {
   GoodFunctions(bdd::Manager& manager, const Circuit& circuit);
   GoodFunctions(bdd::Manager& manager, const Circuit& circuit,
                 const GoodFunctionOptions& options);
+
+  /// Adoption: wraps the per-net roots of a pre-built shared forest in
+  /// handles of `manager`, which must have been constructed over
+  /// `shared.forest()`. No BDD work happens here -- this is the cheap
+  /// per-worker path of the shared-kernel split. `circuit` must be the
+  /// circuit `shared` was built from (net count is checked).
+  GoodFunctions(bdd::Manager& manager, const Circuit& circuit,
+                const SharedGoodFunctions& shared);
 
   const Circuit& circuit() const { return circuit_; }
   bdd::Manager& manager() const { return manager_; }
@@ -79,5 +91,40 @@ class GoodFunctions {
 /// base type, then the output inversion if any).
 bdd::Bdd build_gate_function(bdd::Manager& manager, netlist::GateType type,
                              const std::vector<bdd::Bdd>& fanins);
+
+/// The build-once half of the shared-kernel split: constructs the
+/// good-function universe for a circuit in a throwaway manager, freezes
+/// it, and keeps only the immutable forest plus the per-net root edges
+/// (in forest numbering). The result is safe to share across threads --
+/// every reader either queries the forest directly or adopts it through
+/// a private Manager -- and holds no reference to the source circuit, so
+/// a serving cache can keep it alive past the request that built it.
+class SharedGoodFunctions {
+ public:
+  explicit SharedGoodFunctions(const Circuit& circuit,
+                               const GoodFunctionOptions& options = {},
+                               std::size_t max_nodes = 32u * 1024 * 1024);
+
+  const std::shared_ptr<const bdd::FrozenForest>& forest() const {
+    return forest_;
+  }
+  /// roots()[net] = the net's function as an edge in forest numbering.
+  const std::vector<bdd::NodeIndex>& roots() const { return roots_; }
+  /// PIs plus cut variables, mirroring GoodFunctions::num_vars().
+  std::size_t num_vars() const { return num_vars_; }
+  const std::vector<std::size_t>& order() const { return order_; }
+  const std::vector<NetId>& cut_nets() const { return cut_nets_; }
+  std::size_t frozen_nodes() const { return forest_->size(); }
+  /// Wall-clock cost of the one-time build+freeze.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  std::shared_ptr<const bdd::FrozenForest> forest_;
+  std::vector<bdd::NodeIndex> roots_;
+  std::vector<std::size_t> order_;
+  std::vector<NetId> cut_nets_;
+  std::size_t num_vars_ = 0;
+  double build_seconds_ = 0.0;
+};
 
 }  // namespace dp::core

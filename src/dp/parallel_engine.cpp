@@ -18,6 +18,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// GC trigger floor for sweep-worker managers (see build_one): small
+/// enough that per-fault churn is collected, large enough that the
+/// trigger's adaptive max(floor, 2x live) term governs real circuits.
+constexpr std::size_t kWorkerGcFloor = 1u << 16;
+
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
@@ -126,6 +131,11 @@ void ParallelStats::merge(const ParallelStats& other) {
   jobs = std::max(jobs, other.jobs);
   faults += other.faults;
   wall_seconds += other.wall_seconds;
+  // One shared forest serves every batch of a chunked sweep: built once,
+  // same size throughout -- both fold with max, not sum.
+  shared_build_seconds = std::max(shared_build_seconds,
+                                  other.shared_build_seconds);
+  frozen_nodes = std::max(frozen_nodes, other.frozen_nodes);
   if (workers.size() < other.workers.size()) {
     workers.resize(other.workers.size());
   }
@@ -162,6 +172,11 @@ void ParallelStats::print(std::ostream& os) const {
             total_gates_evaluated()) << " eval / "
      << human_count(total_gates_skipped()) << " skip, "
      << total_ref_underflows() << " ref underflows)\n";
+  if (frozen_nodes > 0) {
+    os << "  shared forest: " << human_count(frozen_nodes)
+       << " frozen nodes, built once in " << std::setprecision(3)
+       << shared_build_seconds << " s\n";
+  }
   std::vector<double> lat = all_fault_seconds();
   if (!lat.empty()) {
     os << "  fault latency: p50 " << std::setprecision(3)
@@ -223,19 +238,35 @@ void ParallelStats::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".ref_underflows")
       .add(static_cast<double>(total_ref_underflows()));
 
-  double peak = 0.0, live = 0.0;
+  double worker_peak_max = 0.0, peak_total = 0.0, live = 0.0;
   for (const WorkerStats& w : workers) {
-    peak = std::max(peak, static_cast<double>(w.peak_live_nodes));
+    worker_peak_max =
+        std::max(worker_peak_max, static_cast<double>(w.peak_live_nodes));
+    peak_total += static_cast<double>(w.peak_live_nodes);
     live += static_cast<double>(w.live_nodes);
     registry.histogram(prefix + ".worker_busy_seconds")
         .observe(w.analyze_seconds);
     obs::Histogram& lat = registry.histogram(prefix + ".fault_seconds");
     for (const double dt : w.fault_seconds) lat.observe(dt);
   }
-  registry.gauge(prefix + ".peak_live_nodes").set_max(peak);
+  // Memory gauges of the sweep. peak_live_nodes is the engine's whole
+  // footprint -- the shared frozen prefix (counted once) plus every
+  // worker's private high-water mark -- so a shared-vs-unshared A/B of
+  // the same workload compares like for like. The per-worker max and the
+  // frozen size are broken out so a regression in either side is
+  // attributable on its own.
+  registry.gauge(prefix + ".peak_live_nodes")
+      .set_max(static_cast<double>(frozen_nodes) + peak_total);
+  registry.gauge(prefix + ".frozen_nodes")
+      .set_max(static_cast<double>(frozen_nodes));
+  registry.gauge(prefix + ".private_nodes_per_worker_max")
+      .set_max(worker_peak_max);
   registry.gauge(prefix + ".live_nodes").set(live);
 
   registry.timer(prefix + ".sweep").record(wall_seconds);
+  if (shared_build_seconds > 0.0) {
+    registry.timer(prefix + ".shared_build").record(shared_build_seconds);
+  }
   registry.timer(prefix + ".worker_build")
       .record(workers.empty()
                   ? 0.0
@@ -267,12 +298,29 @@ ParallelEngine::ParallelEngine(const netlist::Circuit& circuit,
   }
   workers_.resize(jobs);
 
-  // Build the private managers concurrently; every build runs the same
-  // deterministic topological sweep, so all workers end up with
-  // structurally identical BDDs (same node budget, same variable order).
   obs::SpanCollector* const spans = obs::SpanCollector::current();
   obs::ScopedSpan build_span(spans, "dp.build");
   build_span.attr("jobs", jobs);
+
+  // Shared-forest path: build (or adopt) the good-function universe once
+  // on the calling thread, then every worker splices it in read-only and
+  // the per-worker "build" is just wrapping root handles. Exceptions from
+  // the one-time build (e.g. OutOfNodes) propagate directly -- same
+  // surface the per-worker build path has.
+  if (options_.shared_forest) {
+    obs::ScopedSpan freeze_span(spans, "dp.shared_build", build_span.id());
+    shared_good_ = options_.shared_good;
+    if (!shared_good_) {
+      shared_good_ = std::make_shared<SharedGoodFunctions>(
+          circuit_, options_.good, options_.bdd_node_limit);
+    }
+    freeze_span.attr("frozen_nodes", shared_good_->frozen_nodes());
+  }
+
+  // Build the private managers concurrently; every build runs the same
+  // deterministic topological sweep (or the same adoption of the same
+  // forest), so all workers end up with structurally identical BDDs
+  // (same node budget, same variable order).
   std::mutex error_mutex;
   std::exception_ptr build_error;
   auto build_one = [&](std::size_t slot) {
@@ -282,9 +330,25 @@ ParallelEngine::ParallelEngine(const netlist::Circuit& circuit,
     const auto start = Clock::now();
     try {
       auto w = std::make_unique<Worker>();
-      w->manager = std::make_unique<bdd::Manager>(0, options_.bdd_node_limit);
-      w->good = std::make_unique<GoodFunctions>(*w->manager, circuit_,
-                                                options_.good);
+      if (shared_good_) {
+        w->manager = std::make_unique<bdd::Manager>(shared_good_->forest(),
+                                                    options_.bdd_node_limit);
+        w->good = std::make_unique<GoodFunctions>(*w->manager, circuit_,
+                                                  *shared_good_);
+      } else {
+        w->manager =
+            std::make_unique<bdd::Manager>(0, options_.bdd_node_limit);
+        w->good = std::make_unique<GoodFunctions>(*w->manager, circuit_,
+                                                  options_.good);
+      }
+      // Sweep workers build and drop one test-set BDD per fault; with the
+      // default (throughput-oriented) GC floor that churn is never
+      // collected, so a worker's memory footprint -- and its
+      // peak_live_nodes accounting -- would grow with the fault count
+      // instead of the working set. An aggressive floor keeps both
+      // tracking the live data. Results are unaffected (GC is invisible
+      // to canonical BDD semantics).
+      w->manager->set_gc_floor(kWorkerGcFloor);
       w->propagator = std::make_unique<DifferencePropagator>(
           *w->good, structure_, options_.dp);
       w->build_seconds = seconds_since(start);
@@ -312,6 +376,10 @@ ParallelEngine::ParallelEngine(const netlist::Circuit& circuit,
   stats_.workers.resize(jobs);
   for (std::size_t i = 0; i < jobs; ++i) {
     stats_.workers[i].build_seconds = workers_[i]->build_seconds;
+  }
+  if (shared_good_) {
+    stats_.shared_build_seconds = shared_good_->build_seconds();
+    stats_.frozen_nodes = shared_good_->frozen_nodes();
   }
 }
 

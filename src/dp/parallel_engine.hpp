@@ -2,14 +2,22 @@
 //
 // Every per-fault analysis in the paper's experiments is independent of
 // every other one, so the sweep parallelizes at the fault granularity:
-// a worker pool where each worker owns a PRIVATE bdd::Manager plus its own
-// GoodFunctions (built from the shared, read-only Circuit with the same
-// variable order), runs the serial DifferencePropagator per fault, and
-// writes its result into the slot of the fault's input position. Results
-// are therefore merged deterministically in input order, and -- because
-// every worker's manager is built by the identical deterministic sweep --
-// detectability, adherence, and observability are bit-identical to the
-// serial engine no matter how faults are scheduled.
+// a worker pool runs the serial DifferencePropagator per fault and writes
+// its result into the slot of the fault's input position. Results are
+// therefore merged deterministically in input order, and detectability,
+// adherence, and observability are bit-identical to the serial engine no
+// matter how faults are scheduled.
+//
+// By default (Options::shared_forest) the good-function universe is built
+// ONCE, frozen into an immutable bdd::FrozenForest, and adopted by every
+// worker's private manager as a read-only node prefix: workers host only
+// their Δ/fault-site functions privately, so sweep memory is
+// O(forest + jobs x Δ) instead of O(jobs x forest) and the per-worker
+// build cost collapses to a handle wrap. With sharing off each worker
+// builds its own full GoodFunctions copy (the pre-freeze behavior); both
+// paths produce bit-identical FaultAnalysis values because every field is
+// a value of a canonical Boolean function, invariant under the slot
+// renumbering freeze() applies.
 //
 // The engine owns the workers: FaultAnalysis results hold Bdd handles into
 // the worker managers and stay valid for the engine's lifetime.
@@ -62,6 +70,11 @@ struct ParallelStats {
   std::size_t jobs = 0;
   std::size_t faults = 0;
   double wall_seconds = 0.0;  ///< end-to-end sweep time (fan-out to join)
+  /// One-time build+freeze cost of the shared forest (0 when sharing is
+  /// off). Merge takes the max: a batched sweep pays it once.
+  double shared_build_seconds = 0.0;
+  /// Size of the shared frozen forest (0 when sharing is off).
+  std::size_t frozen_nodes = 0;
   std::vector<WorkerStats> workers;
 
   double total_analyze_seconds() const;
@@ -116,6 +129,14 @@ class ParallelEngine {
     /// Shared by every worker, so all managers agree on the variable
     /// order and detectabilities are bit-identical to the serial path.
     GoodFunctionOptions good;
+    /// Build the good functions once and share them frozen across all
+    /// workers (see the file comment). Off = the pre-freeze per-worker
+    /// rebuild path, kept as an escape hatch and as the oracle's foil.
+    bool shared_forest = true;
+    /// Pre-built universe to adopt instead of building one (must match
+    /// `circuit` and `good`); used by serve::Service to share one forest
+    /// across requests. Ignored when shared_forest is false.
+    std::shared_ptr<const SharedGoodFunctions> shared_good;
   };
 
   /// Builds one Manager + GoodFunctions + DifferencePropagator per worker
@@ -158,6 +179,10 @@ class ParallelEngine {
   std::size_t jobs() const { return workers_.size(); }
   /// Stats of the most recent analyze_all() sweep.
   const ParallelStats& stats() const { return stats_; }
+  /// The shared universe in use, or nullptr when sharing is off.
+  const std::shared_ptr<const SharedGoodFunctions>& shared_good() const {
+    return shared_good_;
+  }
 
  private:
   struct Worker;
@@ -171,6 +196,7 @@ class ParallelEngine {
   const netlist::Circuit& circuit_;
   const netlist::Structure& structure_;
   Options options_;
+  std::shared_ptr<const SharedGoodFunctions> shared_good_;
   std::vector<std::unique_ptr<Worker>> workers_;
   ParallelStats stats_;
 };

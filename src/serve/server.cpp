@@ -189,12 +189,15 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
       continue;  // frame boundaries are intact; the stream survives
     }
 
-    // "shutdown" acts at the server layer: acknowledge, then drain.
+    // "shutdown" acts at the server layer: drain, then acknowledge --
+    // this order means a client that has the ack can rely on
+    // draining() being observable (the response write path is
+    // unaffected by the drain flag).
     if (request.is_object()) {
       if (const JsonValue* t = request.find("type");
           t && t->is_string() && t->as_string() == "shutdown") {
-        send_response(*conn, make_ok_response(id, "shutdown"));
         initiate_drain();
+        send_response(*conn, make_ok_response(id, "shutdown"));
         continue;
       }
     }

@@ -124,6 +124,11 @@ std::size_t Service::profile_cache_size() const {
   return cache_.size();
 }
 
+std::size_t Service::resident_forest_count() const {
+  std::lock_guard<std::mutex> lock(forests_mutex_);
+  return forests_.size();
+}
+
 bool Service::cache_lookup(const std::string& key, JsonValue* out) {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = cache_.find(key);
@@ -157,7 +162,7 @@ void Service::cache_insert(const std::string& key, const std::string& circuit,
 }
 
 std::shared_ptr<const netlist::Circuit> Service::circuit_for(
-    const JsonValue& request) {
+    const JsonValue& request, std::string* key_out) {
   const JsonValue* bench = request.find("bench");
   std::string key;
   if (bench) {
@@ -168,6 +173,7 @@ std::shared_ptr<const netlist::Circuit> Service::circuit_for(
   } else {
     key = "name:" + require_string(request, "circuit");
   }
+  if (key_out) *key_out = key;
   {
     std::lock_guard<std::mutex> lock(circuits_mutex_);
     auto it = circuits_.find(key);
@@ -203,6 +209,27 @@ std::shared_ptr<const netlist::Circuit> Service::circuit_for(
   return it->second;
 }
 
+std::shared_ptr<const core::SharedGoodFunctions> Service::forest_for(
+    const std::string& key, const netlist::Circuit& circuit) {
+  // The build runs under the map lock: the second of two racing requests
+  // for a cold circuit blocks until the first finishes freezing, then
+  // adopts that forest instead of building a duplicate universe. Requests
+  // for already-resident circuits only pay the lookup.
+  std::lock_guard<std::mutex> lock(forests_mutex_);
+  auto it = forests_.find(key);
+  if (it != forests_.end()) {
+    if (metrics_) metrics_->counter("serve.forest.reuses").add();
+    return it->second.forest;
+  }
+  // Defaults mirror what handle_analyze's AnalysisOptions would make the
+  // engine build itself: default GoodFunctionOptions and node budget
+  // (neither is client-settable), so adoption preserves bit-identity.
+  auto forest = std::make_shared<const core::SharedGoodFunctions>(circuit);
+  forests_.emplace(key, ForestEntry{circuit.name(), forest});
+  if (metrics_) metrics_->counter("serve.forest.builds").add();
+  return forest;
+}
+
 JsonValue Service::handle(const JsonValue& request) noexcept {
   long long id = 0;
   try {
@@ -233,8 +260,9 @@ JsonValue Service::handle_analyze(long long id, const JsonValue& request) {
                              "bridge_theta", "bridge_seed",
                              "prefilter_patterns", "prefilter_seed",
                              "persist"});
+  std::string circuit_key;
   const std::shared_ptr<const netlist::Circuit> circuit =
-      circuit_for(request);
+      circuit_for(request, &circuit_key);
 
   std::string model = "sa";
   if (const JsonValue* m = opts.find("model")) {
@@ -288,6 +316,11 @@ JsonValue Service::handle_analyze(long long id, const JsonValue& request) {
     resp["profile"] = std::move(cached);
     return resp;
   }
+
+  // Cache miss: the sweep will run, so pin (or build) the resident
+  // frozen forest and hand it to the engine. Concurrent analyzes of the
+  // same circuit adopt the same immutable node pool.
+  a.shared_good = forest_for(circuit_key, *circuit);
 
   JsonValue profile;
   {
@@ -377,6 +410,22 @@ JsonValue Service::handle_evict(long long id, const JsonValue& request) {
         ++evicted;
       } else {
         ++it;
+      }
+    }
+  }
+  {
+    // Dropping the map entry only unpins the forest; any in-flight
+    // analyze keeps its shared_ptr until its sweep completes.
+    std::lock_guard<std::mutex> lock(forests_mutex_);
+    if (!which) {
+      forests_.clear();
+    } else {
+      for (auto it = forests_.begin(); it != forests_.end();) {
+        if (it->second.circuit_name == which->as_string()) {
+          it = forests_.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }

@@ -4,17 +4,24 @@
 //
 // Resident state and what "warm" means
 // ------------------------------------
-// Three layers stay hot across requests, which is the entire point of a
+// Four layers stay hot across requests, which is the entire point of a
 // daemon over a CLI-per-request workflow:
 //   1. Circuits -- parsed netlists (built-in benchmarks or inline .bench
 //      text) are constructed once and shared by reference afterwards.
-//   2. Profile cache -- a bounded in-memory LRU of fully serialized
+//   2. Frozen forests -- one immutable good-function universe per
+//      resident circuit (core::SharedGoodFunctions), built on first
+//      analyze and adopted read-only by every subsequent request's
+//      engine workers, concurrent ones included: an analyze that misses
+//      the profile cache still skips the entire good-function build.
+//      Held by shared_ptr, so an evict during an in-flight request only
+//      unpins the forest; the request keeps its reference until done.
+//   3. Profile cache -- a bounded in-memory LRU of fully serialized
 //      analyze responses keyed exactly like the artifact store
 //      (profile_cache_key + model-specific extras). A hit skips BDD
 //      construction and DP entirely and responds in microseconds; the
 //      response's "cached" flag is what dpload uses to split warm from
 //      cold latencies.
-//   3. Artifact store (optional) -- when a cache directory is attached,
+//   4. Artifact store (optional) -- when a cache directory is attached,
 //      sweeps run with persistence enabled, so profiles survive restarts
 //      and interrupted sweeps resume from checkpoints. The store is
 //      lock-striped (see store/artifact_store.hpp), so concurrent
@@ -38,6 +45,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "dp/good_functions.hpp"
 #include "netlist/circuit.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -71,11 +79,25 @@ class Service {
   /// Current in-memory profile-cache entry count (tests).
   std::size_t profile_cache_size() const;
 
+  /// Current resident frozen-forest count (tests).
+  std::size_t resident_forest_count() const;
+
  private:
   struct CacheEntry;
 
+  struct ForestEntry {
+    std::string circuit_name;  ///< for name-scoped evicts
+    std::shared_ptr<const core::SharedGoodFunctions> forest;
+  };
+
   std::shared_ptr<const netlist::Circuit> circuit_for(
-      const obs::JsonValue& request);
+      const obs::JsonValue& request, std::string* key_out = nullptr);
+
+  /// Returns the resident frozen good-function forest for `key`, building
+  /// it on first use. Serialized per service (one build at a time); every
+  /// later request for the same circuit adopts the same immutable forest.
+  std::shared_ptr<const core::SharedGoodFunctions> forest_for(
+      const std::string& key, const netlist::Circuit& circuit);
 
   obs::JsonValue handle_analyze(long long id, const obs::JsonValue& request);
   obs::JsonValue handle_grade(long long id, const obs::JsonValue& request);
@@ -97,6 +119,9 @@ class Service {
   mutable std::mutex circuits_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const netlist::Circuit>>
       circuits_;
+
+  mutable std::mutex forests_mutex_;
+  std::unordered_map<std::string, ForestEntry> forests_;
 
   mutable std::mutex cache_mutex_;
   std::list<CacheEntry> lru_;  ///< front = most recently used

@@ -9,6 +9,8 @@
 //                membership over all 2^n input vectors.
 //   parallel     ParallelEngine at jobs N vs the serial engine: every
 //                scalar FaultAnalysis field plus the test-set sat count.
+//                Runs in both sharing modes (shared frozen forest and
+//                per-worker builds); each must match serial bit-for-bit.
 //   store        analyze_stuck_at cold (fresh sweep + artifacts written)
 //                vs warm (profile cache hit) vs resumed (profile dropped,
 //                truncated checkpoint installed): FaultRecord vectors
@@ -56,6 +58,14 @@ const char* to_string(Mutation m);
 struct OracleConfig {
   std::size_t jobs = 4;        ///< worker count of the parallel arm
   bool check_parallel = true;
+  /// The parallel arm's engine adopts the shared frozen good-function
+  /// forest (the production default). Off = per-worker builds only.
+  bool shared_forest = true;
+  /// A/B the sharing modes: run a second, unshared engine and require it
+  /// to match serial too, so a frozen-adoption bug cannot hide behind a
+  /// matching shared-only run (and vice versa). Ignored when
+  /// check_parallel is off.
+  bool check_shared_forest = true;
   bool check_store = true;
   bool check_hybrid = true;
   /// Prefilter depth of the hybrid arm; deliberately small (and not a

@@ -289,6 +289,71 @@ TEST(ParallelEngineTest, PerFaultFailureIsRethrownAfterTheSweep) {
   EXPECT_THROW((void)engine.analyze_all(faults), bdd::OutOfNodes);
 }
 
+TEST(ParallelEngineTest, SharedForestMatchesPerWorkerBuildsExactly) {
+  // The shared-frozen-forest engine (production default) and the
+  // per-worker-build engine must agree bit for bit on every scalar: the
+  // frozen adoption is a memory optimization, never a semantic one.
+  const Circuit circuit = netlist::make_alu181();
+  const Structure structure(circuit);
+  const std::vector<StuckAtFault> faults =
+      fault::collapse_checkpoint_faults(circuit);
+
+  ParallelEngine::Options shared_opt;
+  shared_opt.jobs = 3;
+  ASSERT_TRUE(shared_opt.shared_forest) << "sharing must be the default";
+  ParallelEngine shared(circuit, structure, shared_opt);
+
+  ParallelEngine::Options unshared_opt;
+  unshared_opt.jobs = 3;
+  unshared_opt.shared_forest = false;
+  ParallelEngine unshared(circuit, structure, unshared_opt);
+
+  const auto a = shared.analyze_all(faults);
+  const auto b = unshared.analyze_all(faults);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(scalars(a[i], circuit.num_inputs()),
+              scalars(b[i], circuit.num_inputs()))
+        << describe(faults[i], circuit);
+  }
+  EXPECT_GT(shared.stats().frozen_nodes, 0u);
+  EXPECT_EQ(unshared.stats().frozen_nodes, 0u);
+}
+
+TEST(ParallelEngineTest, MoreJobsThanFaultsIsExactAndCoherent) {
+  // Edge case: a pool wider than the fault list. Idle workers must not
+  // disturb the input-order merge, the results, or the stats.
+  const Circuit circuit = netlist::make_c17();
+  const Structure structure(circuit);
+  std::vector<StuckAtFault> faults = fault::collapse_checkpoint_faults(circuit);
+  faults.resize(3);
+  const std::vector<Scalars> serial = serial_sweep(circuit, faults);
+
+  ParallelEngine::Options opt;
+  opt.jobs = 8;
+  ParallelEngine engine(circuit, structure, opt);
+  std::vector<Scalars> out(faults.size());
+  std::atomic<std::size_t> delivered{0};
+  engine.analyze_each(faults, [&](std::size_t i, FaultAnalysis&& a) {
+    out[i] = scalars(a, circuit.num_inputs());
+    delivered.fetch_add(1);
+  });
+  EXPECT_EQ(delivered.load(), faults.size());
+  EXPECT_EQ(out, serial);
+
+  const ParallelStats& stats = engine.stats();
+  EXPECT_EQ(stats.jobs, 8u);
+  EXPECT_EQ(stats.faults, faults.size());
+  ASSERT_EQ(stats.workers.size(), 8u);
+  std::size_t busy = 0, total = 0;
+  for (const WorkerStats& w : stats.workers) {
+    total += w.faults_analyzed;
+    if (w.faults_analyzed > 0) ++busy;
+  }
+  EXPECT_EQ(total, faults.size());
+  EXPECT_LE(busy, faults.size());
+}
+
 TEST(ParallelEngineTest, BuildFailureIsRethrownFromTheConstructor) {
   // Without cut points the 16x16 multiplier build itself exhausts the
   // budget inside the worker threads; the constructor must rethrow.

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -204,6 +205,71 @@ TEST(ServiceTest, ProfileCacheHitsEvictsAndLruBound) {
   JsonValue ev = service.handle(req("evict"));
   ASSERT_TRUE(ev.at("ok").as_bool());
   EXPECT_EQ(service.profile_cache_size(), 0u);
+}
+
+TEST(ServiceTest, ConcurrentAnalyzesShareOneFrozenForest) {
+  // Two concurrent requests against the same circuit but different fault
+  // models miss the profile cache independently, yet must share one
+  // resident frozen forest: exactly one build, at least one reuse.
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+
+  JsonValue sa = req("analyze", "c17");
+  JsonValue bf = req("analyze", "c17");
+  JsonValue opts = JsonValue::object();
+  opts["model"] = "bf.and";
+  bf["options"] = std::move(opts);
+
+  JsonValue resp_sa, resp_bf;
+  std::thread t1([&] { resp_sa = service.handle(sa); });
+  std::thread t2([&] { resp_bf = service.handle(bf); });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(resp_sa.at("ok").as_bool());
+  ASSERT_TRUE(resp_bf.at("ok").as_bool());
+  EXPECT_EQ(metrics.counter("serve.forest.builds").value(), 1u);
+  EXPECT_GE(metrics.counter("serve.forest.reuses").value(), 1u);
+  EXPECT_EQ(service.resident_forest_count(), 1u);
+
+  // A third model on the same circuit reuses the resident forest again.
+  JsonValue hy = req("analyze", "c17");
+  JsonValue hopts = JsonValue::object();
+  hopts["model"] = "bf.or";
+  hy["options"] = std::move(hopts);
+  ASSERT_TRUE(service.handle(hy).at("ok").as_bool());
+  EXPECT_EQ(metrics.counter("serve.forest.builds").value(), 1u);
+  EXPECT_GE(metrics.counter("serve.forest.reuses").value(), 2u);
+}
+
+TEST(ServiceTest, EvictDuringInFlightAnalyzeIsSafe) {
+  // The forest cache hands out shared_ptrs: evicting a resident circuit
+  // mid-request only unpins the cache entry; the in-flight analysis keeps
+  // its forest alive and completes normally. (The TSan rerun of this
+  // suite is the race check; functionally the response must stay exact.)
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+
+  // Reference result, computed without any eviction interference.
+  JsonValue expected = service.handle(req("analyze", "alu181"));
+  ASSERT_TRUE(expected.at("ok").as_bool());
+  service.handle(req("evict"));
+  ASSERT_EQ(service.resident_forest_count(), 0u);
+
+  std::atomic<bool> done{false};
+  JsonValue got;
+  std::thread analyzer([&] {
+    got = service.handle(req("analyze", "alu181"));
+    done.store(true);
+  });
+  while (!done.load()) {
+    service.handle(req("evict"));
+    std::this_thread::yield();
+  }
+  analyzer.join();
+
+  ASSERT_TRUE(got.at("ok").as_bool());
+  EXPECT_EQ(expected.at("profile").dump(0), got.at("profile").dump(0));
 }
 
 // ---- served vs in-process field identity -------------------------------
