@@ -62,6 +62,11 @@ foreach(bench IN LISTS BENCHES)
     # writes is validated and analyzed below.
     set(extra --circuit c432 --patterns 512
         --trace-out "${OUT_DIR}/TRACE_hybrid.json")
+  elseif(bench STREQUAL "fig_ndetect")
+    # Reduced workload: one mid-size circuit to a low n -- the exact
+    # recount cross-check and the dp.metrics.v1 document shape are what
+    # the smoke pass gates, not the full four-circuit curve.
+    set(extra --circuits c432 --max-n 2)
   endif()
   message(STATUS "bench_smoke: ${bench}")
   execute_process(
@@ -213,7 +218,7 @@ endif()
 # `asan` preset (ASan+UBSan, build-asan/).
 if(SOURCE_DIR)
   set(asan_tests bdd_test bdd_reorder_test gc_stress_test frozen_forest_test
-      store_test verify_test sim_test hybrid_test)
+      store_test verify_test sim_test hybrid_test ndetect_test)
   message(STATUS "bench_smoke: configuring asan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset asan
@@ -268,7 +273,7 @@ if(SOURCE_DIR)
   # is a single-threaded determinism check and dominates instrumented
   # runtime without adding thread coverage.
   set(tsan_tests serve_test parallel_engine_test frozen_forest_test
-      store_test)
+      store_test ndetect_test)
   message(STATUS "bench_smoke: configuring tsan preset")
   execute_process(
       COMMAND "${CMAKE_COMMAND}" --preset tsan

@@ -1,5 +1,6 @@
-// Validator/aggregator for dp.metrics.v1, dp.fuzzreport.v1, and
-// dp.trace.v1 documents (the bench_smoke backstop): every file must parse
+// Validator/aggregator for dp.metrics.v1, dp.fuzzreport.v1, dp.trace.v1,
+// dp.served.v1, and dp.ndetect.v1 documents (the bench_smoke backstop):
+// every file must parse
 // with the obs JSON parser and carry the required keys, so a refactor
 // that silently breaks an exporter fails the smoke suite instead of
 // producing unreadable telemetry. A fuzz report additionally fails
@@ -210,6 +211,100 @@ JsonValue validate_served(const std::string& file, const JsonValue& doc) {
   return rec;
 }
 
+/// dp.ndetect.v1: the exact n-detection report (atpg_tool --ndetect-json,
+/// dpserved's ndetect handler). Beyond key shape, the per-fault detection
+/// counts are re-summed and must equal the summary total exactly -- every
+/// number in the document is an integer BDD satcount, so any drift is a
+/// real bug, not rounding. The target-meeting tally is likewise
+/// recomputed from the per-fault records (note an undetectable fault
+/// meets its quota of min(n, |CTS|) = 0 vacuously, so the tally can
+/// legitimately exceed summary.detectable).
+JsonValue validate_ndetect(const std::string& file, const JsonValue& doc) {
+  const JsonValue* circuit = doc.find("circuit");
+  if (!circuit || !circuit->is_string()) {
+    fail(file, "missing string key 'circuit'");
+  }
+  for (const char* key : {"n", "num_inputs", "vectors", "minted"}) {
+    const JsonValue* v = doc.find(key);
+    if (!v || !v->is_number()) {
+      fail(file, std::string("missing number key '") + key + "'");
+    }
+  }
+  const JsonValue* summary = doc.find("summary");
+  if (!summary || !summary->is_object()) {
+    fail(file, "missing 'summary' object");
+    return JsonValue();
+  }
+  for (const char* key :
+       {"faults", "detectable", "meeting_target", "detections"}) {
+    const JsonValue* v = summary->find(key);
+    if (!v || !v->is_number()) {
+      fail(file, std::string("summary.") + key + " missing or non-numeric");
+    }
+  }
+  const JsonValue* faults = doc.find("faults");
+  if (!faults || !faults->is_array()) {
+    fail(file, "missing 'faults' array");
+    return JsonValue();
+  }
+
+  // Exact cross-checks: integer satcounts admit no tolerance.
+  long long detections_sum = 0;
+  long long meeting_count = 0;
+  for (std::size_t i = 0; i < faults->size(); ++i) {
+    const JsonValue& f = faults->at(i);
+    const JsonValue* d = f.is_object() ? f.find("detections") : nullptr;
+    const JsonValue* t = f.is_object() ? f.find("target") : nullptr;
+    if (!d || !d->is_number() || !t || !t->is_number()) {
+      fail(file, "faults[" + std::to_string(i) +
+                     "].detections/target missing or non-numeric");
+      return JsonValue();
+    }
+    detections_sum += d->as_int();
+    // An undetectable fault's quota is min(n, |CTS|) = 0, met vacuously,
+    // so meeting_target is recomputed per record, not bounded by
+    // summary.detectable.
+    if (d->as_int() >= t->as_int()) ++meeting_count;
+  }
+  if (const JsonValue* count = summary->find("faults")) {
+    if (count->is_number() &&
+        count->as_int() != static_cast<long long>(faults->size())) {
+      fail(file, "summary.faults disagrees with the faults array length");
+    }
+  }
+  if (const JsonValue* total = summary->find("detections")) {
+    if (total->is_number() && total->as_int() != detections_sum) {
+      fail(file, "summary.detections (" + std::to_string(total->as_int()) +
+                     ") != sum of per-fault counts (" +
+                     std::to_string(detections_sum) + ")");
+    }
+  }
+  if (const JsonValue* meeting = summary->find("meeting_target")) {
+    if (meeting->is_number() && meeting->as_int() != meeting_count) {
+      fail(file, "summary.meeting_target (" +
+                     std::to_string(meeting->as_int()) +
+                     ") != count of faults with detections >= target (" +
+                     std::to_string(meeting_count) + ")");
+    }
+  }
+
+  JsonValue rec = JsonValue::object();
+  rec["file"] = file;
+  if (circuit && circuit->is_string()) rec["circuit"] = *circuit;
+  for (const char* key : {"n", "vectors", "minted"}) {
+    if (const JsonValue* v = doc.find(key)) {
+      rec[std::string("ndetect.") + key] = *v;
+    }
+  }
+  for (const char* key : {"faults", "detectable", "meeting_target",
+                          "detections"}) {
+    if (const JsonValue* v = summary->find(key)) {
+      rec[std::string("ndetect.") + key] = *v;
+    }
+  }
+  return rec;
+}
+
 /// Checks one document; returns a summary record (null on hard failure).
 JsonValue validate(const std::string& file) {
   JsonValue doc;
@@ -241,11 +336,14 @@ JsonValue validate(const std::string& file) {
   if (schema->as_string() == "dp.served.v1") {
     return validate_served(file, doc);
   }
+  if (schema->as_string() == "dp.ndetect.v1") {
+    return validate_ndetect(file, doc);
+  }
   if (schema->as_string() != "dp.metrics.v1") {
     fail(file, "unsupported schema \"" + schema->as_string() +
                    "\" (this validator understands \"dp.metrics.v1\", "
-                   "\"dp.fuzzreport.v1\", \"dp.trace.v1\", and "
-                   "\"dp.served.v1\")");
+                   "\"dp.fuzzreport.v1\", \"dp.trace.v1\", "
+                   "\"dp.served.v1\", and \"dp.ndetect.v1\")");
     return JsonValue();
   }
 
@@ -487,6 +585,7 @@ int main(int argc, char** argv) {
   long long fuzz_cases = 0, fuzz_faults = 0, fuzz_discrepancies = 0;
   long long trace_spans = 0, trace_dropped = 0;
   long long served_requests = 0, served_ok = 0;
+  long long ndetect_faults = 0, ndetect_detections = 0, ndetect_minted = 0;
   double negations = 0.0, canonical_swaps = 0.0;
   double peak_nodes = 0.0, frozen_nodes = 0.0, private_worker_max = 0.0;
   int perf_violations = 0;
@@ -514,6 +613,15 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* v = rec.find("served.ok")) {
       served_ok += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("ndetect.faults")) {
+      ndetect_faults += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("ndetect.detections")) {
+      ndetect_detections += v->as_int();
+    }
+    if (const JsonValue* v = rec.find("ndetect.minted")) {
+      ndetect_minted += v->as_int();
     }
     if (const JsonValue* v = rec.find("dp.faults_analyzed")) {
       faults += v->as_int();
@@ -588,6 +696,9 @@ int main(int argc, char** argv) {
     totals["fuzz.discrepancies"] = fuzz_discrepancies;
     totals["served.requests"] = served_requests;
     totals["served.ok"] = served_ok;
+    totals["ndetect.faults"] = ndetect_faults;
+    totals["ndetect.detections"] = ndetect_detections;
+    totals["ndetect.minted"] = ndetect_minted;
     summary["totals"] = std::move(totals);
     summary["benches"] = std::move(documents);
     std::string error;

@@ -16,13 +16,24 @@
 //       # easy faults and keeps each fault's first detecting vector; DP
 //       # then analyzes and covers only the resistant remainder. The
 //       # final grade still covers every fault.
+//   $ ./atpg_tool c1908 --ndetect 3 [--ndetect-json PATH]
+//       # n-detection: after the 1-detect compaction, mint top-up
+//       # vectors from each fault's residual CTS BDD until every
+//       # detectable fault has >= min(N, |CTS|) distinct detecting
+//       # vectors, reporting the vector-count growth curve n = 1..N.
+//       # The counts are verified by an independent wide-simulator
+//       # recount (exact ==). --ndetect-json writes the dp.ndetect.v1
+//       # document (validated by bench/validate_metrics).
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/ndetect.hpp"
 #include "cli_common.hpp"
 #include "dp/parallel_engine.hpp"
 #include "netlist/bench_io.hpp"
@@ -52,8 +63,11 @@ int main(int argc, char** argv) {
   std::size_t jobs = 1;
   bool hybrid = false;
   std::size_t prefilter_patterns = 1024;
+  std::size_t ndetect = 0;  // 0 = classic 1-detect ATPG
+  std::string ndetect_json;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns") {
+    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns" ||
+        args[i] == "--ndetect") {
       if (i + 1 >= args.size()) {
         std::cerr << "error: " << args[i] << " requires a value\n";
         return 2;
@@ -62,9 +76,17 @@ int main(int argc, char** argv) {
       const std::size_t value = cli::parse_count(flag, args[++i]);
       if (flag == "--jobs") {
         jobs = value;
+      } else if (flag == "--ndetect") {
+        ndetect = value;
       } else {
         prefilter_patterns = value;
       }
+    } else if (args[i] == "--ndetect-json") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --ndetect-json requires a value\n";
+        return 2;
+      }
+      ndetect_json = args[++i];
     } else if (args[i] == "--hybrid") {
       hybrid = true;
     } else {
@@ -248,9 +270,80 @@ int main(int argc, char** argv) {
   std::cout << "Random patterns needed for equal coverage: ~" << budget
             << " vs " << vectors.size() << " deterministic vectors\n";
 
-  const bool ok = cov.detected + redundant == cov.total;
+  bool ok = cov.detected + redundant == cov.total;
   std::cout << (ok ? "OK: complete coverage of all testable faults\n"
                    : "WARNING: coverage gap\n");
+
+  // Phase 3 (--ndetect N): top up the compacted set until every
+  // detectable fault has min(N, |CTS|) distinct detecting vectors. The
+  // analyzer runs its own DP sweep over the FULL collapsed fault list
+  // (in hybrid mode the pipeline above analyzed only the resistant
+  // remainder), then mints witnesses from each fault's residual CTS BDD,
+  // hardest fault first. Every reported count is then re-derived by the
+  // wide simulator and compared with exact ==.
+  if (ndetect > 0) {
+    // The n-detect algebra counts DISTINCT vectors; drop any duplicates
+    // (possible between hybrid witness patterns) so the per-pattern
+    // simulator recount below matches the satcounts exactly.
+    {
+      std::set<std::vector<bool>> seen;
+      std::vector<std::vector<bool>> distinct;
+      distinct.reserve(vectors.size());
+      for (auto& v : vectors) {
+        if (seen.insert(v).second) distinct.push_back(std::move(v));
+      }
+      vectors.swap(distinct);
+    }
+    analysis::NDetectOptions nopt;
+    nopt.jobs = jobs;
+    analysis::NDetectAnalyzer analyzer(circuit, faults, nopt);
+    analyzer.stats().export_metrics(tel.metrics(), "ndetect");
+
+    std::cout << "\nn-detect top-up (target N=" << ndetect << "):\n"
+              << "  n=0: " << vectors.size() << " vectors (1-detect set)\n";
+    std::size_t minted_total = 0;
+    for (std::size_t k = 1; k <= ndetect; ++k) {
+      minted_total += analyzer.top_up(vectors, k);
+      std::cout << "  n=" << k << ": " << vectors.size() << " vectors ("
+                << minted_total << " minted)\n";
+    }
+    analysis::NDetectReport report = analyzer.report(vectors, ndetect);
+    report.minted_vectors = minted_total;
+
+    sim::WideFaultSimulator wide(circuit);
+    sim::WideFaultSimulator::Options wopt;
+    wopt.drop_detected = false;
+    const auto regrade = wide.grade_vectors(faults, vectors, wopt);
+    std::size_t mismatches = 0;
+    std::size_t below = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (regrade.detection_counts[i] != report.faults[i].detections) {
+        ++mismatches;
+      }
+      if (!report.faults[i].meets_target()) ++below;
+    }
+    std::cout << "Simulator recount: " << mismatches
+              << " detection-count mismatches, " << below
+              << " faults below quota\n"
+              << "Mean CTS coverage at N=" << ndetect << ": "
+              << report.mean_cts_coverage() << "\n";
+    const bool ndetect_ok = mismatches == 0 && report.complete();
+    std::cout << (ndetect_ok
+                      ? "OK: every detectable fault meets its n-detect quota\n"
+                      : "WARNING: n-detect verification failed\n");
+    ok = ok && ndetect_ok;
+
+    if (!ndetect_json.empty()) {
+      std::ofstream out(ndetect_json);
+      if (!out) {
+        std::cerr << "error: cannot write " << ndetect_json << "\n";
+        ok = false;
+      } else {
+        out << analysis::ndetect_report_to_json(report).dump(2) << "\n";
+        std::cout << "Wrote " << ndetect_json << "\n";
+      }
+    }
+  }
   // Always shown (even serial) so refcount underflows can never hide.
   // A warm-cache run has no engine (that is the point), so nothing to show.
   if (engine) std::cout << "\n" << engine->stats();

@@ -5,9 +5,9 @@
 //
 //   dpfuzz [--seed N] [--cases N] [--max-gates N] [--max-inputs N]
 //          [--jobs N] [--shapes a,b,...] [--no-bridging] [--no-parallel]
-//          [--no-shared-forest] [--no-store] [--no-hybrid] [--no-shrink]
-//          [--scratch-dir PATH] [--repro-dir PATH] [--metrics-json PATH]
-//          [--max-failures N] [--self-test] [--quiet]
+//          [--no-shared-forest] [--no-store] [--no-hybrid] [--no-ndetect]
+//          [--no-shrink] [--scratch-dir PATH] [--repro-dir PATH]
+//          [--metrics-json PATH] [--max-failures N] [--self-test] [--quiet]
 //
 // --no-shared-forest is the escape hatch for the parallel arm: the
 // engine falls back to per-worker good-function builds and the
@@ -35,7 +35,8 @@ int usage() {
          "              [--max-inputs N] [--jobs N] [--shapes a,b,...]\n"
          "              [--no-bridging] [--no-parallel]\n"
          "              [--no-shared-forest] [--no-store]\n"
-         "              [--no-hybrid] [--no-shrink] [--scratch-dir PATH]\n"
+         "              [--no-hybrid] [--no-ndetect] [--no-shrink]\n"
+         "              [--scratch-dir PATH]\n"
          "              [--repro-dir PATH] [--metrics-json PATH]\n"
          "              [--max-failures N] [--self-test] [--quiet]\n"
          "shapes: mixed fanout xor reconvergent chain (default: all)\n";
@@ -101,6 +102,8 @@ int main(int argc, char** argv) {
       config.oracle.check_store = false;
     } else if (a == "--no-hybrid") {
       config.oracle.check_hybrid = false;
+    } else if (a == "--no-ndetect") {
+      config.oracle.check_ndetect = false;
     } else if (a == "--no-shrink") {
       config.shrink = false;
     } else if (a == "--scratch-dir") {
@@ -157,6 +160,7 @@ int main(int argc, char** argv) {
               << ", parallel " << (result.checked_parallel ? "on" : "off")
               << ", store " << (result.checked_store ? "on" : "off")
               << ", hybrid " << (result.checked_hybrid ? "on" : "off")
+              << ", ndetect " << (result.checked_ndetect ? "on" : "off")
               << ")\n";
     for (const dp::verify::CaseFailure& f : result.failures) {
       std::cout << "[dpfuzz] FAILURE case " << f.case_index << " seed "

@@ -1,8 +1,9 @@
 // dpserved -- resident fault-analysis service.
 //
 // Keeps parsed circuits, analysis profiles and (optionally) an artifact
-// store hot in one long-lived process, and serves analyze / grade /
-// hash / evict / metrics requests over a length-prefixed JSON protocol
+// store hot in one long-lived process, and serves analyze / ndetect /
+// grade / hash / evict / metrics requests over a length-prefixed JSON
+// protocol
 // (see src/serve/protocol.hpp). Companion load generator: dpload.
 //
 //   dpserved --unix /tmp/dp.sock [flags]     Unix-domain socket

@@ -14,18 +14,28 @@
 //   $ ./testability_report c432 --hybrid [--prefilter-patterns N]
 //                                         # random-pattern prefilter, then
 //                                         # exact DP on the remainder only
+//   $ ./testability_report c432 --ndetect 5 [--ndetect-patterns K]
+//                                         # random-pattern n-detect
+//                                         # resistance: faults still below
+//                                         # N detections after K random
+//                                         # patterns, simulator counts
+//                                         # cross-checked exactly against
+//                                         # the DP satcounts
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/hybrid.hpp"
+#include "analysis/ndetect.hpp"
 #include "analysis/profiles.hpp"
 #include "analysis/report.hpp"
 #include "cli_common.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generators.hpp"
+#include "sim/wide_sim.hpp"
 
 using namespace dp;
 
@@ -37,6 +47,93 @@ netlist::Circuit load(const std::string& arg) {
     return netlist::make_benchmark(arg);
   }
   return netlist::read_bench_file(arg);
+}
+
+/// Fixed stream seed so resistance tables are reproducible run to run.
+constexpr std::uint64_t kNDetectSeed = 0xd37ec7ull;
+
+/// Random-pattern n-detect resistance: which faults are still below N
+/// detections after K random patterns? The wide simulator counts
+/// detections over the distinct patterns, DP recounts the same set as
+/// satcount(CTS ∧ B(V)), and the two must agree exactly -- the table is
+/// only printed once that cross-check passes. Returns false on any
+/// count disagreement (a bug, never roundoff: both sides are integers).
+bool print_ndetect_resistance(const netlist::Circuit& circuit,
+                              std::size_t jobs, std::size_t n,
+                              std::size_t num_patterns) {
+  const auto faults = fault::collapse_checkpoint_faults(circuit);
+  const sim::WideFaultSimulator wide(circuit);
+
+  // Materialize the stream and collapse duplicate patterns: the n-detect
+  // algebra is over vector SETS, so the simulator must grade the same
+  // distinct vectors DP intersects.
+  std::vector<std::vector<bool>> patterns;
+  {
+    std::set<std::vector<bool>> seen;
+    for (auto& v : wide.random_patterns(num_patterns, kNDetectSeed)) {
+      if (seen.insert(v).second) patterns.push_back(std::move(v));
+    }
+  }
+
+  sim::WideFaultSimulator::Options wopt;
+  wopt.drop_detected = false;
+  const auto grade = wide.grade_vectors(faults, patterns, wopt);
+
+  analysis::NDetectOptions nopt;
+  nopt.jobs = jobs;
+  analysis::NDetectAnalyzer analyzer(circuit, faults, nopt);
+  const auto exact = analyzer.detection_counts(patterns);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (exact[i] != grade.detection_counts[i]) ++mismatches;
+  }
+
+  std::cout << "\nRandom-pattern n-detect resistance (N=" << n << ", "
+            << num_patterns << " patterns, " << patterns.size()
+            << " distinct):\n";
+  std::cout << "Simulator vs DP satcount    : " << mismatches
+            << " mismatches over " << faults.size() << " faults\n";
+  if (mismatches != 0) {
+    std::cout << "ERROR: exact cross-check failed\n";
+    return false;
+  }
+
+  // The resistant set: detectable faults below their quota min(N, |CTS|).
+  struct Row {
+    std::size_t index;
+    std::uint64_t detections;
+  };
+  std::vector<Row> resistant;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!analyzer.detectable(i)) continue;
+    if (exact[i] < analyzer.quota(i, n)) resistant.push_back({i, exact[i]});
+  }
+  std::sort(resistant.begin(), resistant.end(), [](const Row& a, const Row& b) {
+    return a.detections != b.detections ? a.detections < b.detections
+                                        : a.index < b.index;
+  });
+  std::cout << "Faults below quota          : " << resistant.size() << " of "
+            << faults.size() << "\n";
+  if (resistant.empty()) {
+    std::cout << "Every detectable fault already has its " << n
+              << " detections.\n";
+    return true;
+  }
+  analysis::TextTable t({"fault", "detections", "quota", "|CTS|",
+                         "CTS coverage"});
+  for (std::size_t r = 0; r < std::min<std::size_t>(12, resistant.size());
+       ++r) {
+    const std::size_t i = resistant[r].index;
+    t.add_row({fault::describe(faults[i], circuit),
+               std::to_string(exact[i]),
+               std::to_string(analyzer.quota(i, n)),
+               analysis::TextTable::num(analyzer.cts_size(i), 0),
+               analysis::TextTable::num(
+                   static_cast<double>(exact[i]) / analyzer.cts_size(i), 6)});
+  }
+  t.print(std::cout);
+  return true;
 }
 
 }  // namespace
@@ -51,8 +148,11 @@ int main(int argc, char** argv) {
   analysis::AnalysisOptions opt;
   bool hybrid = false;
   analysis::HybridOptions hopt;
+  std::size_t ndetect = 0;  // 0 = no resistance table
+  std::size_t ndetect_patterns = 256;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns") {
+    if (args[i] == "--jobs" || args[i] == "--prefilter-patterns" ||
+        args[i] == "--ndetect" || args[i] == "--ndetect-patterns") {
       if (i + 1 >= args.size()) {
         std::cerr << "error: " << args[i] << " requires a value\n";
         return 2;
@@ -61,6 +161,10 @@ int main(int argc, char** argv) {
       const std::size_t value = cli::parse_count(flag, args[++i]);
       if (flag == "--jobs") {
         opt.jobs = value;
+      } else if (flag == "--ndetect") {
+        ndetect = value;
+      } else if (flag == "--ndetect-patterns") {
+        ndetect_patterns = value;
       } else {
         hopt.prefilter_patterns = value;
       }
@@ -119,9 +223,14 @@ int main(int argc, char** argv) {
                  std::to_string(hard[i]->dp.max_levels_to_po)});
     }
     t.print(std::cout);
+    bool ndetect_ok = true;
+    if (ndetect > 0) {
+      ndetect_ok = print_ndetect_resistance(circuit, opt.jobs, ndetect,
+                                            ndetect_patterns);
+    }
     // Always shown (even serial) so refcount underflows can never hide.
     std::cout << "\n" << hp.engine_stats;
-    return tel.write("testability_report") ? 0 : 1;
+    return tel.write("testability_report") && ndetect_ok ? 0 : 1;
   }
 
   const analysis::CircuitProfile p = analysis::analyze_stuck_at(circuit, opt);
@@ -173,7 +282,12 @@ int main(int argc, char** argv) {
   std::cout << "\nDFT hint: faults concentrate in the curve's middle -- "
                "target observation points at the circuit center (paper §4.1)."
             << "\n";
+  bool ndetect_ok = true;
+  if (ndetect > 0) {
+    ndetect_ok = print_ndetect_resistance(circuit, opt.jobs, ndetect,
+                                          ndetect_patterns);
+  }
   // Always shown (even serial) so refcount underflows can never hide.
   std::cout << "\n" << p.engine_stats;
-  return tel.write("testability_report") ? 0 : 1;
+  return tel.write("testability_report") && ndetect_ok ? 0 : 1;
 }

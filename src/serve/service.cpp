@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/hybrid.hpp"
+#include "analysis/ndetect.hpp"
 #include "analysis/profile_io.hpp"
 #include "analysis/profiles.hpp"
 #include "fault/stuck_at.hpp"
@@ -97,6 +98,50 @@ const JsonValue& options_of(const JsonValue& request) {
   static const JsonValue kNull;
   const JsonValue* v = request.find("options");
   return v ? *v : kNull;
+}
+
+/// The optional ndetect "vectors" field: an array of '0'/'1' bit-strings,
+/// each exactly the circuit's input count long, character i = PI i.
+std::vector<std::vector<bool>> parse_bit_vectors(const JsonValue& request,
+                                                 std::size_t num_inputs) {
+  std::vector<std::vector<bool>> out;
+  const JsonValue* v = request.find("vectors");
+  if (!v) return out;
+  if (!v->is_array()) {
+    throw BadRequest("'vectors' must be an array of bit-strings");
+  }
+  out.reserve(v->size());
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    const JsonValue& e = v->at(i);
+    if (!e.is_string()) {
+      throw BadRequest("'vectors' must be an array of bit-strings");
+    }
+    const std::string& s = e.as_string();
+    if (s.size() != num_inputs) {
+      throw BadRequest("vector " + std::to_string(i) + " has length " +
+                       std::to_string(s.size()) + ", expected " +
+                       std::to_string(num_inputs) +
+                       " (one character per primary input)");
+    }
+    std::vector<bool> bits(num_inputs);
+    for (std::size_t c = 0; c < s.size(); ++c) {
+      if (s[c] != '0' && s[c] != '1') {
+        throw BadRequest("vector " + std::to_string(i) +
+                         " must contain only '0' and '1'");
+      }
+      bits[c] = s[c] == '1';
+    }
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+std::string bit_string_of(const std::vector<bool>& v) {
+  std::string s(v.size(), '0');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) s[i] = '1';
+  }
+  return s;
 }
 
 }  // namespace
@@ -238,6 +283,7 @@ JsonValue Service::handle(const JsonValue& request) noexcept {
     const std::string type = require_string(request, "type");
     obs::ScopedSpan span(obs::SpanCollector::current(), "serve." + type);
     if (type == "analyze") return handle_analyze(id, request);
+    if (type == "ndetect") return handle_ndetect(id, request);
     if (type == "grade") return handle_grade(id, request);
     if (type == "hash") return handle_hash(id, request);
     if (type == "evict") return handle_evict(id, request);
@@ -347,6 +393,83 @@ JsonValue Service::handle_analyze(long long id, const JsonValue& request) {
   resp["cached"] = false;
   resp["key"] = key;
   resp["profile"] = std::move(profile);
+  return resp;
+}
+
+JsonValue Service::handle_ndetect(long long id, const JsonValue& request) {
+  const JsonValue& opts = options_of(request);
+  reject_unknown_keys(opts, {"n", "jobs", "topup", "collapse"});
+  std::string circuit_key;
+  const std::shared_ptr<const netlist::Circuit> circuit =
+      circuit_for(request, &circuit_key);
+
+  const std::size_t n = static_cast<std::size_t>(opt_u64(opts, "n", 1));
+  const std::size_t jobs =
+      static_cast<std::size_t>(opt_u64(opts, "jobs", options_.jobs));
+  const bool topup = opt_bool(opts, "topup", true);
+  const bool collapse = opt_bool(opts, "collapse", true);
+  std::vector<std::vector<bool>> vectors =
+      parse_bit_vectors(request, circuit->num_inputs());
+
+  // The key covers everything the result depends on -- circuit content,
+  // target n, the top-up/collapse policy, and the client's vector set.
+  // jobs stays excluded: counts are satcounts of canonical functions,
+  // identical for any worker count.
+  store::KeyBuilder kb;
+  kb.str(analysis::kNDetectSchema);
+  kb.str(store::circuit_content_hash(*circuit));
+  kb.u64(n);
+  kb.flag(topup);
+  kb.flag(collapse);
+  kb.u64(vectors.size());
+  for (const auto& v : vectors) kb.str(bit_string_of(v));
+  const std::string key = kb.hex();
+
+  if (metrics_) metrics_->counter("serve.requests.ndetect").add();
+  JsonValue cached;
+  if (cache_lookup(key, &cached)) {
+    JsonValue resp = make_ok_response(id, "ndetect");
+    resp["circuit"] = circuit->name();
+    resp["cached"] = true;
+    resp["key"] = key;
+    resp["report"] = std::move(cached["report"]);
+    resp["minted_vectors"] = std::move(cached["minted_vectors"]);
+    return resp;
+  }
+
+  const std::vector<fault::StuckAtFault> faults =
+      collapse ? fault::collapse_checkpoint_faults(*circuit)
+               : fault::checkpoint_faults(*circuit);
+
+  analysis::NDetectOptions a;
+  a.jobs = jobs;
+  a.shared_good = forest_for(circuit_key, *circuit);
+
+  JsonValue payload = JsonValue::object();
+  {
+    obs::ScopedSpan span(obs::SpanCollector::current(), "serve.ndetect");
+    span.attr("circuit", circuit->name()).attr("jobs", jobs);
+    analysis::NDetectAnalyzer analyzer(*circuit, faults, a);
+    const std::size_t given = vectors.size();
+    std::size_t minted = 0;
+    if (topup) minted = analyzer.top_up(vectors, n);
+    analysis::NDetectReport report = analyzer.report(vectors, n);
+    report.minted_vectors = minted;
+    payload["report"] = analysis::ndetect_report_to_json(report, key);
+    JsonValue minted_vectors = JsonValue::array();
+    for (std::size_t i = given; i < vectors.size(); ++i) {
+      minted_vectors.push_back(bit_string_of(vectors[i]));
+    }
+    payload["minted_vectors"] = std::move(minted_vectors);
+  }
+  cache_insert(key, circuit->name(), payload);
+
+  JsonValue resp = make_ok_response(id, "ndetect");
+  resp["circuit"] = circuit->name();
+  resp["cached"] = false;
+  resp["key"] = key;
+  resp["report"] = std::move(payload["report"]);
+  resp["minted_vectors"] = std::move(payload["minted_vectors"]);
   return resp;
 }
 

@@ -72,8 +72,8 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Executes one request object and returns the response object.
-  /// Request types: analyze, grade, hash, evict, metrics, sleep, ping.
-  /// ("shutdown" is intercepted by the Server before reaching here.)
+  /// Request types: analyze, ndetect, grade, hash, evict, metrics, sleep,
+  /// ping. ("shutdown" is intercepted by the Server before reaching here.)
   obs::JsonValue handle(const obs::JsonValue& request) noexcept;
 
   /// Current in-memory profile-cache entry count (tests).
@@ -100,6 +100,7 @@ class Service {
       const std::string& key, const netlist::Circuit& circuit);
 
   obs::JsonValue handle_analyze(long long id, const obs::JsonValue& request);
+  obs::JsonValue handle_ndetect(long long id, const obs::JsonValue& request);
   obs::JsonValue handle_grade(long long id, const obs::JsonValue& request);
   obs::JsonValue handle_hash(long long id, const obs::JsonValue& request);
   obs::JsonValue handle_evict(long long id, const obs::JsonValue& request);

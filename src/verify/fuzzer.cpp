@@ -36,6 +36,7 @@ obs::JsonValue repro_to_json(const FuzzCase& original,
   engine["check_parallel"] = config.oracle.check_parallel;
   engine["check_store"] = config.oracle.check_store;
   engine["check_hybrid"] = config.oracle.check_hybrid;
+  engine["check_ndetect"] = config.oracle.check_ndetect;
   engine["mutation"] = to_string(config.oracle.mutate);
   doc["engine"] = std::move(engine);
 
@@ -109,6 +110,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.checked_store =
       config.oracle.check_store && !config.oracle.scratch_dir.empty();
   result.checked_hybrid = config.oracle.check_hybrid;
+  result.checked_ndetect = config.oracle.check_ndetect;
 
   for (std::uint64_t i = 0; i < config.num_cases; ++i) {
     const FuzzCase fc = make_case(config.cases, i);
@@ -165,6 +167,7 @@ obs::JsonValue report_to_json(const CampaignResult& result) {
   arms["parallel"] = result.checked_parallel;
   arms["store"] = result.checked_store;
   arms["hybrid"] = result.checked_hybrid;
+  arms["ndetect"] = result.checked_ndetect;
   doc["oracles"] = std::move(arms);
   doc["wall_seconds"] = result.wall_seconds;
 
@@ -209,7 +212,8 @@ bool run_self_test(const CampaignConfig& base, std::ostream& log,
   bool all_ok = true;
   for (Mutation m :
        {Mutation::InflateDetectability, Mutation::DropTestVector,
-        Mutation::FlipSyndrome, Mutation::PerturbParallelMerge}) {
+        Mutation::FlipSyndrome, Mutation::PerturbParallelMerge,
+        Mutation::PerturbNDetectCount}) {
     OracleConfig oracle = base.oracle;
     oracle.mutate = m;
     if (m == Mutation::PerturbParallelMerge && !oracle.check_parallel) {
@@ -217,11 +221,18 @@ bool run_self_test(const CampaignConfig& base, std::ostream& log,
           << ": SKIP (parallel arm disabled)\n";
       continue;
     }
+    if (m == Mutation::PerturbNDetectCount && !oracle.check_ndetect) {
+      log << "[self-test] " << to_string(m)
+          << ": SKIP (ndetect arm disabled)\n";
+      continue;
+    }
     // The store and hybrid arms are orthogonal to every injected
     // perturbation (both compare against unperturbed serial results);
-    // keep the self-test lean.
+    // keep the self-test lean. The n-detect arm only needs to run when
+    // its own count is the perturbed quantity.
     oracle.check_store = false;
     oracle.check_hybrid = false;
+    oracle.check_ndetect = m == Mutation::PerturbNDetectCount;
 
     // Any case with at least one stuck-at fault trips every mutation
     // (the first fault / last gate is perturbed); probe a few indices in

@@ -56,6 +56,7 @@ struct CampaignResult {
   bool checked_parallel = false;
   bool checked_store = false;
   bool checked_hybrid = false;
+  bool checked_ndetect = false;
   double wall_seconds = 0.0;
   std::vector<CaseFailure> failures;
 

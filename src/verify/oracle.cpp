@@ -4,13 +4,17 @@
 #include <filesystem>
 #include <sstream>
 
+#include <set>
+
 #include "analysis/hybrid.hpp"
+#include "analysis/ndetect.hpp"
 #include "analysis/profile_io.hpp"
 #include "analysis/profiles.hpp"
 #include "dp/engine.hpp"
 #include "dp/parallel_engine.hpp"
 #include "netlist/structure.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/wide_sim.hpp"
 #include "store/artifact_store.hpp"
 
 namespace dp::verify {
@@ -22,6 +26,7 @@ const char* to_string(Mutation m) {
     case Mutation::DropTestVector: return "drop_test_vector";
     case Mutation::FlipSyndrome: return "flip_syndrome";
     case Mutation::PerturbParallelMerge: return "perturb_parallel_merge";
+    case Mutation::PerturbNDetectCount: return "perturb_ndetect_count";
   }
   return "none";
 }
@@ -348,6 +353,55 @@ OracleResult run_oracles(const FuzzCase& fc, const OracleConfig& config) {
                         serial_sa[i].pos_observable, hr.dp.pos_observable);
         }
       }
+    }
+
+    // ---- n-detect analytics vs exhaustive simulation -------------------
+    if (config.check_ndetect && !fc.sa_faults.empty()) {
+      // A deterministic per-case vector sample (splitmix64 over the case
+      // seed; duplicates dropped), topped up to n = 2 so minted witnesses
+      // are cross-checked too. Both sides count the same distinct vector
+      // set, so every comparison is an exact integer ==.
+      std::vector<std::vector<bool>> vectors;
+      {
+        std::set<std::vector<bool>> seen;
+        std::uint64_t x = fc.case_seed ^ 0x6e64657465637400ull;
+        for (std::size_t k = 0; k < 8; ++k) {
+          x += 0x9e3779b97f4a7c15ull;
+          std::uint64_t z = x;
+          z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+          z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+          z ^= z >> 31;
+          std::vector<bool> v(n);
+          for (std::size_t i = 0; i < n; ++i) v[i] = (z >> i) & 1;
+          if (seen.insert(v).second) vectors.push_back(std::move(v));
+        }
+      }
+      const std::size_t ndetect_n = 2;
+      analysis::NDetectOptions nopt;
+      nopt.jobs = config.jobs == 0 ? 1 : config.jobs;
+      analysis::NDetectAnalyzer analyzer(fc.circuit, fc.sa_faults, nopt);
+      analyzer.top_up(vectors, ndetect_n);
+      std::vector<std::uint64_t> counts = analyzer.detection_counts(vectors);
+      if (config.mutate == Mutation::PerturbNDetectCount && !counts.empty()) {
+        counts[0] += 1;
+      }
+
+      const sim::WideFaultSimulator wide(fc.circuit);
+      sim::WideFaultSimulator::Options wopt;
+      wopt.drop_detected = false;
+      const auto grade = wide.grade_vectors(fc.sa_faults, vectors, wopt);
+      for (std::size_t i = 0; i < fc.sa_faults.size(); ++i) {
+        const std::string what = describe(fc.sa_faults[i], fc.circuit);
+        rec.expect_eq("ndetect.count", what, grade.detection_counts[i],
+                      counts[i]);
+        if (counts[i] < analyzer.quota(i, ndetect_n)) {
+          rec.mismatch("ndetect.quota", what,
+                       "top-up left " + std::to_string(counts[i]) +
+                           " detections, quota " +
+                           std::to_string(analyzer.quota(i, ndetect_n)));
+        }
+      }
+      result.vectors_checked += vectors.size() * fc.sa_faults.size();
     }
 
     // ---- artifact store: cold vs warm vs resumed -----------------------

@@ -20,6 +20,12 @@
 //                match exactly, every prefilter resolution must carry a
 //                detection witness count, and every DP-resolved fault's
 //                record must equal the serial analysis field-for-field.
+//   ndetect      the n-detection analytics (analysis/ndetect.hpp) vs the
+//                wide fault simulator: a deterministic per-case vector
+//                sample is topped up to n = 2, then every fault's exact
+//                satcount-based detection count must equal the simulator's
+//                per-pattern recount, and every detectable fault must have
+//                reached its min(n, |CTS|) quota.
 //
 // All equality is exact (==, doubles included): every compared quantity
 // is an integer sat count <= 2^n divided by a power of two, so any
@@ -51,6 +57,9 @@ enum class Mutation : std::uint8_t {
   /// The parallel engine's merged result diverges from serial on the
   /// first fault (a stand-in for an input-order merge bug).
   PerturbParallelMerge,
+  /// The n-detect arm's view of the first fault's exact detection count
+  /// is one high (a stand-in for a vector-set BDD intersection bug).
+  PerturbNDetectCount,
 };
 
 const char* to_string(Mutation m);
@@ -68,6 +77,7 @@ struct OracleConfig {
   bool check_shared_forest = true;
   bool check_store = true;
   bool check_hybrid = true;
+  bool check_ndetect = true;
   /// Prefilter depth of the hybrid arm; deliberately small (and not a
   /// multiple of the 256-lane block) so fuzz cases routinely exercise both
   /// phases and the tail-lane masking.

@@ -235,13 +235,15 @@ ShrinkResult shrink_case(const FuzzCase& failing, const OracleConfig& config,
   // preserved discrepancy lives there, and the store arm in particular
   // costs three sweeps per probe.
   OracleConfig shrink_config = config;
-  bool parallel_hit = false, store_hit = false;
+  bool parallel_hit = false, store_hit = false, ndetect_hit = false;
   for (const Discrepancy& d : original.discrepancies) {
     if (d.oracle.rfind("parallel.", 0) == 0) parallel_hit = true;
     if (d.oracle.rfind("store.", 0) == 0) store_hit = true;
+    if (d.oracle.rfind("ndetect.", 0) == 0) ndetect_hit = true;
   }
   shrink_config.check_parallel = config.check_parallel && parallel_hit;
   shrink_config.check_store = config.check_store && store_hit;
+  shrink_config.check_ndetect = config.check_ndetect && ndetect_hit;
 
   Shrinker sh{shrink_config, failing.case_seed, failing.shape,
               max_oracle_runs};

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/hybrid.hpp"
+#include "analysis/ndetect.hpp"
 #include "analysis/profile_io.hpp"
 #include "analysis/profiles.hpp"
 #include "fault/stuck_at.hpp"
@@ -25,6 +26,7 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sim/wide_sim.hpp"
+#include "store/hash.hpp"
 
 namespace dp::serve {
 namespace {
@@ -389,6 +391,91 @@ TEST_P(FieldIdentityTest, ServedEqualsInProcessAtWorkers1And4) {
 INSTANTIATE_TEST_SUITE_P(Suite, FieldIdentityTest,
                          ::testing::Values("c17", "alu181", "c432"));
 
+TEST(ServeIdentityTest, NDetectServedEqualsInProcessAtWorkers1And4) {
+  // The served n-detect report must serialize byte-for-byte to the
+  // in-process NDetectAnalyzer result, including the cache key (computed
+  // here the way the service computes it: jobs excluded, everything the
+  // counts depend on included), at worker counts 1 and 4 -- satcounts of
+  // canonical functions are jobs-invariant by construction.
+  const std::string circuit_name = "alu181";
+  const netlist::Circuit circuit = netlist::make_benchmark(circuit_name);
+  const auto faults = fault::collapse_checkpoint_faults(circuit);
+  const std::size_t n = 2;
+
+  store::KeyBuilder kb;
+  kb.str(analysis::kNDetectSchema);
+  kb.str(store::circuit_content_hash(circuit));
+  kb.u64(n);
+  kb.flag(true);   // topup
+  kb.flag(true);   // collapse
+  kb.u64(0);       // no client vectors
+  const std::string key = kb.hex();
+
+  analysis::NDetectAnalyzer analyzer(circuit, faults);
+  std::vector<std::vector<bool>> vectors;
+  const std::size_t minted = analyzer.top_up(vectors, n);
+  analysis::NDetectReport report = analyzer.report(vectors, n);
+  report.minted_vectors = minted;
+  const JsonValue expected = analysis::ndetect_report_to_json(report, key);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    TestServer ts(workers);
+    Client client = ts.connect();
+    JsonValue r = JsonValue::object();
+    r["type"] = "ndetect";
+    r["circuit"] = circuit_name;
+    JsonValue opts = JsonValue::object();
+    opts["n"] = static_cast<long long>(n);
+    opts["jobs"] = static_cast<long long>(workers);
+    r["options"] = std::move(opts);
+    JsonValue resp = call(client, r);
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+    EXPECT_EQ(resp.at("key").as_string(), key) << "workers=" << workers;
+    EXPECT_EQ(resp.at("report").dump(0), expected.dump(0))
+        << "workers=" << workers;
+    EXPECT_EQ(resp.at("minted_vectors").size(), minted)
+        << "workers=" << workers;
+
+    // Second identical request: a cache hit with the identical payload.
+    JsonValue again = JsonValue::object();
+    again["type"] = "ndetect";
+    again["circuit"] = circuit_name;
+    JsonValue opts2 = JsonValue::object();
+    opts2["n"] = static_cast<long long>(n);
+    opts2["jobs"] = static_cast<long long>(workers);
+    again["options"] = std::move(opts2);
+    JsonValue resp2 = call(client, again);
+    ASSERT_TRUE(resp2.at("ok").as_bool()) << resp2.dump(0);
+    EXPECT_TRUE(resp2.at("cached").as_bool());
+    EXPECT_EQ(resp2.at("report").dump(0), expected.dump(0))
+        << "workers=" << workers;
+  }
+}
+
+TEST(ServiceTest, NDetectUnknownOptionAndBadVectorsAreBadRequests) {
+  obs::MetricsRegistry metrics;
+  Service service(ServiceOptions{}, &metrics);
+
+  JsonValue r = req("ndetect", "c17");
+  JsonValue opts = JsonValue::object();
+  opts["frobnicate"] = true;  // unknown key: reject, never silently ignore
+  r["options"] = std::move(opts);
+  JsonValue resp = service.handle(r);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(resp.at("error").at("message").as_string().find("frobnicate"),
+            std::string::npos);
+
+  // A vector of the wrong width must bounce before any analysis runs.
+  JsonValue bad = req("ndetect", "c17");
+  JsonValue vecs = JsonValue::array();
+  vecs.push_back(std::string("01"));  // c17 has 5 inputs
+  bad["vectors"] = std::move(vecs);
+  resp = service.handle(bad);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+}
+
 TEST(ServeIdentityTest, BfOrServedEqualsInProcess) {
   analysis::AnalysisOptions a;
   a.sampling.target_count = 40;
@@ -458,6 +545,33 @@ TEST(ServeAdmissionTest, DeadlineExpiredInQueueIsNotExecuted) {
   EXPECT_EQ(resp.at("error").at("code").as_string(), "deadline_exceeded");
   t1.join();
   EXPECT_GE(ts.metrics.counter("serve.rejected.deadline").value(), 1u);
+}
+
+TEST(ServeAdmissionTest, NDetectBehindBlockerHonorsDeadline) {
+  // Admission control is request-type agnostic: an ndetect request whose
+  // deadline expires while a blocker occupies the only worker must come
+  // back deadline_exceeded without ever reaching the analyzer.
+  TestServer ts(/*workers=*/1);
+  Client blocker = ts.connect();
+  Client impatient = ts.connect();
+
+  std::thread t1([&] {
+    JsonValue resp = call(blocker, sleep_req(600));
+    EXPECT_TRUE(resp.at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  JsonValue r = JsonValue::object();
+  r["type"] = "ndetect";
+  r["circuit"] = "c432";
+  JsonValue opts = JsonValue::object();
+  opts["n"] = 3;
+  r["options"] = std::move(opts);
+  r["deadline_ms"] = 100;  // expires ~350ms before the worker frees up
+  JsonValue resp = call(impatient, r);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "deadline_exceeded");
+  t1.join();
+  EXPECT_EQ(ts.metrics.counter("serve.requests.ndetect").value(), 0u);
 }
 
 TEST(ServeDrainTest, ShutdownFinishesInFlightAndRejectsLateArrivals) {

@@ -345,6 +345,43 @@ TEST(WideSimTest, RandomGradingMatchesVectorGradingAtRaggedCounts) {
   }
 }
 
+TEST(WideSimTest, ExactCountsMatchSerialRecountAcrossEngines) {
+  // Cross-engine identity for the n-detect contract: with fault dropping
+  // off, the wide engine's per-fault detection_counts and first_detection
+  // must equal a naive serial recount (one FaultSimulator grade per
+  // pattern per fault) at counts straddling every lane-masking boundary.
+  // The n-detect analytics layer leans on exactly this equality when it
+  // cross-checks BDD satcounts against simulator recounts.
+  const Circuit c = netlist::make_c17();
+  const WideFaultSimulator wide(c);
+  FaultSimulator fs(c);
+  const auto faults = fault::checkpoint_faults(c);
+  const std::uint64_t seed = 0xc0de;
+  WideSimOptions keep;
+  keep.drop_detected = false;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{256},
+                              std::size_t{300}}) {
+    const auto stream = wide.random_patterns(n, seed);
+    ASSERT_EQ(stream.size(), n);
+    const auto grade = wide.grade_vectors(faults, stream, keep);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      std::uint64_t count = 0;
+      std::uint64_t first = WideFaultSimulator::kNotDetected;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (fs.grade_vectors({faults[i]}, {stream[p]}).detected == 1) {
+          if (count == 0) first = p;
+          ++count;
+        }
+      }
+      EXPECT_EQ(grade.detection_counts[i], count)
+          << "n=" << n << " fault " << i;
+      EXPECT_EQ(grade.first_detection[i], first)
+          << "n=" << n << " fault " << i;
+    }
+  }
+}
+
 TEST(WideSimTest, FirstDetectionIsEarliestDetectingPattern) {
   // Cross-check first_detection against the slow truth: grade each
   // reconstructed vector on its own and record the first detecting index.
